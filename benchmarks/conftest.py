@@ -1,0 +1,52 @@
+"""Shared infrastructure for the figure-regeneration benchmarks.
+
+Each benchmark regenerates one table/figure of the paper: it runs the
+corresponding harness once (``benchmark.pedantic(rounds=1)`` -- these are
+experiment harnesses, not micro-benchmarks), prints the same rows/series
+the figure plots, writes them to ``benchmarks/results/``, and asserts the
+paper's qualitative findings (who wins, by roughly what factor, where the
+crossovers fall).
+
+Environment knobs:
+
+* ``REPRO_BENCH_SCALE=full`` -- run the full parameter sweeps (the
+  default ``quick`` trims sweep points, not scales).
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+)
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+
+
+def bench_scale() -> str:
+    return os.environ.get("REPRO_BENCH_SCALE", "quick")
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> str:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def full_scale() -> bool:
+    return bench_scale() == "full"
+
+
+def write_result(results_dir: str, name: str, text: str) -> None:
+    """Persist a rendered table and echo it to stdout."""
+    path = os.path.join(results_dir, name)
+    with open(path, "w") as fh:
+        fh.write(text + "\n")
+    print()
+    print(text)
+    print(f"[written to {path}]")

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Kernel independence: a user-defined kernel on BEM-style geometry.
+
+The BLTC requires only kernel evaluations (paper Sec. 2), so a user can
+supply any smooth, non-oscillatory kernel.  This example defines a
+*screened multiquadric* kernel not shipped with the library, registers it,
+and evaluates a boundary-element-style problem: sources are quadrature
+points on a sphere surface, targets are off-surface field points
+(disjoint targets and sources, paper Sec. 2.4).
+
+Run:  python examples/custom_kernel_bem.py [N_sources]
+"""
+
+import sys
+
+import numpy as np
+
+import repro
+from repro.kernels import RadialKernel, register_kernel
+
+
+class ScreenedMultiquadric(RadialKernel):
+    """G(x, y) = exp(-kappa r) / sqrt(r^2 + c^2): smooth everywhere.
+
+    Only `evaluate_r` is needed -- no multipole expansions, no Taylor
+    recurrences: this is what kernel independence buys.
+    """
+
+    name = "screened-multiquadric"
+    flops_per_interaction = 30
+    transcendental_weight = 1.0
+    singular_at_origin = False
+
+    def __init__(self, kappa: float = 0.5, c: float = 0.05) -> None:
+        self.kappa = kappa
+        self.c = c
+
+    def evaluate_r(self, r: np.ndarray) -> np.ndarray:
+        return np.exp(-self.kappa * r) / np.sqrt(r * r + self.c * self.c)
+
+    def evaluate_r0(self) -> float:
+        return 1.0 / self.c
+
+
+def main() -> None:
+    n_sources = int(sys.argv[1]) if len(sys.argv) > 1 else 12_000
+
+    register_kernel("screened-multiquadric", ScreenedMultiquadric)
+    kernel = repro.get_kernel("screened-multiquadric", kappa=0.5, c=0.05)
+
+    # Sources: quadrature points on the unit sphere; targets: field points
+    # on a larger sphere (disjoint from the sources).
+    sources = repro.sphere_surface(n_sources, seed=11, radius=1.0)
+    targets = repro.sphere_surface(max(n_sources // 4, 200), seed=12, radius=2.5)
+
+    # Batches smaller than leaves here: curved target shells need tighter
+    # batch radii for the MAC to separate them from the source sphere.
+    params = repro.TreecodeParams(
+        theta=0.8, degree=6, max_leaf_size=400, max_batch_size=200
+    )
+    treecode = repro.BarycentricTreecode(kernel, params)
+    result = treecode.compute(sources, targets=targets.positions)
+
+    ref = kernel.potential(
+        targets.positions, sources.positions, sources.charges
+    )
+    err = repro.relative_l2_error(ref, result.potential)
+
+    print("Custom kernel through the kernel-independent BLTC")
+    print(f"  kernel                 : {kernel.name}")
+    print(f"  sources (on sphere)    : {n_sources:,}")
+    print(f"  targets (off surface)  : {len(targets):,}")
+    print(f"  relative 2-norm error  : {err:.3e}")
+    print(f"  approx interactions    : {result.stats['n_approx_interactions']:,}")
+    print(f"  direct interactions    : {result.stats['n_direct_interactions']:,}")
+    print(f"  simulated GPU time     : {result.phases.total:.4f} s")
+    print(
+        "\nNo kernel-specific series expansions were used anywhere -- swap"
+        "\nthe kernel and the same treecode machinery applies."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Multi-GPU distributed run: RCB + locally essential trees.
+
+A miniature of the paper's Sec. 4 scaling study on the simulated cluster:
+the particle set is decomposed with recursive coordinate bisection, each
+rank builds its local source tree, exchanges tree arrays and cluster
+charges over the simulated passive-target RMA windows, and evaluates its
+targets from its locally essential tree.  The per-rank phase breakdown
+(setup / precompute / compute) is the quantity Fig. 6cd plots.
+
+Run:  python examples/multi_gpu_weak_scaling.py [N_per_rank] [max_ranks]
+"""
+
+import sys
+
+import repro
+from repro.analysis import format_table
+
+
+def main() -> None:
+    n_per_rank = int(sys.argv[1]) if len(sys.argv) > 1 else 4_000
+    max_ranks = int(sys.argv[2]) if len(sys.argv) > 2 else 8
+
+    params = repro.TreecodeParams(
+        theta=0.8, degree=6, max_leaf_size=500, max_batch_size=500
+    )
+    kernel = repro.CoulombKernel()
+
+    rows = []
+    ranks = [r for r in (1, 2, 4, 8, 16, 32) if r <= max_ranks]
+    for n_ranks in ranks:
+        n = n_per_rank * n_ranks
+        particles = repro.random_cube(n, seed=5)
+        driver = repro.DistributedBLTC(
+            kernel,
+            params,
+            n_ranks=n_ranks,
+            machine=repro.GPU_P100,
+        )
+        res = driver.compute(particles)
+        err = repro.sampled_error(
+            res.potential,
+            particles.positions,
+            particles.positions,
+            particles.charges,
+            kernel,
+            n_samples=300,
+        )
+        agg = res.aggregate_phases()
+        rows.append(
+            [
+                n_ranks,
+                n,
+                res.total_seconds,
+                agg.setup,
+                agg.precompute,
+                agg.compute,
+                res.stats["total_rma_bytes"],
+                err,
+            ]
+        )
+
+    print(
+        format_table(
+            ["GPUs", "N total", "time (s)", "setup", "precompute",
+             "compute", "RMA bytes", "rel. error"],
+            rows,
+            title=(
+                f"Weak scaling, {n_per_rank:,} particles/GPU, "
+                "simulated P100 cluster (paper Fig. 5 setting)"
+            ),
+        )
+    )
+    print(
+        "\nRun time grows only modestly with rank count -- the O(N log N)"
+        "\nsignature the paper reports -- while accuracy stays at the level"
+        "\nset by (theta, n)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Error metrics and report formatting for the reproduction harness."""
+
+from .errors import relative_l2_error, sampled_error
+from .report import format_table
+
+__all__ = ["relative_l2_error", "sampled_error", "format_table"]

@@ -1,0 +1,52 @@
+"""Fixed-width table formatting for benchmark harness output.
+
+The benchmark harnesses print the same rows/series the paper's figures
+plot; this module renders them readably without external dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "format_value"]
+
+
+def format_value(v) -> str:
+    """Render one cell: compact scientific notation for floats."""
+    if isinstance(v, bool):
+        return str(v)
+    if isinstance(v, float):
+        if v == 0.0:
+            return "0"
+        a = abs(v)
+        if 1e-3 <= a < 1e5:
+            return f"{v:.4g}"
+        return f"{v:.3e}"
+    return str(v)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render an aligned fixed-width text table."""
+    str_rows = [[format_value(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(h.rjust(w) for h, w in zip(headers, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in str_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

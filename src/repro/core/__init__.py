@@ -1,0 +1,33 @@
+"""The barycentric Lagrange treecode core (paper Sec. 2).
+
+* :mod:`~repro.core.mac` -- the two-condition multipole acceptance
+  criterion (eq. 13).
+* :mod:`~repro.core.interaction_lists` -- the recursive batch/cluster dual
+  traversal (BLTC algorithm lines 10-20) over local or remote trees.
+* :mod:`~repro.core.moments` -- modified charges (eq. 12) via the two
+  preprocessing kernels (eqs. 14-15).
+* :mod:`~repro.core.executor` -- evaluates interaction lists with the
+  batch-cluster direct-sum and approximation kernels on a simulated device.
+* :mod:`~repro.core.direct` -- the O(N^2) direct-summation baseline.
+* :mod:`~repro.core.treecode` -- the single-device BLTC driver.
+"""
+
+from .direct import direct_sum, direct_sum_at
+from .mac import mac_accepts, mac_geometric
+from .interaction_lists import InteractionLists, build_interaction_lists
+from .moments import cluster_grid, modified_charges, precompute_moments
+from .treecode import BarycentricTreecode, TreecodeResult
+
+__all__ = [
+    "mac_geometric",
+    "mac_accepts",
+    "InteractionLists",
+    "build_interaction_lists",
+    "cluster_grid",
+    "modified_charges",
+    "precompute_moments",
+    "direct_sum",
+    "direct_sum_at",
+    "BarycentricTreecode",
+    "TreecodeResult",
+]

@@ -1,0 +1,177 @@
+"""Execution of interaction lists with the two potential-evaluation kernels.
+
+Paper Sec. 3.2: the GPU implementation uses two potential-evaluation
+kernels -- the batch-cluster *direct sum* kernel (eq. 9) and the
+batch-cluster *approximation* kernel (eq. 11).  Crucially both have the
+same direct-sum form; the approximation merely replaces the cluster's
+source particles by its Chebyshev points carrying modified charges.  One
+kernel launch handles one (batch, cluster) pair: one thread block per
+target in the batch (outer parallelism), threads over the cluster's
+sources/grid points (inner parallelism), then a reduction.
+
+Numerically both kernels are evaluated here with the same blocked
+NumPy primitive (:meth:`repro.kernels.base.Kernel.potential`); the
+simulated device is charged per launch with the exact interaction count
+and block count.  Accumulation into the batch potential uses ``+=`` where
+the GPU uses an atomic update -- same arithmetic, no race to model.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..gpu.device import Device
+from ..kernels.base import Kernel
+
+__all__ = [
+    "execute_batch_interactions",
+    "execute_batch_forces",
+    "charge_batch_launches",
+]
+
+
+def execute_batch_forces(
+    kernel: Kernel,
+    device: Device,
+    batch_points: np.ndarray,
+    approx_pairs: Sequence[tuple[np.ndarray, np.ndarray]],
+    direct_pairs: Sequence[tuple[np.ndarray, np.ndarray]],
+    *,
+    dtype=np.float64,
+) -> np.ndarray:
+    """Force (negative potential gradient) at ``batch_points``.
+
+    The far-field force reuses the *same* modified charges as the
+    potential: F_i ~ -sum_k grad_x G(x_i, s_k) qhat_k, because the
+    modified charges are independent of the target (paper Sec. 2.2) and
+    differentiation acts on the target variable only.  This is the
+    standard force path of kernel-independent treecodes and what the
+    paper's applications (MD, DFT) consume.
+
+    Returns ``(len(batch_points), 3)`` float64 forces per unit target
+    charge/mass.
+    """
+    m = batch_points.shape[0]
+    acc = np.zeros((m, 3), dtype=np.float64)
+    if m == 0:
+        return acc
+    cost_mult = kernel.cost_multiplier(device.spec.transcendental_penalty)
+    if np.dtype(dtype) == np.float32:
+        cost_mult *= 0.5
+    tgt = np.ascontiguousarray(batch_points, dtype=dtype)
+    for pairs, kind in ((approx_pairs, "approx-force"), (direct_pairs, "direct-force")):
+        if not pairs:
+            continue
+        for pts, _ in pairs:
+            device.launch(
+                float(m) * pts.shape[0],
+                blocks=m,
+                kind=kind,
+                # The gradient kernel costs roughly 2x the potential
+                # kernel (three components sharing one distance eval).
+                flops_per_interaction=2.0 * kernel.flops_per_interaction,
+                cost_multiplier=cost_mult,
+            )
+        src = np.concatenate([p for p, _ in pairs], axis=0)
+        q = np.concatenate([w for _, w in pairs], axis=0)
+        kernel.force(
+            tgt,
+            np.ascontiguousarray(src, dtype=dtype),
+            np.ascontiguousarray(q, dtype=dtype),
+            out=acc,
+        )
+    return acc
+
+
+def charge_batch_launches(
+    kernel: Kernel,
+    device: Device,
+    n_targets: int,
+    approx_sizes: Sequence[int],
+    direct_sizes: Sequence[int],
+) -> None:
+    """Record the kernel launches of one batch without any numerics.
+
+    Model-only (dry-run) counterpart of
+    :func:`execute_batch_interactions`: the device is charged for exactly
+    the same launches, with the same interaction counts and block counts,
+    but no potential is evaluated.  Used by the large-scale benchmark
+    harnesses where Python numerics would be prohibitive.
+    """
+    if n_targets == 0:
+        return
+    cost_mult = kernel.cost_multiplier(device.spec.transcendental_penalty)
+    for sizes, kind in ((approx_sizes, "approx"), (direct_sizes, "direct")):
+        for sz in sizes:
+            device.launch(
+                float(n_targets) * float(sz),
+                blocks=n_targets,
+                kind=kind,
+                flops_per_interaction=kernel.flops_per_interaction,
+                cost_multiplier=cost_mult,
+            )
+
+
+def execute_batch_interactions(
+    kernel: Kernel,
+    device: Device,
+    batch_points: np.ndarray,
+    approx_pairs: Sequence[tuple[np.ndarray, np.ndarray]],
+    direct_pairs: Sequence[tuple[np.ndarray, np.ndarray]],
+    *,
+    dtype=np.float64,
+) -> np.ndarray:
+    """Potential at ``batch_points`` due to its interaction lists.
+
+    Parameters
+    ----------
+    approx_pairs : sequence of ``(grid_points, modified_charges)`` -- one
+        entry per cluster approximated via eq. 11.
+    direct_pairs : sequence of ``(source_points, charges)`` -- one entry
+        per cluster summed directly via eq. 9.
+    dtype : evaluation precision.  ``float32`` implements the paper's
+        mixed-precision future-work mode: kernels evaluate in single
+        precision while the accumulator stays double.
+
+    Returns
+    -------
+    (len(batch_points),) float64 potentials.
+    """
+    m = batch_points.shape[0]
+    acc = np.zeros(m, dtype=np.float64)
+    if m == 0:
+        return acc
+    cost_mult = kernel.cost_multiplier(device.spec.transcendental_penalty)
+    if np.dtype(dtype) == np.float32:
+        # Mixed precision (Sec. 5 future work): single-precision
+        # arithmetic doubles the FMA throughput on the Titan V / P100
+        # (DP:SP = 1:2), halving the kernel busy time.
+        cost_mult *= 0.5
+    tgt = np.ascontiguousarray(batch_points, dtype=dtype)
+
+    for pairs, kind in ((approx_pairs, "approx"), (direct_pairs, "direct")):
+        if not pairs:
+            continue
+        # One simulated kernel launch per (batch, cluster) pair ...
+        for pts, _ in pairs:
+            device.launch(
+                float(m) * pts.shape[0],
+                blocks=m,
+                kind=kind,
+                flops_per_interaction=kernel.flops_per_interaction,
+                cost_multiplier=cost_mult,
+            )
+        # ... but one fused numerical evaluation over the concatenated
+        # sources, which is arithmetically identical (the potential is a
+        # sum over all listed clusters) and far friendlier to NumPy.
+        src = np.concatenate([p for p, _ in pairs], axis=0)
+        q = np.concatenate([w for _, w in pairs], axis=0)
+        kernel.potential(
+            tgt,
+            np.ascontiguousarray(src, dtype=dtype),
+            np.ascontiguousarray(q, dtype=dtype),
+            out=acc,
+        )
+    return acc

@@ -1,0 +1,58 @@
+"""Multipole acceptance criterion (MAC), paper eq. 13.
+
+A target batch B and source cluster C are approximated when both
+
+    (r_B + r_C) / R < theta        (geometric accuracy condition)
+    (n + 1)^3 < N_C                (cluster-size efficiency condition)
+
+hold, where ``r_B``/``r_C`` are the batch/cluster radii, ``R`` the distance
+between their centers, ``n`` the interpolation degree and ``N_C`` the
+number of source particles in the cluster.  The size condition exists
+because the approximation (eq. 11) has the same direct-sum form as the
+exact interaction (eq. 9): when the cluster holds fewer particles than
+interpolation points, the exact interaction is both faster *and* more
+accurate.
+"""
+
+from __future__ import annotations
+
+__all__ = ["mac_geometric", "mac_accepts"]
+
+
+def mac_geometric(
+    batch_radius: float,
+    cluster_radius: float,
+    distance: float,
+    theta: float,
+) -> bool:
+    """First MAC condition: ``(r_B + r_C) / R < theta``.
+
+    Overlapping or coincident boxes (``R`` not exceeding the summed radii
+    can only pass for ``theta`` > 1, which params forbid); ``R == 0`` is
+    handled without dividing.
+    """
+    if distance <= 0.0:
+        return False
+    return (batch_radius + cluster_radius) / distance < theta
+
+
+def mac_accepts(
+    batch_radius: float,
+    cluster_radius: float,
+    distance: float,
+    theta: float,
+    n_interp_points: int,
+    cluster_count: int,
+    *,
+    size_check: bool = True,
+) -> bool:
+    """Full MAC: geometric condition plus the cluster-size condition.
+
+    ``size_check=False`` disables the second condition (ablation of the
+    design choice in eq. 13).
+    """
+    if not mac_geometric(batch_radius, cluster_radius, distance, theta):
+        return False
+    if size_check and not (n_interp_points < cluster_count):
+        return False
+    return True

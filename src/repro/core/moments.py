@@ -1,0 +1,182 @@
+"""Modified charges ("moments") for source clusters, paper Sec. 2.2-2.3.
+
+For a cluster C with particles ``y_j`` and charges ``q_j``, the modified
+charge at Chebyshev grid point ``s_k`` (k a 3D multi-index) is
+
+    qhat_k = sum_{y_j in C} L_k1(y_j1) L_k2(y_j2) L_k3(y_j3) q_j    (eq. 12)
+
+Each ``qhat_k`` is independent of the targets, so it is computed once per
+cluster and reused by every batch that approximates the cluster.
+
+GPU kernel correspondence
+-------------------------
+The paper computes eq. 12 with two kernels (Sec. 3.2): kernel 1 forms the
+intermediate quantities ``qtilde_j`` (eq. 14, the product of the three
+barycentric denominator sums, O((n+1) N_C) work), kernel 2 assembles
+``qhat_k`` from them (eq. 15, O((n+1)^3 N_C) work).  That factorization is
+exactly the barycentric quotient of eq. 4 split into denominator and
+numerator passes; here the numerics evaluate the per-dimension basis
+matrices (which handle the removable singularities the way Sec. 2.3
+prescribes -- the factored form would divide by zero when a source
+coordinate coincides with a Chebyshev coordinate) and contract them with a
+single ``einsum``, which is algebraically identical.  The simulated device
+is still charged for both kernels with the paper's operation counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import TreecodeParams
+from ..gpu.device import Device
+from ..interpolation.barycentric import lagrange_basis
+from ..interpolation.grid import ChebyshevGrid3D
+from ..tree.octree import ClusterTree, TreeNode
+
+__all__ = [
+    "cluster_grid",
+    "modified_charges",
+    "moment_flop_counts",
+    "precompute_moments",
+    "ClusterMoments",
+]
+
+
+def cluster_grid(node: TreeNode, degree: int) -> ChebyshevGrid3D:
+    """The tensor-product Chebyshev grid spanning a cluster's box."""
+    return ChebyshevGrid3D.for_box(node.box.lo, node.box.hi, degree)
+
+
+def modified_charges(
+    points: np.ndarray,
+    charges: np.ndarray,
+    grid: ChebyshevGrid3D,
+) -> np.ndarray:
+    """Compute eq. 12 for one cluster; returns ``((n+1)^3,)`` flattened.
+
+    Flattening is C-order over ``(k1, k2, k3)``, matching
+    :func:`repro.interpolation.grid.tensor_grid_points`.
+    """
+    points = np.atleast_2d(points)
+    charges = np.asarray(charges, dtype=np.float64).ravel()
+    if points.shape[0] != charges.shape[0]:
+        raise ValueError(
+            f"{points.shape[0]} points but {charges.shape[0]} charges"
+        )
+    lx = lagrange_basis(points[:, 0], grid.points_1d[0], grid.weights)
+    ly = lagrange_basis(points[:, 1], grid.points_1d[1], grid.weights)
+    lz = lagrange_basis(points[:, 2], grid.points_1d[2], grid.weights)
+    qhat = np.einsum("aj,bj,cj,j->abc", lx, ly, lz, charges, optimize=True)
+    return qhat.ravel()
+
+
+def moment_flop_counts(n_cluster: int, degree: int) -> tuple[float, float]:
+    """(kernel-1, kernel-2) interaction counts for the device model.
+
+    Kernel 1 (eq. 14): each of the N_C sources evaluates three
+    (n+1)-term denominator sums -> 3 (n+1) N_C "interactions".
+    Kernel 2 (eq. 15): each of the (n+1)^3 grid points reduces over the
+    N_C sources -> (n+1)^3 N_C interactions.
+    """
+    np1 = degree + 1
+    return 3.0 * np1 * n_cluster, float(np1**3) * n_cluster
+
+
+class ClusterMoments:
+    """Grids and modified charges for the clusters of one source tree.
+
+    In dry-run (model-only) mode the set of qualifying clusters
+    (``node_ids``) is tracked without computing any numerical moments.
+    """
+
+    def __init__(self, degree: int) -> None:
+        self.degree = degree
+        self.node_ids: set[int] = set()
+        self.grids: dict[int, ChebyshevGrid3D] = {}
+        self.qhat: dict[int, np.ndarray] = {}
+
+    def __contains__(self, node_index: int) -> bool:
+        return node_index in self.node_ids
+
+    @property
+    def n_clusters(self) -> int:
+        """Number of clusters carrying moments."""
+        return len(self.node_ids)
+
+    def grid(self, node_index: int) -> ChebyshevGrid3D:
+        return self.grids[node_index]
+
+    def charges(self, node_index: int) -> np.ndarray:
+        return self.qhat[node_index]
+
+    def packed(self, n_nodes: int) -> np.ndarray:
+        """Dense ``(n_nodes, (n+1)^3)`` array (rows of absent nodes zero).
+
+        This is the "cluster charges" array placed in an RMA window for
+        remote ranks to get during LET construction (Sec. 3.1).
+        """
+        np3 = (self.degree + 1) ** 3
+        out = np.zeros((n_nodes, np3))
+        for i, q in self.qhat.items():
+            out[i] = q
+        return out
+
+
+def precompute_moments(
+    tree: ClusterTree,
+    charges: np.ndarray,
+    params: TreecodeParams,
+    *,
+    device: Device | None = None,
+    dry_run: bool = False,
+) -> ClusterMoments:
+    """Compute modified charges for every approximable cluster.
+
+    The BLTC algorithm (lines 6-7) computes moments for each source
+    cluster before any traversal -- required in the distributed setting,
+    where remote ranks may request any cluster's moments.  Clusters that
+    can never be approximated under the size condition
+    (``(n+1)^3 >= N_C``) are skipped; the criterion is parameter-only, so
+    every rank makes the same decision.
+
+    ``device`` (optional) is charged for the paper's two preprocessing
+    kernels per cluster: kernel 1 with one thread block per source
+    particle, kernel 2 with one block per grid point (Sec. 3.2).
+
+    ``dry_run=True`` (model-only mode) records the qualifying clusters
+    and charges the device but skips the numerical tensor contractions;
+    used by the large-scale benchmark harnesses where only the timing
+    model is exercised.
+    """
+    charges = np.asarray(charges, dtype=np.float64).ravel()
+    if charges.shape[0] != tree.n_particles:
+        raise ValueError(
+            f"{charges.shape[0]} charges for {tree.n_particles} particles"
+        )
+    moments = ClusterMoments(params.degree)
+    n_ip = params.n_interpolation_points
+    for node in tree.nodes:
+        if params.size_check and not (n_ip < node.count):
+            continue
+        moments.node_ids.add(node.index)
+        if not dry_run:
+            grid = cluster_grid(node, params.degree)
+            idx = tree.node_indices(node)
+            qhat = modified_charges(tree.positions[idx], charges[idx], grid)
+            moments.grids[node.index] = grid
+            moments.qhat[node.index] = qhat
+        if device is not None:
+            ops1, ops2 = moment_flop_counts(node.count, params.degree)
+            device.launch(
+                ops1,
+                blocks=node.count,
+                kind="moments-1",
+                flops_per_interaction=8.0,
+            )
+            device.launch(
+                ops2,
+                blocks=n_ip,
+                kind="moments-2",
+                flops_per_interaction=7.0,
+            )
+    return moments

@@ -1,0 +1,302 @@
+"""Single-device barycentric Lagrange treecode driver (BLTC algorithm).
+
+Orchestrates the full pipeline of the paper's Sec. 2.4 algorithm on one
+(simulated) device:
+
+1. build the source-cluster tree and the target batches        [setup]
+2. copy source data to the device                              [precompute]
+3. compute modified charges for every cluster (two kernels)    [precompute]
+4. copy modified charges back                                  [precompute]
+5. build interaction lists for every batch                     [setup]
+6. copy targets + interaction data ("the LET") to the device   [setup]
+7. launch the direct-sum / approximation kernels               [compute]
+8. copy potentials back                                        [compute]
+
+Phase attribution follows the paper's definition of the setup, precompute
+and compute phases (Sec. 4).  The distributed driver in
+:mod:`repro.distributed` wraps the same building blocks with RCB
+partitioning and locally essential trees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import DEFAULT_PARAMS, TreecodeParams
+from ..gpu.device import Device, make_device
+from ..kernels.base import Kernel
+from ..perf.machine import GPU_TITAN_V, MachineSpec
+from ..perf.timer import PhaseTimes, Stopwatch
+from ..tree.batches import TargetBatches
+from ..tree.octree import ClusterTree
+from ..workloads import ParticleSet
+from .executor import (
+    charge_batch_launches,
+    execute_batch_forces,
+    execute_batch_interactions,
+)
+from .interaction_lists import InteractionLists, build_interaction_lists
+from .moments import ClusterMoments, precompute_moments
+
+__all__ = ["BarycentricTreecode", "TreecodeResult"]
+
+FLOAT_BYTES = 8
+
+
+@dataclass
+class TreecodeResult:
+    """Potentials plus the full timing/statistics record of one run."""
+
+    #: (n_targets,) potential at each target, in input target order.
+    potential: np.ndarray
+    #: Simulated seconds per phase (the paper's reported quantity).
+    phases: PhaseTimes
+    #: Wall-clock seconds of this Python process (diagnostic only).
+    wall_seconds: float
+    #: Structural statistics of the run.
+    stats: dict = field(default_factory=dict)
+    #: (n_targets, 3) force per unit target charge, when requested.
+    forces: np.ndarray | None = None
+
+    @property
+    def simulated_total(self) -> float:
+        return self.phases.total
+
+
+class BarycentricTreecode:
+    """Kernel-independent barycentric Lagrange treecode on one device.
+
+    Parameters
+    ----------
+    kernel : interaction kernel ``G(x, y)``.
+    params : treecode parameters (theta, degree, NL, NB, ...).
+    machine : device specification for the simulated timing; defaults to
+        the paper's Titan V.  Pass ``CPU_XEON_X5650`` for the CPU model.
+    async_streams : queue kernels on 4 asynchronous streams (Sec. 3.2);
+        False reproduces the synchronous baseline.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        params: TreecodeParams = DEFAULT_PARAMS,
+        *,
+        machine: MachineSpec = GPU_TITAN_V,
+        async_streams: bool = True,
+    ) -> None:
+        self.kernel = kernel
+        self.params = params
+        self.machine = machine
+        self.async_streams = bool(async_streams)
+
+    # ------------------------------------------------------------------
+    def compute(
+        self,
+        sources: ParticleSet,
+        targets: np.ndarray | ParticleSet | None = None,
+        *,
+        dry_run: bool = False,
+        compute_forces: bool = False,
+    ) -> TreecodeResult:
+        """Compute the potential at every target due to all sources.
+
+        ``targets`` defaults to the source positions (the paper's test
+        cases); pass a ``(M, 3)`` array or another :class:`ParticleSet`
+        for disjoint targets (BEM-style usage).
+
+        ``compute_forces=True`` additionally evaluates the force (the
+        negative potential gradient) at every target, reusing the same
+        tree, interaction lists and modified charges; requires a kernel
+        with an analytic gradient.
+
+        ``dry_run=True`` is model-only mode: the tree, batches, moments
+        bookkeeping, interaction lists and every simulated device event
+        are produced exactly as in a real run, but the floating-point
+        potential evaluation is skipped and the returned potential is all
+        zeros.  This lets the timing model run at paper scale (10^6-10^9
+        particles) where Python numerics would be prohibitive.
+        """
+        params = self.params
+        if targets is None:
+            target_pos = sources.positions
+        elif isinstance(targets, ParticleSet):
+            target_pos = targets.positions
+        else:
+            target_pos = np.atleast_2d(np.asarray(targets, dtype=np.float64))
+        device = make_device(self.machine, async_streams=self.async_streams)
+        phases = PhaseTimes()
+        watch = Stopwatch()
+
+        with watch:
+            # -- setup: tree of source clusters and set of target batches
+            tree = ClusterTree(
+                sources.positions,
+                params.max_leaf_size,
+                aspect_ratio_splitting=params.aspect_ratio_splitting,
+                shrink_to_fit=params.shrink_to_fit,
+            )
+            batches = TargetBatches(
+                target_pos,
+                params.max_batch_size,
+                aspect_ratio_splitting=params.aspect_ratio_splitting,
+                shrink_to_fit=params.shrink_to_fit,
+            )
+            device.host_work(
+                sources.n * (tree.max_level + 1)
+                + target_pos.shape[0] * (batches._tree.max_level + 1)
+            )
+            phases.setup += device.take_phase()
+
+            # -- precompute: HtD source copy, moment kernels, DtH moments
+            device.upload(sources.nbytes(), label="source data")
+            moments = precompute_moments(
+                tree, sources.charges, params, device=device, dry_run=dry_run
+            )
+            moments_bytes = (
+                moments.n_clusters * params.n_interpolation_points * FLOAT_BYTES
+            )
+            device.download(moments_bytes, label="modified charges")
+            phases.precompute += device.take_phase()
+
+            # -- setup: interaction lists + HtD of targets and LET data
+            lists = build_interaction_lists(batches, tree, params)
+            device.host_work(lists.mac_evals * 4)
+            device.upload(
+                target_pos.nbytes + self._let_bytes(tree, lists, params),
+                label="targets + LET",
+            )
+            phases.setup += device.take_phase()
+
+            # -- compute: potential kernels + DtH potentials
+            potential, forces = self._execute(
+                device, tree, batches, moments, lists, sources.charges,
+                dry_run=dry_run, compute_forces=compute_forces,
+            )
+            device.download(potential.nbytes, label="potentials")
+            if forces is not None:
+                device.download(forces.nbytes, label="forces")
+            phases.compute += device.take_phase()
+
+        stats = self._stats(tree, batches, lists, moments, device)
+        return TreecodeResult(
+            potential=potential,
+            phases=phases,
+            wall_seconds=watch.elapsed,
+            stats=stats,
+            forces=forces,
+        )
+
+    # ------------------------------------------------------------------
+    def _execute(
+        self,
+        device: Device,
+        tree: ClusterTree,
+        batches: TargetBatches,
+        moments: ClusterMoments,
+        lists: InteractionLists,
+        charges: np.ndarray,
+        *,
+        dry_run: bool = False,
+        compute_forces: bool = False,
+    ) -> tuple[np.ndarray, np.ndarray | None]:
+        out = np.zeros(batches.n_targets, dtype=np.float64)
+        forces = (
+            np.zeros((batches.n_targets, 3), dtype=np.float64)
+            if compute_forces
+            else None
+        )
+        if dry_run:
+            n_ip = self.params.n_interpolation_points
+            for b in range(len(batches)):
+                charge_batch_launches(
+                    self.kernel,
+                    device,
+                    batches.batch(b).count,
+                    [n_ip] * len(lists.approx[b]),
+                    [tree.nodes[int(c)].count for c in lists.direct[b]],
+                )
+            return out, forces
+        for b in range(len(batches)):
+            approx_pairs = [
+                (moments.grid(c).points, moments.charges(c))
+                for c in lists.approx[b]
+            ]
+            direct_pairs = []
+            for c in lists.direct[b]:
+                idx = tree.node_indices(c)
+                direct_pairs.append((tree.positions[idx], charges[idx]))
+            phi = execute_batch_interactions(
+                self.kernel,
+                device,
+                batches.batch_points(b),
+                approx_pairs,
+                direct_pairs,
+                dtype=self.params.dtype,
+            )
+            out[batches.batch_indices(b)] += phi
+            if forces is not None:
+                f = execute_batch_forces(
+                    self.kernel,
+                    device,
+                    batches.batch_points(b),
+                    approx_pairs,
+                    direct_pairs,
+                    dtype=self.params.dtype,
+                )
+                forces[batches.batch_indices(b)] += f
+        return out, forces
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _let_bytes(
+        tree: ClusterTree, lists: InteractionLists, params: TreecodeParams
+    ) -> int:
+        """Bytes of source-side data the compute phase needs on-device.
+
+        Union over batches of directly-summed clusters' particle data
+        (3 coordinates + charge each) plus approximated clusters' modified
+        charges.  This is exactly what a rank's LET holds (Sec. 3.1).
+        """
+        direct_nodes: set[int] = set()
+        approx_nodes: set[int] = set()
+        for d in lists.direct:
+            direct_nodes.update(int(c) for c in d)
+        for a in lists.approx:
+            approx_nodes.update(int(c) for c in a)
+        direct_particles = sum(tree.nodes[c].count for c in direct_nodes)
+        return (
+            direct_particles * 4 * FLOAT_BYTES
+            + len(approx_nodes) * params.n_interpolation_points * FLOAT_BYTES
+        )
+
+    def _stats(
+        self,
+        tree: ClusterTree,
+        batches: TargetBatches,
+        lists: InteractionLists,
+        moments: ClusterMoments,
+        device: Device,
+    ) -> dict:
+        c = device.counters
+        return {
+            "kernel": self.kernel.name,
+            "machine": self.machine.name,
+            "n_sources": tree.n_particles,
+            "n_targets": batches.n_targets,
+            "n_tree_nodes": len(tree),
+            "n_leaves": tree.n_leaves,
+            "tree_depth": tree.max_level,
+            "n_batches": len(batches),
+            "n_clusters_with_moments": moments.n_clusters,
+            "n_approx_interactions": lists.n_approx,
+            "n_direct_interactions": lists.n_direct,
+            "mac_evals": lists.mac_evals,
+            "launches": c.launches,
+            "kernel_evaluations": c.interactions,
+            "bytes_h2d": c.bytes_h2d,
+            "bytes_d2h": c.bytes_d2h,
+            "by_kind": {k: tuple(v) for k, v in c.by_kind.items()},
+            "busy_by_kind": dict(c.busy_by_kind),
+        }

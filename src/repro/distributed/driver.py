@@ -1,0 +1,441 @@
+"""MPI + GPU distributed BLTC driver (paper Sec. 3 algorithm).
+
+Executes the paper's "MPI + OpenACC BLTC" procedure over the simulated
+substrates, one simulated GPU per rank:
+
+1.  RCB domain decomposition assigns each rank its particles.
+2.  Each rank builds a local source tree and target batches     [setup]
+3.  HtD source copy; modified-charge kernels; DtH moments       [precompute]
+4.  Ranks expose tree array / particles / moments in RMA windows.
+5.  Each rank gets remote tree arrays, builds interaction
+    lists, and fills its LET via RMA gets                       [setup]
+6.  HtD LET copy; potential kernels; DtH potentials             [compute]
+
+Rank programs are executed sequentially but deterministically; passive-
+target RMA means the interleaving cannot change any value read (windows
+are read-only after exposure).  The per-rank simulated clocks advance
+with device work, host work, and modeled communication time; the run
+time is aggregated with the one true dependency barrier -- a rank's LET
+gets require every peer to have exposed its moments:
+
+    T = max_r(setup_local_r + precompute_r)
+        + max_r(let_setup_r + compute_r)
+
+``overlap_comm=True`` models the paper's future-work item of overlapping
+communication with computation: each rank hides its LET communication
+behind its own precompute phase to the extent possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import DEFAULT_PARAMS, TreecodeParams
+from ..core.executor import (
+    charge_batch_launches,
+    execute_batch_forces,
+    execute_batch_interactions,
+)
+from ..core.interaction_lists import build_interaction_lists
+from ..core.moments import precompute_moments
+from ..gpu.device import make_device
+from ..kernels.base import Kernel
+from ..mpi.comm import SimComm
+from ..partition.rcb import rcb_partition
+from ..perf.comm import CommModel, INFINIBAND_COMET
+from ..perf.machine import GPU_P100, MachineSpec
+from ..perf.timer import PhaseTimes, Stopwatch
+from ..tree.batches import TargetBatches
+from ..tree.octree import ClusterTree
+from ..workloads import ParticleSet
+from .letree import build_let
+
+__all__ = ["DistributedBLTC", "DistributedResult"]
+
+FLOAT_BYTES = 8
+
+
+@dataclass
+class DistributedResult:
+    """Global potentials plus per-rank timing of one distributed run."""
+
+    #: (N,) potential at every particle, in the input (global) order.
+    potential: np.ndarray
+    #: Per-rank simulated phase times.
+    rank_phases: list[PhaseTimes]
+    #: Per-rank modeled communication seconds (contained in setup).
+    comm_seconds: list[float]
+    #: Wall-clock seconds of the whole simulation (diagnostic).
+    wall_seconds: float
+    stats: dict = field(default_factory=dict)
+    #: (N, 3) force per unit target charge, when requested.
+    forces: np.ndarray | None = None
+
+    @property
+    def n_ranks(self) -> int:
+        return len(self.rank_phases)
+
+    @property
+    def total_seconds(self) -> float:
+        """Simulated run time with the precompute/LET dependency barrier."""
+        first = max(p.setup_local + p.precompute for p in self._split())
+        second = max(p.let_setup + p.compute for p in self._split())
+        return first + second
+
+    def _split(self):
+        # rank_phases stores setup = setup_local + let_setup; the split is
+        # kept in stats for the barrier computation.
+        splits = self.stats["phase_split"]
+        return [
+            _SplitPhases(
+                setup_local=s["setup_local"],
+                let_setup=s["let_setup"],
+                precompute=p.precompute,
+                compute=p.compute,
+            )
+            for s, p in zip(splits, self.rank_phases)
+        ]
+
+    def aggregate_phases(self) -> PhaseTimes:
+        """Max-over-ranks time per phase (the Fig. 6cd decomposition)."""
+        agg = PhaseTimes()
+        for p in self.rank_phases:
+            agg = agg.max_with(p)
+        return agg
+
+
+@dataclass
+class _SplitPhases:
+    setup_local: float
+    let_setup: float
+    precompute: float
+    compute: float
+
+
+class DistributedBLTC:
+    """Distributed BLTC: one simulated GPU per MPI rank.
+
+    Parameters
+    ----------
+    kernel, params : as for :class:`~repro.core.treecode.BarycentricTreecode`.
+    n_ranks : number of MPI ranks == number of GPUs.
+    machine : per-rank device spec (default: the P100s of Figs. 5-6).
+    comm_model : interconnect alpha-beta model.
+    async_streams : asynchronous kernel queueing per device.
+    overlap_comm : hide LET communication behind precompute (Sec. 5
+        future work).
+    axis_policy : RCB axis selection ("longest" or "cycle").
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        params: TreecodeParams = DEFAULT_PARAMS,
+        *,
+        n_ranks: int = 4,
+        machine: MachineSpec = GPU_P100,
+        comm_model: CommModel = INFINIBAND_COMET,
+        async_streams: bool = True,
+        overlap_comm: bool = False,
+        axis_policy: str = "longest",
+    ) -> None:
+        if n_ranks < 1:
+            raise ValueError(f"n_ranks must be >= 1, got {n_ranks}")
+        self.kernel = kernel
+        self.params = params
+        self.n_ranks = int(n_ranks)
+        self.machine = machine
+        self.comm_model = comm_model
+        self.async_streams = bool(async_streams)
+        self.overlap_comm = bool(overlap_comm)
+        self.axis_policy = axis_policy
+
+    # ------------------------------------------------------------------
+    def compute(
+        self,
+        particles: ParticleSet,
+        *,
+        dry_run: bool = False,
+        compute_forces: bool = False,
+    ) -> DistributedResult:
+        """Potential at every particle (targets == sources, as in Sec. 4).
+
+        ``compute_forces=True`` additionally evaluates forces at every
+        particle, reusing the LETs and modified charges.
+
+        ``dry_run=True`` is model-only mode: partitioning, tree builds,
+        RMA traffic (real bytes through the simulated windows) and device
+        launch accounting all happen, but the floating-point kernels are
+        skipped -- used by the weak/strong scaling benchmarks at paper
+        scale.
+        """
+        params = self.params
+        n = particles.n
+        if n < self.n_ranks:
+            raise ValueError(
+                f"{n} particles cannot be split over {self.n_ranks} ranks"
+            )
+        watch = Stopwatch()
+        with watch:
+            comm = SimComm(self.n_ranks, comm_model=self.comm_model)
+            labels = rcb_partition(
+                particles.positions, self.n_ranks, axis_policy=self.axis_policy
+            )
+            rank_idx = [
+                np.nonzero(labels == r)[0] for r in range(self.n_ranks)
+            ]
+            devices = [
+                make_device(self.machine, async_streams=self.async_streams)
+                for _ in range(self.n_ranks)
+            ]
+            phases = [PhaseTimes() for _ in range(self.n_ranks)]
+            split = [
+                {"setup_local": 0.0, "let_setup": 0.0}
+                for _ in range(self.n_ranks)
+            ]
+            trees: list[ClusterTree] = []
+            batch_sets: list[TargetBatches] = []
+            moment_sets = []
+
+            # -- phase A: local trees and batches (setup) ---------------
+            for r in range(self.n_ranks):
+                local = particles.subset(rank_idx[r])
+                tree = ClusterTree(
+                    local.positions,
+                    params.max_leaf_size,
+                    aspect_ratio_splitting=params.aspect_ratio_splitting,
+                    shrink_to_fit=params.shrink_to_fit,
+                )
+                batches = TargetBatches(
+                    local.positions,
+                    params.max_batch_size,
+                    aspect_ratio_splitting=params.aspect_ratio_splitting,
+                    shrink_to_fit=params.shrink_to_fit,
+                )
+                dev = devices[r]
+                dev.host_work(local.n * 2 * (tree.max_level + 1))
+                dt = dev.take_phase()
+                phases[r].setup += dt
+                split[r]["setup_local"] += dt
+                trees.append(tree)
+                batch_sets.append(batches)
+
+            # -- phase B: moments on-device (precompute) ----------------
+            for r in range(self.n_ranks):
+                dev = devices[r]
+                local = particles.subset(rank_idx[r])
+                dev.upload(local.nbytes(), label="source data")
+                moments = precompute_moments(
+                    trees[r], local.charges, params, device=dev,
+                    dry_run=dry_run,
+                )
+                mbytes = (
+                    moments.n_clusters
+                    * params.n_interpolation_points
+                    * FLOAT_BYTES
+                )
+                dev.download(mbytes, label="modified charges")
+                phases[r].precompute += dev.take_phase()
+                moment_sets.append(moments)
+
+            # -- expose RMA windows --------------------------------------
+            for r in range(self.n_ranks):
+                tree = trees[r]
+                local = particles.subset(rank_idx[r])
+                handle = comm.rank_handle(r)
+                handle.create_window("tree", tree.tree_array())
+                handle.create_window("srcpos", local.positions[tree.perm])
+                handle.create_window("srcq", local.charges[tree.perm])
+                handle.create_window(
+                    "moments", moment_sets[r].packed(len(tree))
+                )
+
+            # -- phase C: LET construction (setup) -----------------------
+            lets = []
+            local_lists = []
+            for r in range(self.n_ranks):
+                dev = devices[r]
+                handle = comm.rank_handle(r)
+                comm_before = float(comm.clocks[r])
+                let, mac_evals = build_let(handle, batch_sets[r], params)
+                comm_delta = float(comm.clocks[r]) - comm_before
+                lists = build_interaction_lists(
+                    batch_sets[r], trees[r], params
+                )
+                dev.host_work((mac_evals + lists.mac_evals) * 4)
+                dev.comm_wait(comm_delta)
+                dev.upload(
+                    let.nbytes()
+                    + particles.subset(rank_idx[r]).positions.nbytes,
+                    label="targets + LET",
+                )
+                dt = dev.take_phase()
+                if self.overlap_comm:
+                    # Hide communication behind this rank's own precompute
+                    # (paper Sec. 5 future work); cannot hide more than
+                    # either quantity.
+                    hidden = min(comm_delta, phases[r].precompute)
+                    dt = max(dt - hidden, 0.0)
+                phases[r].setup += dt
+                split[r]["let_setup"] += dt
+                lets.append(let)
+                local_lists.append(lists)
+
+            # -- phase D: potential evaluation (compute) -----------------
+            potential = np.zeros(n, dtype=np.float64)
+            forces = (
+                np.zeros((n, 3), dtype=np.float64) if compute_forces else None
+            )
+            comm_totals = []
+            for r in range(self.n_ranks):
+                dev = devices[r]
+                local = particles.subset(rank_idx[r])
+                phi_local, f_local = self._evaluate_rank(
+                    dev,
+                    trees[r],
+                    batch_sets[r],
+                    moment_sets[r],
+                    local_lists[r],
+                    lets[r],
+                    local.charges,
+                    dry_run=dry_run,
+                    compute_forces=compute_forces,
+                )
+                dev.download(phi_local.nbytes, label="potentials")
+                if f_local is not None:
+                    dev.download(f_local.nbytes, label="forces")
+                phases[r].compute += dev.take_phase()
+                potential[rank_idx[r]] = phi_local
+                if forces is not None:
+                    forces[rank_idx[r]] = f_local
+                comm_totals.append(float(comm.clocks[r]))
+
+            stats = self._stats(
+                comm, trees, batch_sets, local_lists, lets, devices
+            )
+            stats["phase_split"] = split
+        return DistributedResult(
+            potential=potential,
+            rank_phases=phases,
+            comm_seconds=comm_totals,
+            wall_seconds=watch.elapsed,
+            stats=stats,
+            forces=forces,
+        )
+
+    # ------------------------------------------------------------------
+    def _evaluate_rank(
+        self,
+        device,
+        tree: ClusterTree,
+        batches: TargetBatches,
+        moments,
+        local_lists,
+        let,
+        charges: np.ndarray,
+        *,
+        dry_run: bool = False,
+        compute_forces: bool = False,
+    ) -> tuple[np.ndarray, np.ndarray | None]:
+        out = np.zeros(batches.n_targets, dtype=np.float64)
+        forces = (
+            np.zeros((batches.n_targets, 3), dtype=np.float64)
+            if compute_forces
+            else None
+        )
+        remote_ranks = sorted(let.lists)
+        if dry_run:
+            n_ip = self.params.n_interpolation_points
+            for b in range(len(batches)):
+                approx_sizes = [n_ip] * len(local_lists.approx[b])
+                direct_sizes = [
+                    tree.nodes[int(c)].count for c in local_lists.direct[b]
+                ]
+                for s in remote_ranks:
+                    rl = let.lists[s]
+                    approx_sizes.extend([n_ip] * len(rl.approx[b]))
+                    direct_sizes.extend(
+                        let.direct_data[s][int(c)][0].shape[0]
+                        for c in rl.direct[b]
+                    )
+                charge_batch_launches(
+                    self.kernel,
+                    device,
+                    batches.batch(b).count,
+                    approx_sizes,
+                    direct_sizes,
+                )
+            return out, forces
+        for b in range(len(batches)):
+            approx_pairs = [
+                (moments.grid(c).points, moments.charges(c))
+                for c in local_lists.approx[b]
+            ]
+            direct_pairs = []
+            for c in local_lists.direct[b]:
+                idx = tree.node_indices(c)
+                direct_pairs.append((tree.positions[idx], charges[idx]))
+            for s in remote_ranks:
+                rl = let.lists[s]
+                for c in rl.approx[b]:
+                    grid, qhat = let.approx_data[s][int(c)]
+                    approx_pairs.append((grid.points, qhat))
+                for c in rl.direct[b]:
+                    pos, q = let.direct_data[s][int(c)]
+                    direct_pairs.append((pos, q))
+            phi = execute_batch_interactions(
+                self.kernel,
+                device,
+                batches.batch_points(b),
+                approx_pairs,
+                direct_pairs,
+                dtype=self.params.dtype,
+            )
+            out[batches.batch_indices(b)] += phi
+            if forces is not None:
+                f = execute_batch_forces(
+                    self.kernel,
+                    device,
+                    batches.batch_points(b),
+                    approx_pairs,
+                    direct_pairs,
+                    dtype=self.params.dtype,
+                )
+                forces[batches.batch_indices(b)] += f
+        return out, forces
+
+    # ------------------------------------------------------------------
+    def _stats(self, comm, trees, batch_sets, local_lists, lets, devices) -> dict:
+        per_rank = []
+        for r in range(self.n_ranks):
+            c = devices[r].counters
+            per_rank.append(
+                {
+                    "n_local": trees[r].n_particles,
+                    "n_tree_nodes": len(trees[r]),
+                    "n_batches": len(batch_sets[r]),
+                    "local_approx": local_lists[r].n_approx,
+                    "local_direct": local_lists[r].n_direct,
+                    "remote_approx": sum(
+                        l.n_approx for l in lets[r].lists.values()
+                    ),
+                    "remote_direct": sum(
+                        l.n_direct for l in lets[r].lists.values()
+                    ),
+                    "let_bytes": lets[r].nbytes(),
+                    "rma_bytes": comm.stats[r].bytes_remote,
+                    "rma_ops": comm.stats[r].ops,
+                    "launches": c.launches,
+                    "kernel_evaluations": c.interactions,
+                    "busy_by_kind": dict(c.busy_by_kind),
+                }
+            )
+        return {
+            "kernel": self.kernel.name,
+            "machine": self.machine.name,
+            "n_ranks": self.n_ranks,
+            "per_rank": per_rank,
+            "total_rma_bytes": sum(s.bytes_remote for s in comm.stats),
+        }

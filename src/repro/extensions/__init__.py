@@ -1,0 +1,20 @@
+"""Extensions implementing the paper's Sec. 5 future-work items.
+
+* Mixed-precision arithmetic -- built into the core via
+  ``TreecodeParams(dtype=numpy.float32)`` (kernels evaluate in single
+  precision, accumulation stays double).
+* Overlapping communication and computation -- built into the
+  distributed driver via ``DistributedBLTC(overlap_comm=True)``.
+* :class:`~repro.extensions.cluster_particle.ClusterParticleTreecode` --
+  the barycentric *cluster-particle* treecode (the transpose of the
+  BLTC's particle-cluster scheme; paper refs. [30]-[32]), interpolating
+  over target clusters instead of source clusters.
+* :class:`~repro.extensions.cluster_cluster.DualTreeTreecode` -- the
+  barycentric *cluster-cluster* treecode via dual tree traversal (the
+  authors' BLDTT follow-up), combining source moments with target grids.
+"""
+
+from .cluster_particle import ClusterParticleTreecode
+from .cluster_cluster import DualTreeTreecode
+
+__all__ = ["ClusterParticleTreecode", "DualTreeTreecode"]

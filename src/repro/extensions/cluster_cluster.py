@@ -1,0 +1,268 @@
+"""Barycentric cluster-cluster treecode via dual tree traversal.
+
+The last of the paper's Sec. 5 treecode variants ("barycentric
+cluster-particle and cluster-cluster treecodes", refs. [30]-[32]; the
+authors later published this as the BLDTT).  Both the targets and the
+sources carry cluster trees; a dual traversal classifies node pairs
+(T, S):
+
+* MAC passes and both clusters are large enough -- *cluster-cluster*:
+  the source cluster's modified charges interact with the target
+  cluster's Chebyshev grid, ``psi^T_k += sum_m G(t_k, s_m) qhat^S_m``,
+  at O((n+1)^6) cost independent of the cluster populations;
+* MAC passes but only the source side is large -- *particle-cluster*
+  (the BLTC interaction): targets interact with the source grid;
+* MAC passes but only the target side is large -- *cluster-particle*:
+  source particles accumulate onto the target grid;
+* MAC passes and neither side qualifies, or the MAC fails at two leaves
+  -- *direct*;
+* otherwise the larger node is split and the traversal recurses.
+
+A final interpolation pass sends each target cluster's accumulated grid
+potentials to its own particles with the barycentric basis.  The scheme
+reduces the asymptotic complexity from O(N log N) toward O(N), which is
+why it is the natural next step after the BLTC.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import DEFAULT_PARAMS, TreecodeParams
+from ..core.mac import mac_geometric
+from ..core.moments import precompute_moments
+from ..core.treecode import TreecodeResult
+from ..gpu.device import make_device
+from ..interpolation.barycentric import lagrange_basis
+from ..interpolation.grid import ChebyshevGrid3D
+from ..kernels.base import Kernel
+from ..perf.machine import GPU_TITAN_V, MachineSpec
+from ..perf.timer import PhaseTimes, Stopwatch
+from ..tree.octree import ClusterTree
+from ..workloads import ParticleSet
+
+__all__ = ["DualTreeTreecode"]
+
+
+class DualTreeTreecode:
+    """Barycentric cluster-cluster treecode (dual tree traversal).
+
+    ``max_leaf_size`` caps the source tree, ``max_batch_size`` the target
+    tree (mirroring the BLTC's NL/NB roles).
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        params: TreecodeParams = DEFAULT_PARAMS,
+        *,
+        machine: MachineSpec = GPU_TITAN_V,
+        async_streams: bool = True,
+    ) -> None:
+        self.kernel = kernel
+        self.params = params
+        self.machine = machine
+        self.async_streams = bool(async_streams)
+
+    # ------------------------------------------------------------------
+    def compute(
+        self,
+        sources: ParticleSet,
+        targets: np.ndarray | ParticleSet | None = None,
+    ) -> TreecodeResult:
+        """Potential at every target due to all sources."""
+        params = self.params
+        if targets is None:
+            target_pos = sources.positions
+        elif isinstance(targets, ParticleSet):
+            target_pos = targets.positions
+        else:
+            target_pos = np.atleast_2d(np.asarray(targets, dtype=np.float64))
+        kernel = self.kernel
+        device = make_device(self.machine, async_streams=self.async_streams)
+        cost_mult = kernel.cost_multiplier(self.machine.transcendental_penalty)
+        n_ip = params.n_interpolation_points
+        phases = PhaseTimes()
+        watch = Stopwatch()
+
+        with watch:
+            # -- setup: both trees ---------------------------------------
+            s_tree = ClusterTree(
+                sources.positions,
+                params.max_leaf_size,
+                aspect_ratio_splitting=params.aspect_ratio_splitting,
+                shrink_to_fit=params.shrink_to_fit,
+            )
+            t_tree = ClusterTree(
+                target_pos,
+                params.max_batch_size,
+                aspect_ratio_splitting=params.aspect_ratio_splitting,
+                shrink_to_fit=params.shrink_to_fit,
+            )
+            device.host_work(
+                sources.n * (s_tree.max_level + 1)
+                + target_pos.shape[0] * (t_tree.max_level + 1)
+            )
+            phases.setup += device.take_phase()
+
+            # -- precompute: source-side modified charges ----------------
+            device.upload(sources.nbytes() + target_pos.nbytes)
+            moments = precompute_moments(
+                s_tree, sources.charges, params, device=device
+            )
+            phases.precompute += device.take_phase()
+
+            # -- setup: dual traversal -> classified pair lists ----------
+            cc_pairs: list[tuple[int, int]] = []
+            pc_pairs: list[tuple[int, int]] = []
+            cp_pairs: list[tuple[int, int]] = []
+            direct_pairs: list[tuple[int, int]] = []
+            mac_evals = 0
+            stack = [(0, 0)]
+            while stack:
+                ti, si = stack.pop()
+                t_nd = t_tree.nodes[ti]
+                s_nd = s_tree.nodes[si]
+                dist = float(np.linalg.norm(t_nd.center - s_nd.center))
+                mac_evals += 1
+                if mac_geometric(t_nd.radius, s_nd.radius, dist, params.theta):
+                    s_ok = (not params.size_check) or n_ip < s_nd.count
+                    t_ok = (not params.size_check) or n_ip < t_nd.count
+                    if s_ok and t_ok:
+                        cc_pairs.append((ti, si))
+                    elif s_ok:
+                        pc_pairs.append((ti, si))
+                    elif t_ok:
+                        cp_pairs.append((ti, si))
+                    else:
+                        direct_pairs.append((ti, si))
+                    continue
+                t_leaf = t_nd.is_leaf
+                s_leaf = s_nd.is_leaf
+                if t_leaf and s_leaf:
+                    direct_pairs.append((ti, si))
+                elif s_leaf or (not t_leaf and t_nd.radius >= s_nd.radius):
+                    stack.extend((c, si) for c in t_nd.children)
+                else:
+                    stack.extend((ti, c) for c in s_nd.children)
+            device.host_work(mac_evals * 4)
+            phases.setup += device.take_phase()
+
+            # -- compute: evaluate the four pair classes -----------------
+            out = np.zeros(target_pos.shape[0], dtype=np.float64)
+            t_grids: dict[int, ChebyshevGrid3D] = {}
+            psi: dict[int, np.ndarray] = {}
+
+            def target_grid(ti: int) -> ChebyshevGrid3D:
+                g = t_grids.get(ti)
+                if g is None:
+                    nd = t_tree.nodes[ti]
+                    g = ChebyshevGrid3D.for_box(
+                        nd.box.lo, nd.box.hi, params.degree
+                    )
+                    t_grids[ti] = g
+                    psi[ti] = np.zeros(n_ip, dtype=np.float64)
+                return g
+
+            def launch(n_inter: float, blocks: int, kind: str) -> None:
+                device.launch(
+                    n_inter,
+                    blocks=blocks,
+                    kind=kind,
+                    flops_per_interaction=kernel.flops_per_interaction,
+                    cost_multiplier=cost_mult,
+                )
+
+            dtype = params.dtype
+            for ti, si in cc_pairs:
+                grid = target_grid(ti)
+                kernel.potential(
+                    grid.points.astype(dtype),
+                    moments.grid(si).points.astype(dtype),
+                    moments.charges(si).astype(dtype),
+                    out=psi[ti],
+                )
+                launch(float(n_ip) * n_ip, n_ip, "cluster-cluster")
+            for ti, si in pc_pairs:
+                idx = t_tree.node_indices(ti)
+                phi = np.zeros(idx.shape[0], dtype=np.float64)
+                kernel.potential(
+                    target_pos[idx].astype(dtype),
+                    moments.grid(si).points.astype(dtype),
+                    moments.charges(si).astype(dtype),
+                    out=phi,
+                )
+                out[idx] += phi
+                launch(float(idx.shape[0]) * n_ip, idx.shape[0], "particle-cluster")
+            for ti, si in cp_pairs:
+                grid = target_grid(ti)
+                s_idx = s_tree.node_indices(si)
+                kernel.potential(
+                    grid.points.astype(dtype),
+                    sources.positions[s_idx].astype(dtype),
+                    sources.charges[s_idx].astype(dtype),
+                    out=psi[ti],
+                )
+                launch(float(n_ip) * s_idx.shape[0], n_ip, "cluster-particle")
+            for ti, si in direct_pairs:
+                idx = t_tree.node_indices(ti)
+                s_idx = s_tree.node_indices(si)
+                phi = np.zeros(idx.shape[0], dtype=np.float64)
+                kernel.potential(
+                    target_pos[idx].astype(dtype),
+                    sources.positions[s_idx].astype(dtype),
+                    sources.charges[s_idx].astype(dtype),
+                    out=phi,
+                )
+                out[idx] += phi
+                launch(
+                    float(idx.shape[0]) * s_idx.shape[0], idx.shape[0], "direct"
+                )
+            phases.compute += device.take_phase()
+
+            # -- compute: downward interpolation of grid potentials ------
+            np1 = params.degree + 1
+            for ti, grid in t_grids.items():
+                idx = t_tree.node_indices(ti)
+                pts = target_pos[idx]
+                lx = lagrange_basis(pts[:, 0], grid.points_1d[0], grid.weights)
+                ly = lagrange_basis(pts[:, 1], grid.points_1d[1], grid.weights)
+                lz = lagrange_basis(pts[:, 2], grid.points_1d[2], grid.weights)
+                cube = psi[ti].reshape(np1, np1, np1)
+                out[idx] += np.einsum(
+                    "abc,aj,bj,cj->j", cube, lx, ly, lz, optimize=True
+                )
+                device.launch(
+                    float(n_ip) * idx.shape[0],
+                    blocks=idx.shape[0],
+                    kind="interpolate",
+                    flops_per_interaction=7.0,
+                )
+            device.download(out.nbytes)
+            phases.compute += device.take_phase()
+
+        c = device.counters
+        stats = {
+            "kernel": kernel.name,
+            "machine": self.machine.name,
+            "scheme": "cluster-cluster (dual tree traversal)",
+            "n_sources": sources.n,
+            "n_targets": target_pos.shape[0],
+            "n_source_nodes": len(s_tree),
+            "n_target_nodes": len(t_tree),
+            "n_cc_pairs": len(cc_pairs),
+            "n_pc_pairs": len(pc_pairs),
+            "n_cp_pairs": len(cp_pairs),
+            "n_direct_pairs": len(direct_pairs),
+            "mac_evals": mac_evals,
+            "launches": c.launches,
+            "kernel_evaluations": c.interactions,
+            "by_kind": {k: tuple(v) for k, v in c.by_kind.items()},
+            "busy_by_kind": dict(c.busy_by_kind),
+        }
+        return TreecodeResult(
+            potential=out,
+            phases=phases,
+            wall_seconds=watch.elapsed,
+            stats=stats,
+        )

@@ -1,0 +1,227 @@
+"""Barycentric cluster-particle treecode (paper Sec. 5 / refs. [30-32]).
+
+The BLTC approximates *particle-cluster* interactions by interpolating
+the kernel with respect to the source variable (eq. 8).  The
+cluster-particle scheme is the transpose: interpolate with respect to the
+*target* variable over clusters of targets,
+
+    phi(x) ~ sum_k L_k1(x_1) L_k2(x_2) L_k3(x_3) psi_k,
+    psi_k  = sum_{y_j in S} G(t_k, y_j) q_j,
+
+where ``t_k`` are Chebyshev grid points spanning the target cluster's box
+and S is a well-separated batch of sources.  The scheme proceeds in three
+stages, each with the same direct-sum structure that made the BLTC
+GPU-friendly:
+
+1. *Traversal* -- batches of sources are traversed against the target
+   cluster tree under the same two-condition MAC (the size condition now
+   compares ``(n+1)^3`` against the number of *targets* in the cluster).
+2. *Accumulation* -- accepted (cluster, batch) pairs add kernel sums into
+   the cluster's grid potentials ``psi_k`` (one launch per pair); failed
+   leaf pairs add directly into the leaf targets' potentials.
+3. *Downward interpolation* -- each cluster's accumulated ``psi`` is
+   interpolated to its own target particles with the barycentric basis
+   (removable singularities handled as in Sec. 2.3).
+
+Cluster-particle is advantageous when there are many more targets than
+sources (Boateng & Krasny, ref. [32]); the ablation benchmark exercises
+exactly that regime.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import DEFAULT_PARAMS, TreecodeParams
+from ..core.interaction_lists import LocalTreeAdapter, traverse_batch
+from ..core.treecode import TreecodeResult
+from ..gpu.device import make_device
+from ..interpolation.barycentric import lagrange_basis
+from ..interpolation.grid import ChebyshevGrid3D
+from ..kernels.base import Kernel
+from ..perf.machine import GPU_TITAN_V, MachineSpec
+from ..perf.timer import PhaseTimes, Stopwatch
+from ..tree.batches import TargetBatches
+from ..tree.octree import ClusterTree
+from ..workloads import ParticleSet
+
+__all__ = ["ClusterParticleTreecode"]
+
+
+class ClusterParticleTreecode:
+    """Kernel-independent barycentric cluster-particle treecode.
+
+    API mirrors :class:`~repro.core.treecode.BarycentricTreecode`:
+    ``compute(sources, targets)`` returns a :class:`TreecodeResult`.
+    ``max_leaf_size`` caps *target* clusters; ``max_batch_size`` caps
+    *source* batches.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        params: TreecodeParams = DEFAULT_PARAMS,
+        *,
+        machine: MachineSpec = GPU_TITAN_V,
+        async_streams: bool = True,
+    ) -> None:
+        self.kernel = kernel
+        self.params = params
+        self.machine = machine
+        self.async_streams = bool(async_streams)
+
+    # ------------------------------------------------------------------
+    def compute(
+        self,
+        sources: ParticleSet,
+        targets: np.ndarray | ParticleSet | None = None,
+    ) -> TreecodeResult:
+        """Potential at every target due to all sources."""
+        params = self.params
+        if targets is None:
+            target_pos = sources.positions
+        elif isinstance(targets, ParticleSet):
+            target_pos = targets.positions
+        else:
+            target_pos = np.atleast_2d(np.asarray(targets, dtype=np.float64))
+        device = make_device(self.machine, async_streams=self.async_streams)
+        phases = PhaseTimes()
+        watch = Stopwatch()
+        kernel = self.kernel
+        cost_mult = kernel.cost_multiplier(self.machine.transcendental_penalty)
+        n_ip = params.n_interpolation_points
+
+        with watch:
+            # -- setup: TARGET cluster tree + SOURCE batches -------------
+            tree = ClusterTree(
+                target_pos,
+                params.max_leaf_size,
+                aspect_ratio_splitting=params.aspect_ratio_splitting,
+                shrink_to_fit=params.shrink_to_fit,
+            )
+            batches = TargetBatches(
+                sources.positions,
+                params.max_batch_size,
+                aspect_ratio_splitting=params.aspect_ratio_splitting,
+                shrink_to_fit=params.shrink_to_fit,
+            )
+            adapter = LocalTreeAdapter(tree)
+            device.host_work(
+                target_pos.shape[0] * (tree.max_level + 1)
+                + sources.n * (batches._tree.max_level + 1)
+            )
+            phases.setup += device.take_phase()
+
+            # -- setup: traversal (source batch vs target tree) ---------
+            device.upload(sources.nbytes() + target_pos.nbytes)
+            lists = []
+            mac_evals = 0
+            for b in range(len(batches)):
+                node = batches.batch(b)
+                approx, direct, evals = traverse_batch(
+                    node.center, node.radius, adapter, params
+                )
+                lists.append((approx, direct))
+                mac_evals += evals
+            device.host_work(mac_evals * 4)
+            phases.setup += device.take_phase()
+
+            # -- compute: accumulate grid potentials + direct sums -------
+            out = np.zeros(target_pos.shape[0], dtype=np.float64)
+            grids: dict[int, ChebyshevGrid3D] = {}
+            psi: dict[int, np.ndarray] = {}
+            n_approx = 0
+            n_direct = 0
+            for b, (approx, direct) in enumerate(lists):
+                src = np.ascontiguousarray(
+                    batches.batch_points(b), dtype=params.dtype
+                )
+                q = sources.charges[batches.batch_indices(b)].astype(
+                    params.dtype
+                )
+                for c in approx:
+                    grid = grids.get(c)
+                    if grid is None:
+                        nd = tree.nodes[c]
+                        grid = ChebyshevGrid3D.for_box(
+                            nd.box.lo, nd.box.hi, params.degree
+                        )
+                        grids[c] = grid
+                        psi[c] = np.zeros(n_ip, dtype=np.float64)
+                    kernel.potential(
+                        grid.points.astype(params.dtype), src, q, out=psi[c]
+                    )
+                    device.launch(
+                        float(n_ip) * src.shape[0],
+                        blocks=n_ip,
+                        kind="approx",
+                        flops_per_interaction=kernel.flops_per_interaction,
+                        cost_multiplier=cost_mult,
+                    )
+                    n_approx += 1
+                for c in direct:
+                    idx = tree.node_indices(c)
+                    tgt = np.ascontiguousarray(
+                        target_pos[idx], dtype=params.dtype
+                    )
+                    phi = np.zeros(idx.shape[0], dtype=np.float64)
+                    kernel.potential(tgt, src, q, out=phi)
+                    out[idx] += phi
+                    device.launch(
+                        float(idx.shape[0]) * src.shape[0],
+                        blocks=idx.shape[0],
+                        kind="direct",
+                        flops_per_interaction=kernel.flops_per_interaction,
+                        cost_multiplier=cost_mult,
+                    )
+                    n_direct += 1
+            phases.compute += device.take_phase()
+
+            # -- compute: downward barycentric interpolation -------------
+            # Each cluster's grid potentials interpolate to its own
+            # targets: phi(x) += sum_k L_k(x) psi_k (the transpose of the
+            # BLTC's modified-charge contraction).
+            for c, grid in grids.items():
+                idx = tree.node_indices(c)
+                pts = target_pos[idx]
+                lx = lagrange_basis(pts[:, 0], grid.points_1d[0], grid.weights)
+                ly = lagrange_basis(pts[:, 1], grid.points_1d[1], grid.weights)
+                lz = lagrange_basis(pts[:, 2], grid.points_1d[2], grid.weights)
+                np1 = params.degree + 1
+                cube = psi[c].reshape(np1, np1, np1)
+                out[idx] += np.einsum(
+                    "abc,aj,bj,cj->j", cube, lx, ly, lz, optimize=True
+                )
+                device.launch(
+                    float(n_ip) * idx.shape[0],
+                    blocks=idx.shape[0],
+                    kind="interpolate",
+                    flops_per_interaction=7.0,
+                )
+            device.download(out.nbytes)
+            phases.compute += device.take_phase()
+
+        c = device.counters
+        stats = {
+            "kernel": kernel.name,
+            "machine": self.machine.name,
+            "scheme": "cluster-particle",
+            "n_sources": sources.n,
+            "n_targets": target_pos.shape[0],
+            "n_tree_nodes": len(tree),
+            "n_batches": len(batches),
+            "n_approx_interactions": n_approx,
+            "n_direct_interactions": n_direct,
+            "n_clusters_with_grid": len(grids),
+            "mac_evals": mac_evals,
+            "launches": c.launches,
+            "kernel_evaluations": c.interactions,
+            "by_kind": {k: tuple(v) for k, v in c.by_kind.items()},
+            "busy_by_kind": dict(c.busy_by_kind),
+        }
+        return TreecodeResult(
+            potential=out,
+            phases=phases,
+            wall_seconds=watch.elapsed,
+            stats=stats,
+        )

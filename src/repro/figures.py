@@ -1,0 +1,110 @@
+"""Command-line runner for the figure-regeneration harnesses.
+
+Usage::
+
+    python -m repro.figures fig4 [--full]
+    python -m repro.figures fig5 [--full]
+    python -m repro.figures fig6 [--full]
+
+Prints the same rows/series the paper's figure plots.  ``--full`` runs
+the complete parameter sweeps (the default trims sweep points for
+CI-speed runs).  The pytest benchmarks in ``benchmarks/`` wrap the same
+harnesses and additionally assert the paper's qualitative findings.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis.report import format_table
+from .experiments import (
+    Fig4Config,
+    Fig5Config,
+    Fig6Config,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+)
+
+__all__ = ["main"]
+
+
+def _progress(*args) -> None:
+    print(f"  running {args} ...", file=sys.stderr)
+
+
+def _fig4(full: bool) -> None:
+    cfg = Fig4Config() if full else Fig4Config().quick()
+    out = run_fig4(cfg, progress=_progress)
+    rows = [
+        [r.kernel, r.theta, r.degree, r.error, r.gpu_time, r.cpu_time,
+         r.speedup]
+        for r in out["rows"]
+    ]
+    print(
+        format_table(
+            ["kernel", "theta", "n", "error", "GPU (s)", "CPU (s)", "speedup"],
+            rows,
+            title="Fig. 4 -- run time vs error (model times, measured errors)",
+        )
+    )
+    for kname, t in out["direct"].items():
+        print(f"direct sum {kname}: GPU {t['gpu']:.2f} s, CPU {t['cpu']:.1f} s")
+
+
+def _fig5(full: bool) -> None:
+    cfg = Fig5Config() if full else Fig5Config().quick()
+    out = run_fig5(cfg, progress=_progress)
+    rows = [
+        [r.kernel, f"{r.paper_per_gpu // 1_000_000}M", r.n_gpus, r.n_total,
+         r.time, r.setup, r.compute]
+        for r in out["rows"]
+    ]
+    print(
+        format_table(
+            ["kernel", "paper N/GPU", "GPUs", "N model", "time (s)",
+             "setup", "compute"],
+            rows,
+            title="Fig. 5 -- weak scaling (simulated P100 cluster)",
+        )
+    )
+    for kname, err in out["verify_error"].items():
+        print(f"accuracy verification ({kname}): {err:.2e}")
+
+
+def _fig6(full: bool) -> None:
+    cfg = Fig6Config() if full else Fig6Config().quick()
+    out = run_fig6(cfg, progress=_progress)
+    rows = [
+        [r.kernel, f"{r.paper_total // 1_000_000}M", r.n_gpus, r.time,
+         f"{r.efficiency * 100:.0f}%", f"{r.setup_frac * 100:.0f}",
+         f"{r.precompute_frac * 100:.1f}", f"{r.compute_frac * 100:.0f}"]
+        for r in out["rows"]
+    ]
+    print(
+        format_table(
+            ["kernel", "paper N", "GPUs", "time (s)", "eff", "setup %",
+             "precomp %", "compute %"],
+            rows,
+            title="Fig. 6 -- strong scaling + phase distribution",
+        )
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.figures",
+        description="Regenerate the paper's figures.",
+    )
+    parser.add_argument("figure", choices=["fig4", "fig5", "fig6"])
+    parser.add_argument(
+        "--full", action="store_true", help="run the full parameter sweeps"
+    )
+    args = parser.parse_args(argv)
+    {"fig4": _fig4, "fig5": _fig5, "fig6": _fig6}[args.figure](args.full)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

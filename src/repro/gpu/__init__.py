@@ -1,0 +1,22 @@
+"""Simulated execution devices (the paper's OpenACC/GPU layer).
+
+No physical GPU exists in this environment, so the OpenACC execution model
+of Sec. 3.2 is reproduced by a discrete cost simulator: every kernel launch
+of the real algorithm is recorded with its exact interaction count, thread
+block count, and kernel cost multiplier, and converted to simulated seconds
+using a :class:`~repro.perf.machine.MachineSpec`.  The model covers
+
+* per-launch latency, hidden across ``n_streams`` asynchronous streams
+  (``async_streams=False`` reproduces the synchronous baseline the paper
+  compares against -- ~25% slower at the 1M-particle scale);
+* an occupancy roll-off for launches with few thread blocks (why the
+  precompute phase stops saturating the GPU at small per-rank N, Fig. 6cd);
+* host<->device transfer costs at the OpenACC data-region boundaries.
+
+The numerical work itself is executed by the caller in NumPy; devices only
+account for time, so CPU and GPU runs produce bitwise-identical potentials.
+"""
+
+from .device import CpuDevice, Device, DeviceCounters, GpuDevice, make_device
+
+__all__ = ["Device", "GpuDevice", "CpuDevice", "DeviceCounters", "make_device"]

@@ -1,0 +1,23 @@
+"""Barycentric Lagrange interpolation at Chebyshev points of the 2nd kind.
+
+Implements Sec. 2.1-2.3 of the paper: Chebyshev points and their barycentric
+weights (eqs. 6-7), the barycentric form of the Lagrange basis (eq. 4) with
+removable-singularity handling (Sec. 2.3), and tensor-product 3D grids
+(eq. 8).
+"""
+
+from .chebyshev import barycentric_weights, chebyshev_points
+from .barycentric import (
+    interpolate_1d,
+    lagrange_basis,
+)
+from .grid import ChebyshevGrid3D, tensor_grid_points
+
+__all__ = [
+    "chebyshev_points",
+    "barycentric_weights",
+    "lagrange_basis",
+    "interpolate_1d",
+    "ChebyshevGrid3D",
+    "tensor_grid_points",
+]

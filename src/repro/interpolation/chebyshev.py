@@ -1,0 +1,56 @@
+"""Chebyshev points of the second kind and their barycentric weights.
+
+Paper eqs. 6-7: on ``[-1, 1]`` the points are ``s_k = cos(pi k / n)`` for
+``k = 0..n`` and the barycentric weights are ``w_k = (-1)^k delta_k`` with
+``delta_k = 1/2`` at the endpoints and ``1`` otherwise.  For a different
+interval the points are mapped linearly and the weights are unchanged
+(any common scale factor cancels in the barycentric quotient, eq. 4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["chebyshev_points", "barycentric_weights"]
+
+
+def chebyshev_points(n: int, a: float = -1.0, b: float = 1.0) -> np.ndarray:
+    """Chebyshev points of the 2nd kind for degree ``n`` on ``[a, b]``.
+
+    Returns ``n + 1`` points ordered from ``b`` down to ``a`` (the natural
+    ``cos`` ordering: ``s_0 = b``, ``s_n = a``).  Both interval endpoints
+    are included, which -- combined with minimal cluster bounding boxes --
+    guarantees some source coordinates coincide with interpolation-point
+    coordinates (paper Sec. 2.3).
+    """
+    if n < 1:
+        raise ValueError(f"degree n must be >= 1, got {n}")
+    if not (b >= a):
+        raise ValueError(f"invalid interval [{a}, {b}]")
+    theta = np.pi * np.arange(n + 1) / n
+    s = np.cos(theta)
+    # Force exact endpoint values so coincidence with the (minimal) box
+    # boundary is bitwise, then map to [a, b].
+    s[0] = 1.0
+    s[n] = -1.0
+    mid = 0.5 * (a + b)
+    half = 0.5 * (b - a)
+    pts = mid + half * s
+    pts[0] = b
+    pts[n] = a
+    return pts
+
+
+def barycentric_weights(n: int) -> np.ndarray:
+    """Barycentric weights for Chebyshev points of the 2nd kind (eq. 7).
+
+    ``w_k = (-1)^k delta_k`` with ``delta_0 = delta_n = 1/2`` and
+    ``delta_k = 1`` otherwise.  Weights are interval-independent.
+    """
+    if n < 1:
+        raise ValueError(f"degree n must be >= 1, got {n}")
+    w = np.ones(n + 1)
+    w[1::2] = -1.0
+    w[0] *= 0.5
+    w[n] *= 0.5
+    return w

@@ -1,0 +1,76 @@
+"""Tensor-product 3D Chebyshev grids for source clusters (paper eq. 8).
+
+Each source cluster carries an ``(n+1)^3`` tensor-product grid of Chebyshev
+points spanning its (minimal) bounding box.  The grid exposes the flattened
+``(n+1)^3 x 3`` point coordinates -- the "proxy particles" that the
+batch-cluster approximation kernel interacts with -- and the per-dimension
+1D points/weights needed to compute modified charges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .chebyshev import barycentric_weights, chebyshev_points
+
+__all__ = ["ChebyshevGrid3D", "tensor_grid_points"]
+
+
+def tensor_grid_points(
+    sx: np.ndarray, sy: np.ndarray, sz: np.ndarray
+) -> np.ndarray:
+    """Flattened tensor-product points ``(len(sx)*len(sy)*len(sz), 3)``.
+
+    Flattening follows C order of the index triple ``(k1, k2, k3)``,
+    matching the ``einsum``/``reshape`` layout used for modified charges.
+    """
+    X, Y, Z = np.meshgrid(sx, sy, sz, indexing="ij")
+    return np.column_stack((X.ravel(), Y.ravel(), Z.ravel()))
+
+
+@dataclass(frozen=True)
+class ChebyshevGrid3D:
+    """Tensor-product Chebyshev grid over a 3D box.
+
+    Attributes
+    ----------
+    degree : interpolation degree ``n``; ``(n+1)`` points per dimension.
+    points_1d : tuple of three ``(n+1,)`` arrays, per-dimension points.
+    weights : ``(n+1,)`` barycentric weights (dimension-independent).
+    points : ``((n+1)^3, 3)`` flattened tensor-product coordinates.
+    """
+
+    degree: int
+    points_1d: tuple[np.ndarray, np.ndarray, np.ndarray]
+    weights: np.ndarray
+    points: np.ndarray
+
+    @classmethod
+    def for_box(cls, lo: np.ndarray, hi: np.ndarray, degree: int) -> "ChebyshevGrid3D":
+        """Build the grid spanning the box ``[lo, hi]`` per dimension.
+
+        Degenerate dimensions (``lo == hi``, e.g. planar particle sets) are
+        legal: all points of that dimension coincide, and the coincidence
+        branch of the barycentric basis keeps the computation exact.
+        """
+        lo = np.asarray(lo, dtype=np.float64)
+        hi = np.asarray(hi, dtype=np.float64)
+        if lo.shape != (3,) or hi.shape != (3,):
+            raise ValueError("lo and hi must be length-3 vectors")
+        if np.any(hi < lo):
+            raise ValueError(f"invalid box: lo={lo}, hi={hi}")
+        pts = tuple(chebyshev_points(degree, lo[d], hi[d]) for d in range(3))
+        w = barycentric_weights(degree)
+        return cls(
+            degree=degree,
+            points_1d=pts,  # type: ignore[arg-type]
+            weights=w,
+            points=tensor_grid_points(*pts),
+        )
+
+    @property
+    def n_points(self) -> int:
+        """Total number of grid points, ``(n+1)^3``."""
+        return (self.degree + 1) ** 3

@@ -1,0 +1,27 @@
+"""Interaction kernels ``G(x, y)`` for the kernel-independent treecode.
+
+The BLTC requires only *kernel evaluations* -- no analytic multipole
+expansions -- so any smooth, non-oscillatory kernel plugs in through the
+:class:`~repro.kernels.base.Kernel` interface.  The paper evaluates the
+Coulomb and Yukawa potentials (eq. 2); additional smooth kernels are
+provided to demonstrate kernel independence.
+"""
+
+from .base import Kernel, RadialKernel
+from .coulomb import CoulombKernel
+from .yukawa import YukawaKernel
+from .extra import GaussianKernel, InverseMultiquadricKernel, ThinPlateKernel
+from .registry import available_kernels, get_kernel, register_kernel
+
+__all__ = [
+    "Kernel",
+    "RadialKernel",
+    "CoulombKernel",
+    "YukawaKernel",
+    "GaussianKernel",
+    "InverseMultiquadricKernel",
+    "ThinPlateKernel",
+    "available_kernels",
+    "get_kernel",
+    "register_kernel",
+]

@@ -1,0 +1,53 @@
+"""Name-based kernel registry.
+
+Lets examples and benchmark harnesses select kernels from the command line
+(``--kernel yukawa``) and lets downstream users register their own kernels,
+which is the point of a kernel-independent method.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .base import Kernel
+from .coulomb import CoulombKernel
+from .extra import GaussianKernel, InverseMultiquadricKernel, ThinPlateKernel
+from .yukawa import YukawaKernel
+
+__all__ = ["register_kernel", "get_kernel", "available_kernels"]
+
+_REGISTRY: dict[str, Callable[..., Kernel]] = {}
+
+
+def register_kernel(name: str, factory: Callable[..., Kernel]) -> None:
+    """Register a kernel factory under ``name`` (case-insensitive).
+
+    ``factory`` is called with the keyword arguments passed to
+    :func:`get_kernel`.  Re-registering an existing name replaces it.
+    """
+    if not name:
+        raise ValueError("kernel name must be non-empty")
+    _REGISTRY[name.lower()] = factory
+
+
+def get_kernel(name: str, **kwargs) -> Kernel:
+    """Instantiate a registered kernel by name."""
+    try:
+        factory = _REGISTRY[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown kernel {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    return factory(**kwargs)
+
+
+def available_kernels() -> list[str]:
+    """Sorted list of registered kernel names."""
+    return sorted(_REGISTRY)
+
+
+register_kernel("coulomb", CoulombKernel)
+register_kernel("yukawa", YukawaKernel)
+register_kernel("gaussian", GaussianKernel)
+register_kernel("inverse-multiquadric", InverseMultiquadricKernel)
+register_kernel("thin-plate", ThinPlateKernel)

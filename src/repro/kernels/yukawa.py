@@ -1,0 +1,41 @@
+"""Yukawa (screened Coulomb) kernel ``G(x, y) = exp(-kappa |x-y|) / |x-y|``.
+
+Paper eq. 2 (right); ``kappa`` is the inverse Debye length.  The paper's
+numerical results use ``kappa = 0.5``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import RadialKernel
+
+__all__ = ["YukawaKernel"]
+
+
+class YukawaKernel(RadialKernel):
+    """Screened Coulomb kernel ``exp(-kappa r) / r``."""
+
+    name = "yukawa"
+    flops_per_interaction = 24
+    #: The exponential dominates the extra cost; with the device
+    #: transcendental penalties in :mod:`repro.perf.machine` this yields
+    #: the paper's observed ~1.8x (CPU) and ~1.5x (GPU) slowdown relative
+    #: to Coulomb (Sec. 4, Fig. 4 discussion).
+    transcendental_weight = 1.0
+    singular_at_origin = True
+
+    def __init__(self, kappa: float = 0.5) -> None:
+        if kappa < 0.0:
+            raise ValueError(f"kappa must be non-negative, got {kappa}")
+        self.kappa = float(kappa)
+
+    def evaluate_r(self, r: np.ndarray) -> np.ndarray:
+        return np.exp(-self.kappa * r) / r
+
+    def evaluate_dr_over_r(self, r: np.ndarray) -> np.ndarray:
+        # d/dr (e^{-kr}/r) = -e^{-kr} (k r + 1) / r^2, divided by r.
+        return -np.exp(-self.kappa * r) * (self.kappa * r + 1.0) / (r**3)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"YukawaKernel(kappa={self.kappa})"

@@ -1,0 +1,23 @@
+"""In-process MPI simulator: ranks, windows, passive-target RMA.
+
+The paper's distributed layer (Sec. 3.1) uses MPI passive target
+synchronization remote memory access: an origin rank locks a window on a
+target rank, gets data with no involvement from the target, and unlocks.
+No MPI implementation is available in this environment, so this package
+provides a deterministic in-process equivalent:
+
+* :class:`~repro.mpi.window.Window` -- a named, rank-owned array with
+  shared/exclusive lock epochs; ``get``/``put`` require a held lock
+  (enforced, like a correct MPI program must).
+* :class:`~repro.mpi.comm.SimComm` -- the communicator: window registry,
+  per-rank simulated clocks, byte-accurate transfer accounting through a
+  :class:`~repro.perf.comm.CommModel`, and barriers.
+
+Data moved through windows is *real* (NumPy copies of the actual arrays);
+only the transfer *time* is modeled.
+"""
+
+from .window import LockViolation, Window
+from .comm import RankHandle, SimComm
+
+__all__ = ["Window", "LockViolation", "SimComm", "RankHandle"]

@@ -1,0 +1,165 @@
+"""Simulated MPI communicator with per-rank clocks and RMA accounting.
+
+:class:`SimComm` plays the role of ``MPI_COMM_WORLD`` for a fixed number
+of ranks executed deterministically in one process.  Passive-target RMA
+makes this faithful: the paper's LET construction requires *no* activity
+from the target rank, so executing origins one after another observes the
+same data a concurrent run would (windows are created before any access
+and are read-only during the exchange).
+
+Each rank owns a simulated clock.  RMA operations advance the origin's
+clock by the :class:`~repro.perf.comm.CommModel` cost of the bytes moved
+(local-rank accesses are free); barriers advance every clock to the
+maximum, which is how phase times aggregate across ranks.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..perf.comm import CommModel, INFINIBAND_COMET
+from .window import Window
+
+__all__ = ["SimComm", "RankHandle"]
+
+
+@dataclass
+class RmaStats:
+    """Cumulative one-sided traffic of one origin rank."""
+
+    ops: int = 0
+    bytes_remote: int = 0
+    bytes_local: int = 0
+    by_peer: dict = field(default_factory=dict)
+
+    def record(self, peer: int, nbytes: int, *, remote: bool) -> None:
+        self.ops += 1
+        if remote:
+            self.bytes_remote += nbytes
+        else:
+            self.bytes_local += nbytes
+        self.by_peer[peer] = self.by_peer.get(peer, 0) + nbytes
+
+
+class SimComm:
+    """The simulated communicator."""
+
+    def __init__(
+        self, n_ranks: int, *, comm_model: CommModel = INFINIBAND_COMET
+    ) -> None:
+        if n_ranks < 1:
+            raise ValueError(f"n_ranks must be >= 1, got {n_ranks}")
+        self.n_ranks = int(n_ranks)
+        self.comm_model = comm_model
+        self._windows: dict[tuple[int, str], Window] = {}
+        self.clocks = np.zeros(self.n_ranks)
+        self.stats = [RmaStats() for _ in range(self.n_ranks)]
+
+    # -- window management -------------------------------------------------
+    def create_window(self, owner: int, name: str, array: np.ndarray) -> Window:
+        """Expose ``array`` as window ``name`` on rank ``owner``."""
+        self._check_rank(owner)
+        key = (owner, name)
+        if key in self._windows:
+            raise ValueError(f"rank {owner} already has a window {name!r}")
+        win = Window(owner, name, array)
+        self._windows[key] = win
+        return win
+
+    def window(self, owner: int, name: str) -> Window:
+        try:
+            return self._windows[(owner, name)]
+        except KeyError:
+            raise KeyError(
+                f"rank {owner} has no window {name!r}; available on that "
+                f"rank: {[n for (o, n) in self._windows if o == owner]}"
+            ) from None
+
+    def free_windows(self) -> None:
+        """Drop all windows (MPI_Win_free for everything)."""
+        self._windows.clear()
+
+    # -- one-sided access ----------------------------------------------------
+    @contextmanager
+    def lock(self, origin: int, owner: int, name: str, *, exclusive: bool = False):
+        """Passive-target lock epoch on ``(owner, name)`` for ``origin``."""
+        win = self.window(owner, name)
+        win.lock(origin, exclusive=exclusive)
+        try:
+            yield win
+        finally:
+            win.unlock(origin)
+
+    def get(self, origin: int, owner: int, name: str, index=None) -> np.ndarray:
+        """Lock-get-unlock convenience; charges the origin's clock."""
+        self._check_rank(origin)
+        with self.lock(origin, owner, name) as win:
+            data = win.get(origin, index)
+        remote = origin != owner
+        self.stats[origin].record(owner, data.nbytes, remote=remote)
+        if remote:
+            self.clocks[origin] += self.comm_model.op_time(data.nbytes)
+        return data
+
+    def put(self, origin: int, owner: int, name: str, data: np.ndarray, index=None) -> None:
+        """Lock-put-unlock convenience; charges the origin's clock."""
+        self._check_rank(origin)
+        data = np.asarray(data)
+        with self.lock(origin, owner, name, exclusive=True) as win:
+            win.put(origin, data, index)
+        remote = origin != owner
+        self.stats[origin].record(owner, data.nbytes, remote=remote)
+        if remote:
+            self.clocks[origin] += self.comm_model.op_time(data.nbytes)
+
+    # -- synchronization -----------------------------------------------------
+    def barrier(self) -> float:
+        """Align all rank clocks to the maximum; returns that time."""
+        t = float(self.clocks.max())
+        self.clocks[:] = t
+        return t
+
+    def advance_clock(self, rank: int, seconds: float) -> None:
+        """Add local (non-communication) time to one rank's clock."""
+        self._check_rank(rank)
+        if seconds < 0:
+            raise ValueError("cannot advance a clock backwards")
+        self.clocks[rank] += seconds
+
+    def rank_handle(self, rank: int) -> "RankHandle":
+        self._check_rank(rank)
+        return RankHandle(self, rank)
+
+    def _check_rank(self, rank: int) -> None:
+        if not (0 <= rank < self.n_ranks):
+            raise ValueError(
+                f"rank {rank} out of range for {self.n_ranks} ranks"
+            )
+
+
+class RankHandle:
+    """Rank-local facade over :class:`SimComm` (what rank code holds)."""
+
+    def __init__(self, comm: SimComm, rank: int) -> None:
+        self.comm = comm
+        self.rank = int(rank)
+
+    @property
+    def size(self) -> int:
+        return self.comm.n_ranks
+
+    def create_window(self, name: str, array: np.ndarray) -> Window:
+        return self.comm.create_window(self.rank, name, array)
+
+    def get(self, owner: int, name: str, index=None) -> np.ndarray:
+        return self.comm.get(self.rank, owner, name, index)
+
+    def put(self, owner: int, name: str, data: np.ndarray, index=None) -> None:
+        self.comm.put(self.rank, owner, name, data, index)
+
+    def remote_ranks(self) -> list[int]:
+        """All ranks except this one."""
+        return [r for r in range(self.size) if r != self.rank]

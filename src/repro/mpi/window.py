@@ -1,0 +1,107 @@
+"""RMA windows with passive-target lock semantics.
+
+Models MPI-2 one-sided communication: a window exposes a rank's local
+array; origin processes access it inside a lock epoch
+(``MPI_Win_lock`` / ``MPI_Win_unlock``).  Shared locks (the mode the
+paper's LET construction uses -- read-only gets from many origins) may be
+held concurrently; an exclusive lock excludes all others.  Lock discipline
+is enforced: accessing a window without holding a lock raises
+:class:`LockViolation`, the moral equivalent of the undefined behaviour a
+real MPI program would invoke.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Window", "LockViolation"]
+
+
+class LockViolation(RuntimeError):
+    """An RMA access outside a lock epoch, or a conflicting lock."""
+
+
+class Window:
+    """A named RMA window exposing one rank's array."""
+
+    def __init__(self, owner: int, name: str, array: np.ndarray) -> None:
+        self.owner = int(owner)
+        self.name = str(name)
+        self._array = np.ascontiguousarray(array)
+        self._shared_holders: set[int] = set()
+        self._exclusive_holder: int | None = None
+
+    # -- lock epochs -----------------------------------------------------
+    def lock(self, origin: int, *, exclusive: bool = False) -> None:
+        """Open a lock epoch for ``origin`` (MPI_Win_lock)."""
+        if self._exclusive_holder is not None:
+            raise LockViolation(
+                f"window {self.name!r} of rank {self.owner} is exclusively "
+                f"locked by rank {self._exclusive_holder}"
+            )
+        if exclusive:
+            if self._shared_holders:
+                raise LockViolation(
+                    f"window {self.name!r} of rank {self.owner} has shared "
+                    f"holders {sorted(self._shared_holders)}"
+                )
+            self._exclusive_holder = origin
+        else:
+            if origin in self._shared_holders:
+                raise LockViolation(
+                    f"rank {origin} already holds a shared lock on "
+                    f"window {self.name!r} of rank {self.owner}"
+                )
+            self._shared_holders.add(origin)
+
+    def unlock(self, origin: int) -> None:
+        """Close ``origin``'s lock epoch (MPI_Win_unlock)."""
+        if self._exclusive_holder == origin:
+            self._exclusive_holder = None
+            return
+        if origin in self._shared_holders:
+            self._shared_holders.remove(origin)
+            return
+        raise LockViolation(
+            f"rank {origin} does not hold a lock on window {self.name!r} "
+            f"of rank {self.owner}"
+        )
+
+    def _check_access(self, origin: int, *, write: bool) -> None:
+        if self._exclusive_holder == origin:
+            return
+        if not write and origin in self._shared_holders:
+            return
+        if write and origin in self._shared_holders:
+            raise LockViolation(
+                f"rank {origin} holds only a shared lock on window "
+                f"{self.name!r}; puts require an exclusive lock"
+            )
+        raise LockViolation(
+            f"rank {origin} accessed window {self.name!r} of rank "
+            f"{self.owner} outside a lock epoch"
+        )
+
+    # -- one-sided operations ---------------------------------------------
+    def get(self, origin: int, index=None) -> np.ndarray:
+        """One-sided read (MPI_Get); returns a copy."""
+        self._check_access(origin, write=False)
+        if index is None:
+            return self._array.copy()
+        return np.ascontiguousarray(self._array[index])
+
+    def put(self, origin: int, data: np.ndarray, index=None) -> None:
+        """One-sided write (MPI_Put); requires an exclusive lock."""
+        self._check_access(origin, write=True)
+        if index is None:
+            self._array[...] = data
+        else:
+            self._array[index] = data
+
+    @property
+    def nbytes(self) -> int:
+        return self._array.nbytes
+
+    @property
+    def shape(self) -> tuple:
+        return self._array.shape

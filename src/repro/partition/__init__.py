@@ -1,0 +1,11 @@
+"""Domain decomposition via recursive coordinate bisection (paper Sec. 3.1).
+
+The paper uses the Zoltan library's RCB; this package implements RCB from
+scratch with the same observable properties: hyperplane cuts perpendicular
+to a coordinate axis, particle counts balanced proportionally to the number
+of ranks on each side (supporting non-power-of-two rank counts, Fig. 2b).
+"""
+
+from .rcb import rcb_partition, partition_sizes
+
+__all__ = ["rcb_partition", "partition_sizes"]

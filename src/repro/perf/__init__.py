@@ -1,0 +1,29 @@
+"""Performance model: machine specifications, communication costs, timers.
+
+No GPU or MPI cluster is available in this environment, so the paper's
+wall-clock measurements are reproduced by a calibrated analytic model
+driven by the *exact* operation counts of the real algorithm (see
+DESIGN.md, "Hardware / software substitutions").  This package holds the
+machine presets (Titan V, P100, Xeon X5650), the interconnect model, and
+the phase-timing containers.
+"""
+
+from .machine import (
+    MachineSpec,
+    CPU_XEON_X5650,
+    GPU_TITAN_V,
+    GPU_P100,
+)
+from .comm import CommModel, INFINIBAND_COMET
+from .timer import PhaseTimes, Stopwatch
+
+__all__ = [
+    "MachineSpec",
+    "CPU_XEON_X5650",
+    "GPU_TITAN_V",
+    "GPU_P100",
+    "CommModel",
+    "INFINIBAND_COMET",
+    "PhaseTimes",
+    "Stopwatch",
+]

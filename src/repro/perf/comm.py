@@ -1,0 +1,43 @@
+"""Interconnect model for the simulated MPI layer.
+
+Models each one-sided RMA operation as ``latency + nbytes / bandwidth``
+(the standard alpha-beta model).  The simulated communicator in
+:mod:`repro.mpi` counts the exact bytes moved by the real LET construction
+and converts them to seconds with this model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CommModel", "INFINIBAND_COMET"]
+
+
+@dataclass(frozen=True)
+class CommModel:
+    """Alpha-beta cost model for one-sided communication."""
+
+    #: Per-operation latency (seconds): window lock + get initiation.
+    latency: float = 3.0e-6
+    #: Point-to-point bandwidth (bytes/second).
+    bandwidth: float = 6.0e9
+    #: Extra latency for lock/unlock epochs around each access.
+    epoch_overhead: float = 2.0e-6
+
+    def __post_init__(self) -> None:
+        if self.latency < 0 or self.epoch_overhead < 0:
+            raise ValueError("latencies must be non-negative")
+        if self.bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+
+    def op_time(self, nbytes: float, *, n_ops: int = 1) -> float:
+        """Simulated time for ``n_ops`` RMA ops moving ``nbytes`` total."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if n_ops < 0:
+            raise ValueError("n_ops must be non-negative")
+        return n_ops * (self.latency + self.epoch_overhead) + nbytes / self.bandwidth
+
+
+#: 4x-EDR-class fabric of the Comet GPU nodes used in Figs. 5-6.
+INFINIBAND_COMET = CommModel(latency=3.0e-6, bandwidth=6.0e9)

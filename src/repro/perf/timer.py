@@ -1,0 +1,74 @@
+"""Phase-time containers matching the paper's reporting (Sec. 4).
+
+"All reported times ... include the setup phase, precompute phase, and
+compute phase.  The setup phase includes the data movements and
+communication required for each rank to begin its local calculation ...
+The precompute phase computes the modified charges for each locally owned
+source cluster, and the compute phase computes the potential at each
+target particle."
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, fields
+
+__all__ = ["PhaseTimes", "Stopwatch"]
+
+
+@dataclass
+class PhaseTimes:
+    """Simulated seconds spent in each phase of one BLTC run."""
+
+    #: Tree/batch construction, LET communication, interaction lists, HtD.
+    setup: float = 0.0
+    #: Modified-charge kernels for locally owned clusters (+ DtH copy).
+    precompute: float = 0.0
+    #: Potential evaluation kernels (+ final DtH copy).
+    compute: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.setup + self.precompute + self.compute
+
+    def __add__(self, other: "PhaseTimes") -> "PhaseTimes":
+        return PhaseTimes(
+            setup=self.setup + other.setup,
+            precompute=self.precompute + other.precompute,
+            compute=self.compute + other.compute,
+        )
+
+    def max_with(self, other: "PhaseTimes") -> "PhaseTimes":
+        """Elementwise max; used to aggregate per-rank phase times."""
+        return PhaseTimes(
+            setup=max(self.setup, other.setup),
+            precompute=max(self.precompute, other.precompute),
+            compute=max(self.compute, other.compute),
+        )
+
+    def fractions(self) -> dict[str, float]:
+        """Phase fractions of the total (the Fig. 6cd bar charts)."""
+        tot = self.total
+        if tot <= 0.0:
+            return {f.name: 0.0 for f in fields(self)}
+        return {f.name: getattr(self, f.name) / tot for f in fields(self)}
+
+    def as_dict(self) -> dict[str, float]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+class Stopwatch:
+    """Simple wall-clock stopwatch for instrumenting the Python host code."""
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        assert self._start is not None
+        self.elapsed += time.perf_counter() - self._start
+        self._start = None

@@ -1,0 +1,24 @@
+"""Hierarchical source-cluster tree and target batches (paper Sec. 2.4, 3.1).
+
+* :class:`~repro.tree.box.Box` -- axis-aligned bounding boxes with the
+  center/radius quantities consumed by the MAC.
+* :class:`~repro.tree.octree.ClusterTree` -- the hierarchical tree of
+  source clusters: recursive midpoint subdivision of minimal bounding
+  boxes, terminating at ``NL`` particles, with the sqrt(2) aspect-ratio
+  rule deciding how many children (2/4/8) a node gets.
+* :class:`~repro.tree.batches.TargetBatches` -- geometrically localized
+  batches of at most ``NB`` targets, built with the same partitioning
+  routine.
+"""
+
+from .box import Box, bounding_box
+from .octree import ClusterTree, TreeNode
+from .batches import TargetBatches
+
+__all__ = [
+    "Box",
+    "bounding_box",
+    "ClusterTree",
+    "TreeNode",
+    "TargetBatches",
+]

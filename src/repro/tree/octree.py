@@ -1,0 +1,274 @@
+"""Hierarchical cluster tree (adaptive octree) for source particles.
+
+Paper Sec. 2.4: the root cluster is the minimal bounding box containing all
+source particles; clusters are recursively divided at the midpoint of the
+three dimensions of the bounding box until a cluster holds ``NL`` or fewer
+particles.  Sec. 3.1 adds the aspect-ratio rule: a cluster is divided into
+8 children normally, but only 2 or 4 when splitting all dimensions would
+produce children with aspect ratio above sqrt(2).
+
+The tree stores a permutation of the particle indices such that every node
+owns a contiguous slice ``[start, end)`` -- the array-structure style that
+GPU treecodes favour over pointer chasing (the paper cites Burtscher &
+Pingali for this idea), and which makes serializing the tree for RMA
+communication trivial.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import ASPECT_RATIO_LIMIT
+from .box import Box, bounding_box
+
+__all__ = ["TreeNode", "ClusterTree"]
+
+
+@dataclass
+class TreeNode:
+    """One cluster in the tree.
+
+    ``start``/``end`` index the tree's permutation array; the node's
+    particles are ``positions[tree.perm[start:end]]``.
+    """
+
+    index: int
+    start: int
+    end: int
+    box: Box
+    level: int
+    parent: int
+    children: list[int] = field(default_factory=list)
+
+    @property
+    def count(self) -> int:
+        """Number of particles owned by this cluster."""
+        return self.end - self.start
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    @property
+    def center(self) -> np.ndarray:
+        return self.box.center
+
+    @property
+    def radius(self) -> float:
+        return self.box.radius
+
+
+class ClusterTree:
+    """Adaptive octree over a fixed set of points.
+
+    Parameters
+    ----------
+    positions : (N, 3) particle coordinates (not copied; treated read-only).
+    max_leaf_size : ``NL`` -- subdivision stops at or below this count.
+    aspect_ratio_splitting : apply the sqrt(2) rule (paper Sec. 3.1); when
+        False every split bisects all three dimensions (classical octree).
+    shrink_to_fit : use the minimal bounding box at every node (Sec. 2.3).
+        When False, children keep the geometric half-boxes of their parent.
+    """
+
+    def __init__(
+        self,
+        positions: np.ndarray,
+        max_leaf_size: int,
+        *,
+        aspect_ratio_splitting: bool = True,
+        shrink_to_fit: bool = True,
+    ) -> None:
+        positions = np.atleast_2d(np.asarray(positions, dtype=np.float64))
+        if positions.ndim != 2 or positions.shape[1] != 3:
+            raise ValueError(
+                f"positions must be (N, 3), got {positions.shape}"
+            )
+        if positions.shape[0] == 0:
+            raise ValueError("cannot build a tree over zero particles")
+        if max_leaf_size < 1:
+            raise ValueError(f"max_leaf_size must be >= 1, got {max_leaf_size}")
+        self.positions = positions
+        self.max_leaf_size = int(max_leaf_size)
+        self.aspect_ratio_splitting = bool(aspect_ratio_splitting)
+        self.shrink_to_fit = bool(shrink_to_fit)
+        self.perm = np.arange(positions.shape[0], dtype=np.intp)
+        self.nodes: list[TreeNode] = []
+        self._build()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _node_box(self, start: int, end: int, inherited: Box | None) -> Box:
+        if self.shrink_to_fit or inherited is None:
+            return bounding_box(self.positions[self.perm[start:end]])
+        return inherited
+
+    def _build(self) -> None:
+        n = self.positions.shape[0]
+        # Breadth-first work queue of (start, end, parent, level,
+        # inherited_box).  BFS assigns node indices in level order, which
+        # guarantees the children of any node occupy *consecutive*
+        # indices: they are appended to the queue together and nothing is
+        # ever inserted between them.  The packed tree array exploits this
+        # by storing only (first_child, n_children).
+        queue: deque[tuple[int, int, int, int, Box | None]] = deque(
+            [(0, n, -1, 0, None)]
+        )
+        while queue:
+            start, end, parent, level, inherited = queue.popleft()
+            box = self._node_box(start, end, inherited)
+            index = len(self.nodes)
+            node = TreeNode(
+                index=index, start=start, end=end, box=box,
+                level=level, parent=parent,
+            )
+            self.nodes.append(node)
+            if parent >= 0:
+                self.nodes[parent].children.append(index)
+            count = end - start
+            # Leaf conditions: small enough, or geometrically degenerate
+            # (all particles coincident -- subdivision cannot progress).
+            if count <= self.max_leaf_size or box.extents.max() == 0.0:
+                continue
+            if self.aspect_ratio_splitting:
+                dims = box.split_dimensions(ASPECT_RATIO_LIMIT)
+            else:
+                dims = np.array([0, 1, 2], dtype=np.intp)
+            mid = box.center
+            pts = self.positions[self.perm[start:end]]
+            # Child code: bit i set when the point lies above the midpoint
+            # in split dimension dims[i].  Up to 2^len(dims) children.
+            code = np.zeros(count, dtype=np.intp)
+            for i, d in enumerate(dims):
+                code |= (pts[:, d] > mid[d]).astype(np.intp) << i
+            order = np.argsort(code, kind="stable")
+            self.perm[start:end] = self.perm[start:end][order]
+            counts = np.bincount(code, minlength=1 << len(dims))
+            offset = start
+            for c in range(1 << len(dims)):
+                cnt = int(counts[c])
+                if cnt == 0:
+                    continue
+                child_box: Box | None = None
+                if not self.shrink_to_fit:
+                    # Geometric half-box of child code c: split dims take
+                    # the low or high half of the parent per code bit.
+                    lo = box.lo.copy()
+                    hi = box.hi.copy()
+                    for i, d in enumerate(dims):
+                        if (c >> i) & 1:
+                            lo[d] = mid[d]
+                        else:
+                            hi[d] = mid[d]
+                    child_box = Box(lo, hi)
+                queue.append(
+                    (offset, offset + cnt, index, level + 1, child_box)
+                )
+                offset += cnt
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def root(self) -> TreeNode:
+        return self.nodes[0]
+
+    @property
+    def n_particles(self) -> int:
+        return self.positions.shape[0]
+
+    @property
+    def n_leaves(self) -> int:
+        return sum(1 for nd in self.nodes if nd.is_leaf)
+
+    @property
+    def max_level(self) -> int:
+        return max(nd.level for nd in self.nodes)
+
+    def leaves(self) -> list[TreeNode]:
+        """All leaf nodes, in node-index order."""
+        return [nd for nd in self.nodes if nd.is_leaf]
+
+    def node_indices(self, node: TreeNode | int) -> np.ndarray:
+        """Original particle indices owned by ``node``."""
+        if not isinstance(node, TreeNode):
+            node = self.nodes[int(node)]
+        return self.perm[node.start:node.end]
+
+    def node_points(self, node: TreeNode | int) -> np.ndarray:
+        """Coordinates of the particles owned by ``node``."""
+        return self.positions[self.node_indices(node)]
+
+    # ------------------------------------------------------------------
+    # Serialization (the "tree array" communicated over RMA, Sec. 3.1)
+    # ------------------------------------------------------------------
+    #: Number of float64 fields per node in the packed tree array.
+    TREE_ARRAY_FIELDS = 16
+
+    def tree_array(self) -> np.ndarray:
+        """Pack the tree metadata into a flat float64 array.
+
+        Layout per node (16 fields): center(3), radius, lo(3), hi(3),
+        count, start, end, is_leaf, first_child, n_children.  Children of a
+        node are consecutive, so (first_child, n_children) reconstructs the
+        topology.  This is the "tree array (containing cluster midpoints
+        and radii for all tree nodes)" placed in RMA windows (Sec. 3.1).
+        """
+        m = len(self.nodes)
+        arr = np.zeros((m, self.TREE_ARRAY_FIELDS), dtype=np.float64)
+        for nd in self.nodes:
+            first_child = nd.children[0] if nd.children else -1
+            arr[nd.index] = np.concatenate([
+                nd.center,
+                [nd.radius],
+                nd.box.lo,
+                nd.box.hi,
+                [
+                    nd.count,
+                    nd.start,
+                    nd.end,
+                    1.0 if nd.is_leaf else 0.0,
+                    first_child,
+                    len(nd.children),
+                ],
+            ])
+        return arr
+
+    def validate(self) -> None:
+        """Check structural invariants; raises AssertionError on violation.
+
+        Used by tests and as a debugging aid: the permutation is a
+        bijection, every node's slice is the concatenation of its
+        children's slices, every particle lies inside its node's box, and
+        leaves respect ``NL`` unless degenerate.
+        """
+        n = self.positions.shape[0]
+        assert sorted(self.perm.tolist()) == list(range(n)), "perm not a bijection"
+        root = self.root
+        assert root.start == 0 and root.end == n, "root does not own all particles"
+        for nd in self.nodes:
+            pts = self.node_points(nd)
+            assert bool(np.all(nd.box.contains(pts, atol=1e-12))), (
+                f"node {nd.index} has particles outside its box"
+            )
+            if nd.children:
+                spans = sorted(
+                    (self.nodes[c].start, self.nodes[c].end) for c in nd.children
+                )
+                assert spans[0][0] == nd.start and spans[-1][1] == nd.end, (
+                    f"children of node {nd.index} do not tile it"
+                )
+                for (a, b), (c, d) in zip(spans, spans[1:]):
+                    assert b == c, f"gap in children of node {nd.index}"
+            else:
+                degenerate = nd.box.extents.max() == 0.0
+                assert nd.count <= self.max_leaf_size or degenerate, (
+                    f"oversized leaf {nd.index}: {nd.count}"
+                )

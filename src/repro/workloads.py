@@ -1,0 +1,149 @@
+"""Particle distributions used by the examples, tests and benchmarks.
+
+The paper's evaluation (Sec. 4) uses particles randomly uniformly
+distributed in the ``[-1, 1]^3`` cube with charges uniform on ``[-1, 1]``;
+:func:`random_cube` reproduces that exactly.  The remaining generators
+provide the "irregular particle distributions arising from various physical
+systems" that the paper defers to future work: a Plummer sphere (the
+standard gravitational N-body test), Gaussian clusters (clustered sources
+such as charged residues in a biomolecule), and a surface distribution
+(boundary-element quadrature points).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .util import as_charges, as_points, default_rng
+
+__all__ = [
+    "ParticleSet",
+    "random_cube",
+    "plummer_sphere",
+    "gaussian_clusters",
+    "sphere_surface",
+]
+
+
+@dataclass(frozen=True)
+class ParticleSet:
+    """A set of particles: positions ``(N, 3)`` and charges ``(N,)``.
+
+    Instances are immutable; the arrays are validated at construction.
+    Targets and sources may be the same :class:`ParticleSet` (the paper's
+    test cases) or different sets (boundary-element style usage).
+    """
+
+    positions: np.ndarray
+    charges: np.ndarray
+
+    def __post_init__(self) -> None:
+        pos = as_points(self.positions, name="positions")
+        q = as_charges(self.charges, pos.shape[0], name="charges")
+        object.__setattr__(self, "positions", pos)
+        object.__setattr__(self, "charges", q)
+
+    def __len__(self) -> int:
+        return self.positions.shape[0]
+
+    @property
+    def n(self) -> int:
+        return self.positions.shape[0]
+
+    def subset(self, idx) -> "ParticleSet":
+        """Return the particle subset selected by ``idx`` (any NumPy index)."""
+        return ParticleSet(self.positions[idx], self.charges[idx])
+
+    def nbytes(self) -> int:
+        """Total memory footprint of the particle data in bytes."""
+        return self.positions.nbytes + self.charges.nbytes
+
+
+def random_cube(
+    n: int,
+    *,
+    seed=None,
+    low: float = -1.0,
+    high: float = 1.0,
+    charge_low: float = -1.0,
+    charge_high: float = 1.0,
+) -> ParticleSet:
+    """Particles uniform in ``[low, high]^3`` with uniform random charges.
+
+    This is the paper's test case: "the particles are randomly uniformly
+    distributed in the [-1,1]^3 cube, with charges randomly uniformly
+    distributed on [-1,1]" (Sec. 4).
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    rng = default_rng(seed)
+    pos = rng.uniform(low, high, size=(n, 3))
+    q = rng.uniform(charge_low, charge_high, size=n)
+    return ParticleSet(pos, q)
+
+
+def plummer_sphere(n: int, *, seed=None, scale: float = 1.0, total_mass: float = 1.0) -> ParticleSet:
+    """A Plummer-model sphere of equal-mass particles.
+
+    The classical gravitational N-body initial condition: radius sampled
+    from the Plummer cumulative mass profile, isotropic directions.  All
+    charges (masses) are positive and equal, ``total_mass / n``.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    rng = default_rng(seed)
+    # Inverse-CDF sampling of the Plummer profile, clipping the enclosed
+    # mass fraction away from 1 to avoid unbounded radii.
+    m = rng.uniform(0.0, 0.999, size=n)
+    r = scale / np.sqrt(m ** (-2.0 / 3.0) - 1.0)
+    costheta = rng.uniform(-1.0, 1.0, size=n)
+    sintheta = np.sqrt(1.0 - costheta**2)
+    phi = rng.uniform(0.0, 2.0 * np.pi, size=n)
+    pos = np.column_stack(
+        (r * sintheta * np.cos(phi), r * sintheta * np.sin(phi), r * costheta)
+    )
+    q = np.full(n, total_mass / n)
+    return ParticleSet(pos, q)
+
+
+def gaussian_clusters(
+    n: int,
+    *,
+    n_clusters: int = 8,
+    seed=None,
+    spread: float = 0.08,
+    box: float = 1.0,
+) -> ParticleSet:
+    """Particles drawn from ``n_clusters`` isotropic Gaussian blobs.
+
+    A strongly non-uniform distribution stressing the adaptive octree and
+    the aspect-ratio splitting rule.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if n_clusters < 1:
+        raise ValueError(f"n_clusters must be >= 1, got {n_clusters}")
+    rng = default_rng(seed)
+    centers = rng.uniform(-box, box, size=(n_clusters, 3))
+    which = rng.integers(0, n_clusters, size=n)
+    pos = centers[which] + rng.normal(0.0, spread, size=(n, 3))
+    q = rng.uniform(-1.0, 1.0, size=n)
+    return ParticleSet(pos, q)
+
+
+def sphere_surface(n: int, *, seed=None, radius: float = 1.0) -> ParticleSet:
+    """Particles uniform on a sphere surface (BEM quadrature-point style).
+
+    Expressions like eq. (1) "arise ... in boundary element methods where
+    the particles are quadrature points of a discretized convolution
+    integral" (paper Sec. 2); this workload mimics that geometry.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    rng = default_rng(seed)
+    v = rng.normal(size=(n, 3))
+    v /= np.linalg.norm(v, axis=1, keepdims=True)
+    q = rng.uniform(-1.0, 1.0, size=n)
+    return ParticleSet(radius * v, q)

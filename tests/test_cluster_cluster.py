@@ -1,0 +1,119 @@
+"""Tests for the cluster-cluster (dual tree traversal) treecode."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    BarycentricTreecode,
+    CoulombKernel,
+    TreecodeParams,
+    YukawaKernel,
+    direct_sum,
+    random_cube,
+    relative_l2_error,
+)
+from repro.extensions import DualTreeTreecode
+
+
+@pytest.fixture(scope="module")
+def cube():
+    return random_cube(4000, seed=111)
+
+
+@pytest.fixture(scope="module")
+def ref(cube):
+    return direct_sum(
+        cube.positions, cube.positions, cube.charges, CoulombKernel()
+    )
+
+
+def _params(**kw):
+    base = dict(theta=0.6, degree=5, max_leaf_size=250, max_batch_size=250)
+    base.update(kw)
+    return TreecodeParams(**base)
+
+
+class TestAccuracy:
+    def test_error_decreases_with_degree(self, cube, ref):
+        errs = []
+        for n in (2, 4, 6):
+            res = DualTreeTreecode(CoulombKernel(), _params(degree=n)).compute(cube)
+            errs.append(relative_l2_error(ref, res.potential))
+        assert errs[1] < errs[0]
+        assert errs[2] < 1e-6
+
+    def test_machine_precision_when_all_direct(self, cube, ref):
+        res = DualTreeTreecode(
+            CoulombKernel(), _params(theta=0.01)
+        ).compute(cube)
+        assert res.stats["n_cc_pairs"] == 0
+        assert relative_l2_error(ref, res.potential) < 1e-13
+
+    def test_yukawa(self, cube):
+        kernel = YukawaKernel(0.5)
+        ref_y = direct_sum(cube.positions, cube.positions, cube.charges, kernel)
+        res = DualTreeTreecode(kernel, _params(degree=6)).compute(cube)
+        assert relative_l2_error(ref_y, res.potential) < 1e-6
+
+    def test_same_accuracy_class_as_bltc(self, cube, ref):
+        params = _params(degree=5)
+        dt = DualTreeTreecode(CoulombKernel(), params).compute(cube)
+        pc = BarycentricTreecode(CoulombKernel(), params).compute(cube)
+        e_dt = relative_l2_error(ref, dt.potential)
+        e_pc = relative_l2_error(ref, pc.potential)
+        assert e_dt < 1e-4 and e_pc < 1e-4
+
+    def test_disjoint_targets(self, cube):
+        rng = np.random.default_rng(112)
+        targets = rng.uniform(-1, 1, size=(700, 3))
+        kernel = CoulombKernel()
+        ref_t = kernel.potential(targets, cube.positions, cube.charges)
+        res = DualTreeTreecode(kernel, _params(degree=6)).compute(
+            cube, targets=targets
+        )
+        assert relative_l2_error(ref_t, res.potential) < 1e-6
+
+
+class TestStructure:
+    def test_pair_classes_recorded(self, cube):
+        res = DualTreeTreecode(
+            CoulombKernel(), _params(theta=0.9, degree=3)
+        ).compute(cube)
+        s = res.stats
+        assert s["scheme"].startswith("cluster-cluster")
+        total = (
+            s["n_cc_pairs"] + s["n_pc_pairs"] + s["n_cp_pairs"]
+            + s["n_direct_pairs"]
+        )
+        assert total > 0
+        assert s["mac_evals"] >= total
+
+    def test_cc_pairs_cost_independent_of_population(self, cube):
+        """Cluster-cluster interactions cost (n+1)^6 regardless of the
+        cluster populations -- the BLDTT's key economy."""
+        params = _params(theta=0.9, degree=3)
+        res = DualTreeTreecode(CoulombKernel(), params).compute(cube)
+        n_ip = params.n_interpolation_points
+        kinds = res.stats["by_kind"]
+        if "cluster-cluster" in kinds:
+            launches, interactions = kinds["cluster-cluster"]
+            assert interactions == launches * n_ip * n_ip
+
+    def test_fewer_kernel_evals_than_bltc_at_scale(self):
+        """At larger N with loose theta the dual traversal does less
+        kernel work than the single-tree BLTC."""
+        p = random_cube(20_000, seed=113)
+        params = TreecodeParams(
+            theta=0.9, degree=4, max_leaf_size=300, max_batch_size=300
+        )
+        dt = DualTreeTreecode(CoulombKernel(), params).compute(p)
+        pc = BarycentricTreecode(CoulombKernel(), params).compute(p)
+        assert (
+            dt.stats["kernel_evaluations"] < pc.stats["kernel_evaluations"]
+        )
+
+    def test_small_system_all_direct(self):
+        p = random_cube(50, seed=114)
+        res = DualTreeTreecode(CoulombKernel(), _params()).compute(p)
+        ref = direct_sum(p.positions, p.positions, p.charges, CoulombKernel())
+        assert np.allclose(res.potential, ref)

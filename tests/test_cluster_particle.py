@@ -1,0 +1,102 @@
+"""Tests for the cluster-particle treecode extension."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    BarycentricTreecode,
+    CoulombKernel,
+    TreecodeParams,
+    YukawaKernel,
+    direct_sum,
+    random_cube,
+    relative_l2_error,
+    sphere_surface,
+)
+from repro.extensions import ClusterParticleTreecode
+
+
+@pytest.fixture(scope="module")
+def cube():
+    return random_cube(2500, seed=81)
+
+
+@pytest.fixture(scope="module")
+def ref(cube):
+    return direct_sum(
+        cube.positions, cube.positions, cube.charges, CoulombKernel()
+    )
+
+
+def _params(**kw):
+    base = dict(theta=0.6, degree=5, max_leaf_size=200, max_batch_size=200)
+    base.update(kw)
+    return TreecodeParams(**base)
+
+
+class TestAccuracy:
+    def test_error_decreases_with_degree(self, cube, ref):
+        errs = []
+        for n in (2, 4, 6, 8):
+            tc = ClusterParticleTreecode(CoulombKernel(), _params(degree=n))
+            errs.append(relative_l2_error(ref, tc.compute(cube).potential))
+        assert errs[1] < errs[0]
+        assert errs[2] < errs[1]
+        assert errs[-1] < 1e-10
+
+    def test_matches_particle_cluster_accuracy_class(self, cube, ref):
+        """Same (theta, n): cluster-particle and particle-cluster land in
+        the same error decade (they interpolate the same kernel)."""
+        params = _params(degree=5)
+        cp = ClusterParticleTreecode(CoulombKernel(), params).compute(cube)
+        pc = BarycentricTreecode(CoulombKernel(), params).compute(cube)
+        e_cp = relative_l2_error(ref, cp.potential)
+        e_pc = relative_l2_error(ref, pc.potential)
+        assert e_cp < 1e-5 and e_pc < 1e-5
+        assert 0.01 < (e_cp + 1e-18) / (e_pc + 1e-18) < 100.0
+
+    def test_yukawa(self, cube):
+        kernel = YukawaKernel(0.5)
+        ref_y = direct_sum(cube.positions, cube.positions, cube.charges, kernel)
+        res = ClusterParticleTreecode(kernel, _params(degree=6)).compute(cube)
+        assert relative_l2_error(ref_y, res.potential) < 1e-6
+
+    def test_many_targets_few_sources(self):
+        """The regime cluster-particle is built for (ref. [32])."""
+        sources = random_cube(800, seed=82)
+        targets = sphere_surface(4000, seed=83, radius=1.5)
+        kernel = CoulombKernel()
+        ref = kernel.potential(
+            targets.positions, sources.positions, sources.charges
+        )
+        res = ClusterParticleTreecode(
+            kernel, _params(degree=6, max_batch_size=400)
+        ).compute(sources, targets=targets.positions)
+        assert relative_l2_error(ref, res.potential) < 1e-5
+
+
+class TestStructure:
+    def test_stats_scheme_marker(self, cube):
+        res = ClusterParticleTreecode(CoulombKernel(), _params()).compute(cube)
+        assert res.stats["scheme"] == "cluster-particle"
+        assert res.stats["launches"] > 0
+        assert res.phases.compute > 0
+        assert res.phases.setup > 0
+
+    def test_interpolation_launches_counted(self, cube):
+        res = ClusterParticleTreecode(CoulombKernel(), _params()).compute(cube)
+        if res.stats["n_clusters_with_grid"]:
+            assert "interpolate" in res.stats["by_kind"]
+
+    def test_tiny_theta_reduces_to_direct(self, cube, ref):
+        res = ClusterParticleTreecode(
+            CoulombKernel(), _params(theta=0.01)
+        ).compute(cube)
+        assert res.stats["n_approx_interactions"] == 0
+        assert relative_l2_error(ref, res.potential) < 1e-13
+
+    def test_small_system(self):
+        p = random_cube(20, seed=84)
+        res = ClusterParticleTreecode(CoulombKernel(), _params()).compute(p)
+        ref = direct_sum(p.positions, p.positions, p.charges, CoulombKernel())
+        assert np.allclose(res.potential, ref)

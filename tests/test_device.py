@@ -1,0 +1,132 @@
+"""Tests for the simulated execution devices (repro.gpu.device)."""
+
+import pytest
+
+from repro.gpu.device import CpuDevice, GpuDevice, make_device
+from repro.perf.machine import CPU_XEON_X5650, GPU_P100, GPU_TITAN_V
+
+
+class TestConstruction:
+    def test_make_device_dispatch(self):
+        assert isinstance(make_device(GPU_TITAN_V), GpuDevice)
+        assert isinstance(make_device(CPU_XEON_X5650), CpuDevice)
+
+    def test_kind_mismatch(self):
+        with pytest.raises(ValueError):
+            GpuDevice(CPU_XEON_X5650)
+        with pytest.raises(ValueError):
+            CpuDevice(GPU_TITAN_V)
+
+
+class TestGpuDevice:
+    def test_async_hides_launch_latency(self):
+        """Sec. 3.2: asynchronous streams overlap launch initialization
+        with computation; the synchronous baseline pays it serially."""
+        def run(async_streams):
+            dev = GpuDevice(GPU_TITAN_V, async_streams=async_streams)
+            for _ in range(1000):
+                dev.launch(1e6, blocks=2000)
+            return dev.elapsed()
+
+        sync = run(False)
+        async_ = run(True)
+        assert async_ < sync
+        # The hidden portion is (1 - 1/n_streams) of total launch latency.
+        hidden = 1000 * GPU_TITAN_V.launch_latency * (
+            1 - 1 / GPU_TITAN_V.n_streams
+        )
+        assert sync - async_ == pytest.approx(
+            hidden - GPU_TITAN_V.launch_latency, rel=1e-6
+        )
+
+    def test_compute_time_matches_spec(self):
+        dev = GpuDevice(GPU_TITAN_V, async_streams=False)
+        dev.launch(GPU_TITAN_V.interaction_rate, blocks=10**6)
+        t = dev.elapsed()
+        assert t == pytest.approx(1.0 + GPU_TITAN_V.launch_latency)
+
+    def test_occupancy_penalty_applies(self):
+        work = 1e8
+        full = GpuDevice(GPU_TITAN_V, async_streams=False)
+        full.launch(work, blocks=GPU_TITAN_V.saturation_blocks)
+        tiny = GpuDevice(GPU_TITAN_V, async_streams=False)
+        tiny.launch(work, blocks=8)
+        assert tiny.elapsed() > full.elapsed()
+
+    def test_transfers_accounted(self):
+        dev = GpuDevice(GPU_TITAN_V)
+        dev.upload(1 << 20)
+        dev.download(1 << 20)
+        assert dev.counters.bytes_h2d == 1 << 20
+        assert dev.counters.bytes_d2h == 1 << 20
+        assert dev.elapsed() == pytest.approx(
+            2 * GPU_TITAN_V.transfer_time(1 << 20)
+        )
+
+    def test_transfer_synchronizes_queue(self):
+        dev = GpuDevice(GPU_TITAN_V, async_streams=True)
+        dev.launch(1e6, blocks=100)
+        dev.download(8)  # must drain the stream first
+        t_after_sync = dev.time
+        assert t_after_sync > 0.0
+
+    def test_take_phase_deltas(self):
+        dev = GpuDevice(GPU_TITAN_V, async_streams=False)
+        dev.launch(1e9, blocks=10**5)
+        p1 = dev.take_phase()
+        dev.launch(2e9, blocks=10**5)
+        p2 = dev.take_phase()
+        assert p1 > 0 and p2 > 0
+        assert dev.elapsed() == pytest.approx(p1 + p2)
+        assert dev.take_phase() == 0.0
+
+    def test_counters_by_kind(self):
+        dev = GpuDevice(GPU_TITAN_V)
+        dev.launch(10.0, blocks=1, kind="approx")
+        dev.launch(20.0, blocks=1, kind="approx")
+        dev.launch(5.0, blocks=1, kind="direct")
+        assert dev.counters.by_kind["approx"] == [2, 30.0]
+        assert dev.counters.by_kind["direct"] == [1, 5.0]
+        assert dev.counters.launches == 3
+
+    def test_cost_multiplier_scales_time(self):
+        a = GpuDevice(GPU_TITAN_V, async_streams=False)
+        a.launch(1e9, blocks=10**5, cost_multiplier=1.0)
+        b = GpuDevice(GPU_TITAN_V, async_streams=False)
+        b.launch(1e9, blocks=10**5, cost_multiplier=1.5)
+        ratio = (b.elapsed() - GPU_TITAN_V.launch_latency) / (
+            a.elapsed() - GPU_TITAN_V.launch_latency
+        )
+        assert ratio == pytest.approx(1.5)
+
+    def test_comm_wait(self):
+        dev = GpuDevice(GPU_P100)
+        dev.comm_wait(0.25)
+        assert dev.elapsed() == pytest.approx(0.25)
+
+
+class TestCpuDevice:
+    def test_no_launch_latency(self):
+        dev = CpuDevice(CPU_XEON_X5650)
+        dev.launch(CPU_XEON_X5650.interaction_rate, blocks=100)
+        assert dev.elapsed() == pytest.approx(1.0)
+
+    def test_transfers_free(self):
+        dev = CpuDevice(CPU_XEON_X5650)
+        dev.upload(1 << 30)
+        dev.download(1 << 30)
+        assert dev.elapsed() == 0.0
+
+    def test_host_work(self):
+        dev = CpuDevice(CPU_XEON_X5650)
+        dev.host_work(CPU_XEON_X5650.host_op_rate)
+        assert dev.elapsed() == pytest.approx(1.0)
+
+    def test_gpu_vs_cpu_treecode_ratio(self):
+        """Same workload must run >= 100x faster on the GPU model."""
+        work = 1e12
+        gpu = GpuDevice(GPU_TITAN_V)
+        gpu.launch(work, blocks=10**6)
+        cpu = CpuDevice(CPU_XEON_X5650)
+        cpu.launch(work, blocks=10**6)
+        assert cpu.elapsed() / gpu.elapsed() >= 100.0

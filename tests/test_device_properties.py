@@ -1,0 +1,82 @@
+"""Property-based tests for the device cost model (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu.device import CpuDevice, GpuDevice
+from repro.perf.machine import CPU_XEON_X5650, GPU_TITAN_V
+
+work = st.floats(min_value=1.0, max_value=1e12, allow_nan=False)
+blocks = st.integers(min_value=1, max_value=10**6)
+
+
+class TestDeviceModelProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(w=work, b=blocks)
+    def test_async_never_slower_than_sync(self, w, b):
+        """Hiding launch latency can only help."""
+        a = GpuDevice(GPU_TITAN_V, async_streams=True)
+        s = GpuDevice(GPU_TITAN_V, async_streams=False)
+        for dev in (a, s):
+            for _ in range(5):
+                dev.launch(w, blocks=b)
+        assert a.elapsed() <= s.elapsed() + 1e-12
+
+    @settings(max_examples=40, deadline=None)
+    @given(w1=work, w2=work, b=blocks)
+    def test_time_additive_and_monotone(self, w1, w2, b):
+        one = GpuDevice(GPU_TITAN_V, async_streams=False)
+        one.launch(w1 + w2, blocks=b)
+        two = GpuDevice(GPU_TITAN_V, async_streams=False)
+        two.launch(w1, blocks=b)
+        two.launch(w2, blocks=b)
+        # Two launches pay one extra launch latency; busy time is equal.
+        assert two.elapsed() == pytest.approx(
+            one.elapsed() + GPU_TITAN_V.launch_latency, rel=1e-9
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(w=work, b1=blocks, b2=blocks)
+    def test_more_blocks_never_slower(self, w, b1, b2):
+        """Occupancy is monotone: more thread blocks cannot hurt."""
+        lo, hi = min(b1, b2), max(b1, b2)
+        a = GpuDevice(GPU_TITAN_V, async_streams=False)
+        a.launch(w, blocks=lo)
+        b = GpuDevice(GPU_TITAN_V, async_streams=False)
+        b.launch(w, blocks=hi)
+        assert b.elapsed() <= a.elapsed() + 1e-12
+
+    @settings(max_examples=30, deadline=None)
+    @given(w=work)
+    def test_cpu_time_exact(self, w):
+        dev = CpuDevice(CPU_XEON_X5650)
+        dev.launch(w, blocks=1)
+        assert dev.elapsed() == pytest.approx(
+            w / CPU_XEON_X5650.interaction_rate
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        w=work,
+        b=blocks,
+        mult=st.floats(min_value=1.0, max_value=3.0, allow_nan=False),
+    )
+    def test_cost_multiplier_monotone(self, w, b, mult):
+        base = GpuDevice(GPU_TITAN_V, async_streams=False)
+        base.launch(w, blocks=b, cost_multiplier=1.0)
+        scaled = GpuDevice(GPU_TITAN_V, async_streams=False)
+        scaled.launch(w, blocks=b, cost_multiplier=mult)
+        assert scaled.elapsed() >= base.elapsed() - 1e-15
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        nbytes=st.integers(min_value=0, max_value=1 << 34),
+    )
+    def test_transfer_time_monotone_in_bytes(self, nbytes):
+        dev = GpuDevice(GPU_TITAN_V)
+        dev.upload(nbytes)
+        t1 = dev.elapsed()
+        dev.upload(nbytes + 4096)
+        assert dev.elapsed() - t1 >= GPU_TITAN_V.transfer_time(nbytes) - 1e-12

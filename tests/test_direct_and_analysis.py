@@ -1,0 +1,127 @@
+"""Tests for the direct-sum baseline and the analysis helpers."""
+
+import numpy as np
+import pytest
+
+from repro import CoulombKernel, direct_sum, direct_sum_at, random_cube
+from repro.analysis import format_table, relative_l2_error, sampled_error
+from repro.analysis.report import format_value
+from repro.gpu.device import GpuDevice
+from repro.perf.machine import GPU_TITAN_V
+
+
+class TestDirectSum:
+    def test_two_body(self):
+        t = np.array([[0.0, 0.0, 0.0]])
+        s = np.array([[1.0, 0.0, 0.0], [0.0, 2.0, 0.0]])
+        q = np.array([1.0, 4.0])
+        phi = direct_sum(t, s, q, CoulombKernel())
+        assert phi[0] == pytest.approx(1.0 + 2.0)
+
+    def test_self_interaction_excluded(self):
+        p = random_cube(50, seed=0)
+        phi = direct_sum(p.positions, p.positions, p.charges, CoulombKernel())
+        assert np.all(np.isfinite(phi))
+
+    def test_superposition(self):
+        p = random_cube(100, seed=1)
+        t = np.array([[3.0, 3.0, 3.0]])
+        k = CoulombKernel()
+        full = direct_sum(t, p.positions, p.charges, k)
+        half1 = direct_sum(t, p.positions[:50], p.charges[:50], k)
+        half2 = direct_sum(t, p.positions[50:], p.charges[50:], k)
+        assert full[0] == pytest.approx(half1[0] + half2[0])
+
+    def test_charge_mismatch(self):
+        with pytest.raises(ValueError):
+            direct_sum(np.zeros((1, 3)), np.zeros((2, 3)), np.zeros(3),
+                       CoulombKernel())
+
+    def test_gpu_single_launch(self):
+        """Paper Sec. 4: the GPU direct sum is ONE launch of the
+        batch-cluster direct-sum kernel over everything."""
+        p = random_cube(300, seed=2)
+        dev = GpuDevice(GPU_TITAN_V)
+        direct_sum(p.positions, p.positions, p.charges, CoulombKernel(),
+                   device=dev)
+        assert dev.counters.launches == 1
+        assert dev.counters.interactions == 300.0 * 300.0
+        assert dev.counters.by_kind["direct"][0] == 1
+
+    def test_direct_sum_at_matches_full(self):
+        p = random_cube(200, seed=3)
+        k = CoulombKernel()
+        full = direct_sum(p.positions, p.positions, p.charges, k)
+        idx = np.array([0, 5, 17, 101])
+        sub = direct_sum_at(idx, p.positions, p.positions, p.charges, k)
+        assert np.allclose(sub, full[idx])
+
+
+class TestErrorMetrics:
+    def test_relative_l2_zero_for_identical(self):
+        x = np.arange(5.0)
+        assert relative_l2_error(x, x) == 0.0
+
+    def test_relative_l2_matches_eq16(self):
+        ref = np.array([3.0, 4.0])
+        val = np.array([3.0, 5.0])
+        assert relative_l2_error(ref, val) == pytest.approx(1.0 / 5.0)
+
+    def test_zero_reference(self):
+        assert relative_l2_error(np.zeros(3), np.ones(3)) == pytest.approx(
+            np.sqrt(3.0)
+        )
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            relative_l2_error(np.zeros(3), np.zeros(4))
+
+    def test_sampled_error_exact_when_sample_covers_all(self):
+        p = random_cube(150, seed=4)
+        k = CoulombKernel()
+        phi = direct_sum(p.positions, p.positions, p.charges, k)
+        err = sampled_error(
+            phi, p.positions, p.positions, p.charges, k, n_samples=1000
+        )
+        assert err == pytest.approx(0.0, abs=1e-14)
+
+    def test_sampled_error_detects_bad_potential(self):
+        p = random_cube(150, seed=5)
+        k = CoulombKernel()
+        phi = direct_sum(p.positions, p.positions, p.charges, k)
+        err = sampled_error(
+            1.1 * phi, p.positions, p.positions, p.charges, k, n_samples=50
+        )
+        assert err == pytest.approx(0.1, rel=1e-6)
+
+    def test_sampled_error_requires_matching_length(self):
+        p = random_cube(10, seed=6)
+        with pytest.raises(ValueError):
+            sampled_error(np.zeros(5), p.positions, p.positions, p.charges,
+                          CoulombKernel())
+
+
+class TestReport:
+    def test_format_value(self):
+        assert format_value(3) == "3"
+        assert format_value(0.0) == "0"
+        assert format_value(1.5e-8) == "1.500e-08"
+        assert format_value(12.3456) == "12.35"
+        assert format_value(True) == "True"
+
+    def test_format_table_alignment(self):
+        out = format_table(
+            ["a", "long_header"],
+            [[1, 2.0], [333, 4.5e-9]],
+            title="T",
+        )
+        lines = out.split("\n")
+        assert lines[0] == "T"
+        assert "long_header" in lines[1]
+        assert len(lines) == 5
+        widths = {len(l) for l in lines[1:]}
+        assert len(widths) <= 2  # header/hline/rows aligned
+
+    def test_format_table_bad_row(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])

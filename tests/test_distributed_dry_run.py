@@ -1,0 +1,60 @@
+"""Dry-run consistency for the distributed driver.
+
+Model-only mode must reproduce the real run's launch counts, interaction
+counts, RMA traffic and simulated times exactly -- it is the basis of the
+scaling benchmarks.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CoulombKernel,
+    DistributedBLTC,
+    TreecodeParams,
+    random_cube,
+)
+
+
+@pytest.fixture(scope="module")
+def pair():
+    p = random_cube(5000, seed=121)
+    params = TreecodeParams(
+        theta=0.7, degree=4, max_leaf_size=300, max_batch_size=300
+    )
+    driver = DistributedBLTC(CoulombKernel(), params, n_ranks=3)
+    real = driver.compute(p)
+    dry = driver.compute(p, dry_run=True)
+    return real, dry
+
+
+class TestDryRunConsistency:
+    def test_same_total_time(self, pair):
+        real, dry = pair
+        assert dry.total_seconds == pytest.approx(real.total_seconds)
+
+    def test_same_phase_times(self, pair):
+        real, dry = pair
+        for pr, pd in zip(real.rank_phases, dry.rank_phases):
+            assert pd.setup == pytest.approx(pr.setup)
+            assert pd.precompute == pytest.approx(pr.precompute)
+            assert pd.compute == pytest.approx(pr.compute)
+
+    def test_same_rma_traffic(self, pair):
+        real, dry = pair
+        assert (
+            dry.stats["total_rma_bytes"] == real.stats["total_rma_bytes"]
+        )
+
+    def test_same_launch_counts(self, pair):
+        real, dry = pair
+        for sr, sd in zip(real.stats["per_rank"], dry.stats["per_rank"]):
+            assert sd["launches"] == sr["launches"]
+            assert sd["kernel_evaluations"] == pytest.approx(
+                sr["kernel_evaluations"]
+            )
+
+    def test_dry_potential_zero(self, pair):
+        real, dry = pair
+        assert np.all(dry.potential == 0.0)
+        assert np.any(real.potential != 0.0)

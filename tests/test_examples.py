@@ -1,0 +1,54 @@
+"""Smoke tests: every example script runs end-to-end at reduced size."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "examples"
+)
+_SRC = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+)
+
+
+def _run(script: str, *args: str) -> str:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES, script), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        env=env,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = _run("quickstart.py", "3000")
+        assert "relative 2-norm error" in out
+
+    def test_yukawa(self):
+        out = _run("yukawa_screened_electrostatics.py", "2500")
+        assert "yukawa/coulomb" in out.lower()
+
+    def test_gravity(self):
+        out = _run("gravitational_nbody.py", "2500")
+        assert "Plummer theory" in out
+
+    def test_multi_gpu(self):
+        out = _run("multi_gpu_weak_scaling.py", "1500", "4")
+        assert "Weak scaling" in out
+
+    def test_custom_kernel(self):
+        out = _run("custom_kernel_bem.py", "4000")
+        assert "screened-multiquadric" in out
+
+    def test_dynamics(self):
+        out = _run("nbody_dynamics.py", "800", "6")
+        assert "conserve energy" in out

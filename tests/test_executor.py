@@ -1,0 +1,108 @@
+"""Unit tests for the interaction-list executor (repro.core.executor)."""
+
+import numpy as np
+import pytest
+
+from repro.core.executor import (
+    charge_batch_launches,
+    execute_batch_interactions,
+)
+from repro.gpu.device import CpuDevice, GpuDevice
+from repro.kernels import CoulombKernel, YukawaKernel
+from repro.perf.machine import CPU_XEON_X5650, GPU_TITAN_V
+
+
+def _rng():
+    return np.random.default_rng(0)
+
+
+class TestExecuteBatch:
+    def test_matches_manual_sum(self):
+        rng = _rng()
+        tgt = rng.uniform(-1, 1, (20, 3))
+        s1 = rng.uniform(2, 3, (15, 3))
+        q1 = rng.normal(size=15)
+        s2 = rng.uniform(-3, -2, (10, 3))
+        q2 = rng.normal(size=10)
+        kernel = CoulombKernel()
+        dev = GpuDevice(GPU_TITAN_V)
+        phi = execute_batch_interactions(
+            kernel, dev, tgt, [(s1, q1)], [(s2, q2)]
+        )
+        manual = kernel.potential(tgt, s1, q1) + kernel.potential(tgt, s2, q2)
+        assert np.allclose(phi, manual)
+
+    def test_launch_accounting(self):
+        rng = _rng()
+        tgt = rng.uniform(-1, 1, (8, 3))
+        pairs_a = [(rng.uniform(size=(5, 3)), rng.normal(size=5))
+                   for _ in range(3)]
+        pairs_d = [(rng.uniform(size=(7, 3)), rng.normal(size=7))
+                   for _ in range(2)]
+        dev = GpuDevice(GPU_TITAN_V)
+        execute_batch_interactions(CoulombKernel(), dev, tgt, pairs_a, pairs_d)
+        assert dev.counters.by_kind["approx"][0] == 3
+        assert dev.counters.by_kind["direct"][0] == 2
+        assert dev.counters.by_kind["approx"][1] == 8 * 5 * 3
+        assert dev.counters.by_kind["direct"][1] == 8 * 7 * 2
+
+    def test_empty_batch(self):
+        dev = GpuDevice(GPU_TITAN_V)
+        phi = execute_batch_interactions(
+            CoulombKernel(), dev, np.zeros((0, 3)), [], []
+        )
+        assert phi.shape == (0,)
+        assert dev.counters.launches == 0
+
+    def test_empty_lists(self):
+        dev = GpuDevice(GPU_TITAN_V)
+        tgt = _rng().uniform(size=(4, 3))
+        phi = execute_batch_interactions(CoulombKernel(), dev, tgt, [], [])
+        assert np.array_equal(phi, np.zeros(4))
+
+    def test_float32_mode_close_to_float64(self):
+        rng = _rng()
+        tgt = rng.uniform(-1, 1, (30, 3))
+        src = rng.uniform(2, 4, (40, 3))
+        q = rng.normal(size=40)
+        dev = CpuDevice(CPU_XEON_X5650)
+        full = execute_batch_interactions(
+            CoulombKernel(), dev, tgt, [], [(src, q)], dtype=np.float64
+        )
+        single = execute_batch_interactions(
+            CoulombKernel(), dev, tgt, [], [(src, q)], dtype=np.float32
+        )
+        assert np.allclose(full, single, rtol=1e-4)
+        assert not np.array_equal(full, single)
+        assert single.dtype == np.float64  # accumulator stays double
+
+    def test_yukawa_cost_multiplier_charged(self):
+        rng = _rng()
+        tgt = rng.uniform(-1, 1, (10, 3))
+        src = rng.uniform(2, 3, (10, 3))
+        q = rng.normal(size=10)
+        dev_c = CpuDevice(CPU_XEON_X5650)
+        dev_y = CpuDevice(CPU_XEON_X5650)
+        execute_batch_interactions(CoulombKernel(), dev_c, tgt, [], [(src, q)])
+        execute_batch_interactions(YukawaKernel(), dev_y, tgt, [], [(src, q)])
+        assert dev_y.elapsed() > dev_c.elapsed()
+
+
+class TestChargeBatchLaunches:
+    def test_same_accounting_as_real_execution(self):
+        rng = _rng()
+        tgt = rng.uniform(-1, 1, (12, 3))
+        pairs_a = [(rng.uniform(size=(6, 3)), rng.normal(size=6))]
+        pairs_d = [(rng.uniform(size=(9, 3)), rng.normal(size=9))]
+        real = GpuDevice(GPU_TITAN_V)
+        execute_batch_interactions(CoulombKernel(), real, tgt, pairs_a, pairs_d)
+        dry = GpuDevice(GPU_TITAN_V)
+        charge_batch_launches(CoulombKernel(), dry, 12, [6], [9])
+        assert dry.counters.launches == real.counters.launches
+        assert dry.counters.interactions == real.counters.interactions
+        assert dry.elapsed() == pytest.approx(real.elapsed())
+
+    def test_zero_targets_noop(self):
+        dev = GpuDevice(GPU_TITAN_V)
+        charge_batch_launches(CoulombKernel(), dev, 0, [5], [5])
+        assert dev.counters.launches == 0

@@ -1,0 +1,116 @@
+"""Smoke tests for the figure-regeneration harnesses (miniature configs).
+
+The benchmarks run these harnesses at figure scale; here we verify their
+structure and basic physics with tiny configurations so the unit suite
+stays fast.
+"""
+
+import pytest
+
+from repro.experiments import (
+    Fig4Config,
+    Fig5Config,
+    Fig6Config,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+)
+from repro.kernels import CoulombKernel
+
+
+@pytest.fixture(scope="module")
+def fig4_mini():
+    cfg = Fig4Config(
+        n_error=2000,
+        nl_error=100,
+        n_model=30_000,
+        nl_model=500,
+        thetas=(0.7,),
+        degrees=(2, 5),
+    )
+    return run_fig4(cfg, kernels=(CoulombKernel(),))
+
+
+@pytest.fixture(scope="module")
+def fig5_mini():
+    cfg = Fig5Config(
+        scale_divisor=1024,
+        particles_per_gpu=(8_000_000,),
+        gpu_counts=(1, 3),
+        n_verify=5_000,
+        verify_ranks=2,
+    )
+    return run_fig5(cfg, kernels=(CoulombKernel(),))
+
+
+@pytest.fixture(scope="module")
+def fig6_mini():
+    cfg = Fig6Config(
+        scale_divisor=1024,
+        totals=(16_000_000,),
+        gpu_counts=(1, 4),
+    )
+    return run_fig6(cfg, kernels=(CoulombKernel(),))
+
+
+class TestFig4Harness:
+    def test_row_count(self, fig4_mini):
+        assert len(fig4_mini["rows"]) == 2  # 1 kernel x 1 theta x 2 degrees
+
+    def test_error_improves_with_degree(self, fig4_mini):
+        rows = sorted(fig4_mini["rows"], key=lambda r: r.degree)
+        assert rows[1].error < rows[0].error
+
+    def test_speedup_positive(self, fig4_mini):
+        for r in fig4_mini["rows"]:
+            assert r.speedup > 1.0
+            assert r.gpu_time > 0 and r.cpu_time > 0
+
+    def test_direct_reference_present(self, fig4_mini):
+        d = fig4_mini["direct"]["coulomb"]
+        assert d["cpu"] > d["gpu"] > 0
+
+    def test_quick_preset_smaller(self):
+        full = Fig4Config()
+        quick = full.quick()
+        assert len(quick.degrees) < len(full.degrees)
+        assert len(quick.thetas) < len(full.thetas)
+
+
+class TestFig5Harness:
+    def test_row_count(self, fig5_mini):
+        assert len(fig5_mini["rows"]) == 2
+
+    def test_total_particles(self, fig5_mini):
+        rows = sorted(fig5_mini["rows"], key=lambda r: r.n_gpus)
+        assert rows[0].n_total == rows[0].n_per_gpu
+        assert rows[1].n_total == 3 * rows[1].n_per_gpu
+
+    def test_rma_zero_for_single_rank(self, fig5_mini):
+        rows = sorted(fig5_mini["rows"], key=lambda r: r.n_gpus)
+        assert rows[0].rma_bytes == 0
+        assert rows[1].rma_bytes > 0
+
+    def test_verify_error_reasonable(self, fig5_mini):
+        err = fig5_mini["verify_error"]["coulomb"]
+        assert 0 < err < 1e-3
+
+    def test_phases_positive(self, fig5_mini):
+        for r in fig5_mini["rows"]:
+            assert r.time > 0 and r.compute > 0 and r.setup > 0
+
+
+class TestFig6Harness:
+    def test_efficiency_definition(self, fig6_mini):
+        rows = sorted(fig6_mini["rows"], key=lambda r: r.n_gpus)
+        assert rows[0].efficiency == pytest.approx(1.0)
+        assert 0.0 < rows[1].efficiency <= 1.2
+
+    def test_fractions_sum_to_one(self, fig6_mini):
+        for r in fig6_mini["rows"]:
+            total = r.setup_frac + r.precompute_frac + r.compute_frac
+            assert total == pytest.approx(1.0)
+
+    def test_time_falls_with_gpus(self, fig6_mini):
+        rows = sorted(fig6_mini["rows"], key=lambda r: r.n_gpus)
+        assert rows[1].time < rows[0].time

@@ -1,0 +1,160 @@
+"""Tests for force (gradient) evaluation -- kernels and treecode path."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    BarycentricTreecode,
+    CoulombKernel,
+    GaussianKernel,
+    InverseMultiquadricKernel,
+    ParticleSet,
+    ThinPlateKernel,
+    TreecodeParams,
+    YukawaKernel,
+    random_cube,
+)
+
+GRAD_KERNELS = [
+    CoulombKernel(),
+    YukawaKernel(kappa=0.5),
+    InverseMultiquadricKernel(c=0.3),
+    GaussianKernel(sigma=0.7),
+]
+
+
+def _fd_gradient(kernel, x, y, h=1e-6):
+    """Central finite-difference gradient of G(x, y) w.r.t. x."""
+    g = np.zeros(3)
+    for d in range(3):
+        xp = x.copy()
+        xm = x.copy()
+        xp[d] += h
+        xm[d] -= h
+        g[d] = (
+            kernel.pairwise(xp[None], y[None])[0, 0]
+            - kernel.pairwise(xm[None], y[None])[0, 0]
+        ) / (2 * h)
+    return g
+
+
+class TestKernelGradients:
+    @pytest.mark.parametrize("kernel", GRAD_KERNELS, ids=lambda k: k.name)
+    def test_matches_finite_differences(self, kernel, rng):
+        for _ in range(5):
+            x = rng.uniform(-1, 1, 3)
+            y = rng.uniform(2, 3, 3)  # well separated
+            analytic = kernel.pairwise_gradient(x[None], y[None])[0, 0]
+            fd = _fd_gradient(kernel, x, y)
+            assert np.allclose(analytic, fd, rtol=1e-5, atol=1e-8)
+
+    def test_coulomb_known_value(self):
+        k = CoulombKernel()
+        g = k.pairwise_gradient(
+            np.array([[2.0, 0.0, 0.0]]), np.array([[0.0, 0.0, 0.0]])
+        )[0, 0]
+        # grad_x (1/|x|) = -x/|x|^3 = (-1/4, 0, 0).
+        assert np.allclose(g, [-0.25, 0.0, 0.0])
+
+    def test_coincident_gradient_zero(self):
+        k = CoulombKernel()
+        x = np.array([[1.0, 1.0, 1.0]])
+        assert np.array_equal(k.pairwise_gradient(x, x)[0, 0], np.zeros(3))
+
+    def test_no_gradient_kernel_raises(self):
+        k = ThinPlateKernel()
+        with pytest.raises(NotImplementedError):
+            k.pairwise_gradient(np.zeros((1, 3)), np.ones((1, 3)))
+
+    def test_force_is_negative_gradient_sum(self, rng):
+        k = CoulombKernel()
+        t = rng.uniform(-1, 1, (6, 3))
+        s = rng.uniform(2, 3, (9, 3))
+        q = rng.normal(size=9)
+        f = k.force(t, s, q)
+        manual = -np.einsum("mkd,k->md", k.pairwise_gradient(t, s), q)
+        assert np.allclose(f, manual)
+
+    def test_force_blocked(self, rng):
+        k = YukawaKernel(0.5)
+        t = rng.uniform(-1, 1, (20, 3))
+        s = rng.uniform(-1, 1, (25, 3))
+        q = rng.normal(size=25)
+        assert np.allclose(
+            k.force(t, s, q), k.force(t, s, q, block_elements=64)
+        )
+
+
+class TestTreecodeForces:
+    @pytest.fixture(scope="class")
+    def cube(self):
+        return random_cube(1500, seed=201)
+
+    @pytest.fixture(scope="class")
+    def direct_forces(self, cube):
+        return CoulombKernel().force(
+            cube.positions, cube.positions, cube.charges
+        )
+
+    def test_forces_converge_with_degree(self, cube, direct_forces):
+        errs = []
+        for n in (2, 4, 6):
+            params = TreecodeParams(
+                theta=0.6, degree=n, max_leaf_size=150, max_batch_size=150
+            )
+            res = BarycentricTreecode(CoulombKernel(), params).compute(
+                cube, compute_forces=True
+            )
+            err = np.linalg.norm(res.forces - direct_forces) / np.linalg.norm(
+                direct_forces
+            )
+            errs.append(err)
+        assert errs[1] < errs[0]
+        assert errs[2] < 1e-5
+
+    def test_momentum_conservation(self, cube):
+        """Newton's third law: sum_i q_i F_i = 0 for the exact sum; the
+        treecode approximation must respect it to within its accuracy."""
+        params = TreecodeParams(
+            theta=0.6, degree=6, max_leaf_size=150, max_batch_size=150
+        )
+        res = BarycentricTreecode(CoulombKernel(), params).compute(
+            cube, compute_forces=True
+        )
+        total = np.einsum("i,id->d", cube.charges, res.forces)
+        scale = np.abs(cube.charges[:, None] * res.forces).sum()
+        assert np.linalg.norm(total) / scale < 1e-6
+
+    def test_forces_none_by_default(self, cube):
+        params = TreecodeParams(
+            theta=0.7, degree=3, max_leaf_size=150, max_batch_size=150
+        )
+        res = BarycentricTreecode(CoulombKernel(), params).compute(cube)
+        assert res.forces is None
+
+    def test_force_launches_accounted(self, cube):
+        params = TreecodeParams(
+            theta=0.7, degree=3, max_leaf_size=150, max_batch_size=150
+        )
+        res = BarycentricTreecode(CoulombKernel(), params).compute(
+            cube, compute_forces=True
+        )
+        kinds = res.stats["by_kind"]
+        assert "direct-force" in kinds
+        assert kinds["direct-force"][0] == kinds["direct"][0]
+
+    def test_two_body_force(self):
+        p = ParticleSet(
+            np.array([[0.0, 0.0, 0.0], [1.0, 0.0, 0.0]]),
+            np.array([1.0, 1.0]),
+        )
+        params = TreecodeParams(
+            theta=0.7, degree=2, max_leaf_size=10, max_batch_size=10
+        )
+        res = BarycentricTreecode(CoulombKernel(), params).compute(
+            p, compute_forces=True
+        )
+        # F on particle 0 per unit charge: -grad(1/|x-y|) at x=0 due to
+        # y=(1,0,0): repulsive for like charges -> points in -x.
+        assert res.forces[0][0] == pytest.approx(-1.0)
+        assert res.forces[1][0] == pytest.approx(1.0)

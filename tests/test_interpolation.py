@@ -1,0 +1,225 @@
+"""Unit and property tests for repro.interpolation.
+
+The load-bearing mathematical facts: Chebyshev points/weights match the
+paper's eqs. 6-7, the barycentric basis is a partition of unity, it
+reproduces polynomials up to degree n exactly, and the removable
+singularities (eq. 5) give exact Kronecker deltas at interpolation points.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.interpolation import (
+    ChebyshevGrid3D,
+    barycentric_weights,
+    chebyshev_points,
+    interpolate_1d,
+    lagrange_basis,
+    tensor_grid_points,
+)
+
+
+class TestChebyshevPoints:
+    def test_degree_one(self):
+        pts = chebyshev_points(1)
+        assert np.array_equal(pts, [1.0, -1.0])
+
+    def test_formula_matches_eq6(self):
+        n = 9
+        pts = chebyshev_points(n)
+        expected = np.cos(np.pi * np.arange(n + 1) / n)
+        assert np.allclose(pts, expected)
+
+    def test_endpoints_exact_on_mapped_interval(self):
+        pts = chebyshev_points(8, a=-0.3, b=1.7)
+        assert pts[0] == 1.7 and pts[-1] == -0.3
+
+    def test_descending_order(self):
+        pts = chebyshev_points(12)
+        assert np.all(np.diff(pts) < 0)
+
+    def test_symmetric_about_midpoint(self):
+        pts = chebyshev_points(10, a=2.0, b=4.0)
+        assert np.allclose(pts + pts[::-1], 6.0)
+
+    def test_degenerate_interval(self):
+        pts = chebyshev_points(4, a=1.5, b=1.5)
+        assert np.all(pts == 1.5)
+
+    def test_rejects_degree_zero(self):
+        with pytest.raises(ValueError):
+            chebyshev_points(0)
+
+    def test_rejects_inverted_interval(self):
+        with pytest.raises(ValueError):
+            chebyshev_points(3, a=1.0, b=0.0)
+
+
+class TestBarycentricWeights:
+    def test_eq7_small_degrees(self):
+        # w_k = (-1)^k delta_k, halved at the endpoints.
+        assert np.array_equal(barycentric_weights(1), [0.5, -0.5])
+        assert np.array_equal(barycentric_weights(2), [0.5, -1.0, 0.5])
+        assert np.array_equal(
+            barycentric_weights(3), [0.5, -1.0, 1.0, -0.5]
+        )
+
+    def test_alternating_signs(self):
+        w = barycentric_weights(9)
+        assert np.all(w[::2] > 0) and np.all(w[1::2] < 0)
+
+
+class TestLagrangeBasis:
+    def test_partition_of_unity(self):
+        s = chebyshev_points(7)
+        w = barycentric_weights(7)
+        x = np.linspace(-1, 1, 33)
+        basis = lagrange_basis(x, s, w)
+        assert np.allclose(basis.sum(axis=0), 1.0)
+
+    def test_kronecker_delta_at_nodes(self):
+        """Eq. 5: L_k(s_k') = delta_{kk'}, exactly (Sec. 2.3 handling)."""
+        s = chebyshev_points(6, a=-0.4, b=0.9)
+        w = barycentric_weights(6)
+        basis = lagrange_basis(s, s, w)
+        assert np.array_equal(basis, np.eye(7))
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            lagrange_basis(np.zeros(3), np.zeros(4), np.zeros(5))
+
+    @pytest.mark.parametrize("degree", [1, 3, 5, 8])
+    def test_reproduces_polynomials_exactly(self, degree):
+        """Interpolation of degree-n polynomials is exact."""
+        rng = np.random.default_rng(degree)
+        coeffs = rng.normal(size=degree + 1)
+        poly = np.polynomial.Polynomial(coeffs)
+        s = chebyshev_points(degree, a=-2.0, b=1.0)
+        w = barycentric_weights(degree)
+        x = rng.uniform(-2.0, 1.0, size=50)
+        interp = interpolate_1d(poly(s), s, w, x)
+        assert np.allclose(interp, poly(x), atol=1e-11, rtol=1e-10)
+
+    def test_runge_function_converges(self):
+        """Chebyshev interpolation converges on the Runge function."""
+        f = lambda x: 1.0 / (1.0 + 25.0 * x**2)
+        x = np.linspace(-1, 1, 201)
+        errs = []
+        for n in (4, 8, 16, 32, 64):
+            s = chebyshev_points(n)
+            w = barycentric_weights(n)
+            errs.append(np.max(np.abs(interpolate_1d(f(s), s, w, x) - f(x))))
+        assert errs[-1] < 1e-5
+        assert errs[-1] < errs[0] / 1000.0
+
+    def test_near_node_evaluation_stable(self):
+        """Points a few ulps from a node must not blow up."""
+        s = chebyshev_points(10)
+        w = barycentric_weights(10)
+        x = s[3] + np.array([-1e-15, 1e-15, 1e-300, 0.0])
+        basis = lagrange_basis(x, s, w)
+        assert np.all(np.isfinite(basis))
+        assert np.allclose(basis.sum(axis=0), 1.0)
+
+    def test_coincident_interpolation_points_degenerate_box(self):
+        """All-equal points (degenerate box dimension) stay finite."""
+        s = np.full(5, 2.0)
+        w = barycentric_weights(4)
+        basis = lagrange_basis(np.array([2.0]), s, w)
+        assert np.all(np.isfinite(basis))
+        assert basis.sum() == pytest.approx(1.0)
+
+
+class TestInterpolate1D:
+    def test_exact_at_nodes(self):
+        s = chebyshev_points(5, a=0.0, b=2.0)
+        w = barycentric_weights(5)
+        vals = np.sin(s)
+        assert np.allclose(interpolate_1d(vals, s, w, s), vals)
+
+    def test_wrong_values_length(self):
+        s = chebyshev_points(3)
+        w = barycentric_weights(3)
+        with pytest.raises(ValueError):
+            interpolate_1d(np.zeros(3), s, w, np.zeros(2))
+
+
+class TestGrid3D:
+    def test_point_count(self):
+        g = ChebyshevGrid3D.for_box(
+            np.array([-1.0, 0.0, 2.0]), np.array([1.0, 1.0, 3.0]), degree=3
+        )
+        assert g.points.shape == (64, 3)
+        assert g.n_points == 64
+
+    def test_points_span_box(self):
+        lo = np.array([-1.0, 0.0, 2.0])
+        hi = np.array([1.0, 1.0, 3.0])
+        g = ChebyshevGrid3D.for_box(lo, hi, degree=4)
+        assert np.allclose(g.points.min(axis=0), lo)
+        assert np.allclose(g.points.max(axis=0), hi)
+
+    def test_tensor_ordering_c_contiguous(self):
+        sx = np.array([0.0, 1.0])
+        sy = np.array([10.0, 20.0])
+        sz = np.array([100.0, 200.0])
+        pts = tensor_grid_points(sx, sy, sz)
+        # C-order over (k1, k2, k3): z fastest.
+        assert np.array_equal(pts[0], [0.0, 10.0, 100.0])
+        assert np.array_equal(pts[1], [0.0, 10.0, 200.0])
+        assert np.array_equal(pts[2], [0.0, 20.0, 100.0])
+        assert np.array_equal(pts[4], [1.0, 10.0, 100.0])
+
+    def test_degenerate_dimension(self):
+        lo = np.array([0.0, 0.0, 1.0])
+        hi = np.array([1.0, 1.0, 1.0])
+        g = ChebyshevGrid3D.for_box(lo, hi, degree=2)
+        assert np.all(g.points[:, 2] == 1.0)
+
+    def test_invalid_box(self):
+        with pytest.raises(ValueError):
+            ChebyshevGrid3D.for_box(np.ones(3), np.zeros(3), degree=2)
+
+
+unit = st.floats(min_value=-1.0, max_value=1.0, allow_nan=False)
+
+
+class TestProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=12),
+        xs=st.lists(unit, min_size=1, max_size=20),
+    )
+    def test_partition_of_unity_property(self, n, xs):
+        s = chebyshev_points(n)
+        w = barycentric_weights(n)
+        basis = lagrange_basis(np.array(xs), s, w)
+        assert np.allclose(basis.sum(axis=0), 1.0, atol=1e-10)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=9),
+        c=st.floats(min_value=-3, max_value=3, allow_nan=False),
+    )
+    def test_constant_reproduced(self, n, c):
+        s = chebyshev_points(n)
+        w = barycentric_weights(n)
+        x = np.linspace(-1, 1, 11)
+        out = interpolate_1d(np.full(n + 1, c), s, w, x)
+        assert np.allclose(out, c, atol=1e-12)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n=st.integers(min_value=2, max_value=10),
+        a=st.floats(min_value=-5, max_value=0, allow_nan=False),
+        width=st.floats(min_value=1e-3, max_value=10, allow_nan=False),
+    )
+    def test_linear_reproduced_on_any_interval(self, n, a, width):
+        b = a + width
+        s = chebyshev_points(n, a, b)
+        w = barycentric_weights(n)
+        x = np.linspace(a, b, 13)
+        out = interpolate_1d(2.0 * s - 1.0, s, w, x)
+        assert np.allclose(out, 2.0 * x - 1.0, atol=1e-9 * max(1, abs(a) + width))

@@ -1,0 +1,217 @@
+"""Unit and property tests for repro.kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.kernels import (
+    CoulombKernel,
+    GaussianKernel,
+    InverseMultiquadricKernel,
+    ThinPlateKernel,
+    YukawaKernel,
+    available_kernels,
+    get_kernel,
+    register_kernel,
+)
+from repro.kernels.base import RadialKernel
+
+ALL_KERNELS = [
+    CoulombKernel(),
+    YukawaKernel(kappa=0.5),
+    GaussianKernel(sigma=0.7),
+    InverseMultiquadricKernel(c=0.3),
+    ThinPlateKernel(),
+]
+
+
+def _points(rng, n):
+    return rng.uniform(-1, 1, size=(n, 3))
+
+
+class TestCoulomb:
+    def test_known_value(self):
+        k = CoulombKernel()
+        g = k.pairwise(np.array([[0.0, 0.0, 0.0]]), np.array([[3.0, 4.0, 0.0]]))
+        assert g[0, 0] == pytest.approx(1.0 / 5.0)
+
+    def test_self_interaction_zero(self):
+        k = CoulombKernel()
+        x = np.array([[1.0, 2.0, 3.0]])
+        assert k.pairwise(x, x)[0, 0] == 0.0
+
+    def test_symmetry(self, rng):
+        k = CoulombKernel()
+        a, b = _points(rng, 8), _points(rng, 8)
+        assert np.allclose(k.pairwise(a, b), k.pairwise(b, a).T)
+
+
+class TestYukawa:
+    def test_reduces_to_coulomb_at_kappa_zero(self, rng):
+        a, b = _points(rng, 6), _points(rng, 9)
+        y = YukawaKernel(kappa=0.0).pairwise(a, b)
+        c = CoulombKernel().pairwise(a, b)
+        assert np.allclose(y, c)
+
+    def test_screening_decreases_potential(self, rng):
+        a, b = _points(rng, 6), _points(rng, 9)
+        y = YukawaKernel(kappa=0.5).pairwise(a, b)
+        c = CoulombKernel().pairwise(a, b)
+        assert np.all(y <= c + 1e-15)
+
+    def test_known_value(self):
+        k = YukawaKernel(kappa=0.5)
+        g = k.pairwise(np.zeros((1, 3)), np.array([[2.0, 0.0, 0.0]]))
+        assert g[0, 0] == pytest.approx(np.exp(-1.0) / 2.0)
+
+    def test_rejects_negative_kappa(self):
+        with pytest.raises(ValueError):
+            YukawaKernel(kappa=-1.0)
+
+
+class TestSmoothKernels:
+    def test_imq_origin_value(self):
+        k = InverseMultiquadricKernel(c=0.25)
+        x = np.zeros((1, 3))
+        assert k.pairwise(x, x)[0, 0] == pytest.approx(4.0)
+
+    def test_gaussian_origin_is_one(self):
+        k = GaussianKernel(sigma=0.5)
+        x = np.ones((1, 3))
+        assert k.pairwise(x, x)[0, 0] == pytest.approx(1.0)
+
+    def test_thin_plate_origin_zero(self):
+        k = ThinPlateKernel()
+        x = np.ones((1, 3))
+        assert k.pairwise(x, x)[0, 0] == 0.0
+
+    def test_invalid_shape_params(self):
+        with pytest.raises(ValueError):
+            InverseMultiquadricKernel(c=0.0)
+        with pytest.raises(ValueError):
+            GaussianKernel(sigma=-1.0)
+
+
+class TestPotential:
+    @pytest.mark.parametrize("kernel", ALL_KERNELS, ids=lambda k: k.name)
+    def test_matches_dense_matvec(self, kernel, rng):
+        t, s = _points(rng, 23), _points(rng, 37)
+        q = rng.normal(size=37)
+        dense = kernel.pairwise(t, s) @ q
+        assert np.allclose(kernel.potential(t, s, q), dense)
+
+    def test_blocked_equals_unblocked(self, rng):
+        k = CoulombKernel()
+        t, s = _points(rng, 50), _points(rng, 40)
+        q = rng.normal(size=40)
+        full = k.potential(t, s, q)
+        blocked = k.potential(t, s, q, block_elements=64)
+        assert np.allclose(full, blocked)
+
+    def test_accumulates_into_out(self, rng):
+        k = CoulombKernel()
+        t, s = _points(rng, 5), _points(rng, 6)
+        q = rng.normal(size=6)
+        out = np.ones(5)
+        k.potential(t, s, q, out=out)
+        assert np.allclose(out, 1.0 + k.pairwise(t, s) @ q)
+
+    def test_empty_sources(self):
+        k = CoulombKernel()
+        out = k.potential(np.zeros((3, 3)), np.zeros((0, 3)), np.zeros(0))
+        assert np.array_equal(out, np.zeros(3))
+
+    def test_mismatched_charges(self, rng):
+        k = CoulombKernel()
+        with pytest.raises(ValueError):
+            k.potential(_points(rng, 2), _points(rng, 3), np.zeros(2))
+
+
+class TestCostModel:
+    def test_coulomb_multiplier_is_one(self):
+        assert CoulombKernel().cost_multiplier(0.8) == 1.0
+
+    def test_yukawa_cpu_vs_gpu_ratio(self):
+        """Paper Sec. 4: Yukawa ~1.8x on CPU, ~1.5x on GPU vs Coulomb."""
+        y = YukawaKernel()
+        assert y.cost_multiplier(0.8) == pytest.approx(1.8)
+        assert y.cost_multiplier(0.5) == pytest.approx(1.5)
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = available_kernels()
+        assert "coulomb" in names and "yukawa" in names
+
+    def test_get_with_kwargs(self):
+        k = get_kernel("yukawa", kappa=1.25)
+        assert k.kappa == 1.25
+
+    def test_case_insensitive(self):
+        assert get_kernel("Coulomb").name == "coulomb"
+
+    def test_unknown_kernel(self):
+        with pytest.raises(KeyError, match="unknown kernel"):
+            get_kernel("nope")
+
+    def test_user_registration(self):
+        class MyKernel(RadialKernel):
+            name = "r-squared"
+            singular_at_origin = False
+
+            def evaluate_r(self, r):
+                return r * r
+
+            def evaluate_r0(self):
+                return 0.0
+
+        register_kernel("r-squared", MyKernel)
+        assert "r-squared" in available_kernels()
+        k = get_kernel("r-squared")
+        g = k.pairwise(np.zeros((1, 3)), np.array([[0.0, 2.0, 0.0]]))
+        assert g[0, 0] == pytest.approx(4.0)
+
+
+coords = st.floats(
+    min_value=-10.0, max_value=10.0, allow_nan=False, allow_infinity=False
+)
+
+
+class TestProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        t=hnp.arrays(np.float64, (4, 3), elements=coords),
+        s=hnp.arrays(np.float64, (5, 3), elements=coords),
+    )
+    def test_coulomb_positive_and_symmetric(self, t, s):
+        g = CoulombKernel().pairwise(t, s)
+        assert np.all(g >= 0.0)
+        assert np.all(np.isfinite(g))
+        gt = CoulombKernel().pairwise(s, t)
+        assert np.allclose(g, gt.T)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        t=hnp.arrays(np.float64, (3, 3), elements=coords),
+        s=hnp.arrays(np.float64, (6, 3), elements=coords),
+        kappa=st.floats(min_value=0.0, max_value=5.0),
+    )
+    def test_yukawa_bounded_by_coulomb(self, t, s, kappa):
+        y = YukawaKernel(kappa=kappa).pairwise(t, s)
+        c = CoulombKernel().pairwise(t, s)
+        assert np.all(y <= c * (1 + 1e-12) + 1e-300)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        t=hnp.arrays(np.float64, (4, 3), elements=coords),
+        s=hnp.arrays(np.float64, (4, 3), elements=coords),
+        q1=hnp.arrays(np.float64, (4,), elements=st.floats(-2, 2)),
+        q2=hnp.arrays(np.float64, (4,), elements=st.floats(-2, 2)),
+    )
+    def test_potential_linear_in_charges(self, t, s, q1, q2):
+        k = CoulombKernel()
+        lhs = k.potential(t, s, q1 + q2)
+        rhs = k.potential(t, s, q1) + k.potential(t, s, q2)
+        assert np.allclose(lhs, rhs, atol=1e-9)

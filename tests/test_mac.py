@@ -1,0 +1,73 @@
+"""Unit tests for the multipole acceptance criterion (paper eq. 13)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mac import mac_accepts, mac_geometric
+
+
+class TestGeometric:
+    def test_well_separated_passes(self):
+        assert mac_geometric(0.1, 0.1, 10.0, 0.5)
+
+    def test_close_fails(self):
+        assert not mac_geometric(1.0, 1.0, 2.5, 0.5)
+
+    def test_boundary_is_strict(self):
+        # (rB + rC)/R == theta must FAIL (condition is strict <).
+        assert not mac_geometric(0.5, 0.5, 2.0, 0.5)
+
+    def test_zero_distance_fails(self):
+        assert not mac_geometric(0.1, 0.1, 0.0, 0.9)
+
+    def test_negative_distance_fails(self):
+        assert not mac_geometric(0.1, 0.1, -1.0, 0.9)
+
+    def test_zero_radii_always_pass_when_separated(self):
+        assert mac_geometric(0.0, 0.0, 1e-12, 0.1)
+
+
+class TestSizeCondition:
+    def test_small_cluster_rejected(self):
+        # (n+1)^3 = 729 >= N_C = 500 -> direct even though well separated.
+        assert not mac_accepts(0.1, 0.1, 100.0, 0.8, 729, 500)
+
+    def test_large_cluster_accepted(self):
+        assert mac_accepts(0.1, 0.1, 100.0, 0.8, 729, 5000)
+
+    def test_equality_rejected(self):
+        # (n+1)^3 == N_C must fail: condition is strict <.
+        assert not mac_accepts(0.1, 0.1, 100.0, 0.8, 729, 729)
+
+    def test_size_check_disabled(self):
+        assert mac_accepts(0.1, 0.1, 100.0, 0.8, 729, 10, size_check=False)
+
+    def test_geometric_failure_dominates(self):
+        assert not mac_accepts(1.0, 1.0, 2.0, 0.5, 8, 10_000)
+
+
+class TestProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        rb=st.floats(0, 10, allow_nan=False),
+        rc=st.floats(0, 10, allow_nan=False),
+        r=st.floats(1e-6, 100, allow_nan=False),
+        theta=st.floats(0.01, 1.0, allow_nan=False),
+    )
+    def test_monotone_in_distance(self, rb, rc, r, theta):
+        """If the MAC passes at distance R it passes at any larger R."""
+        if mac_geometric(rb, rc, r, theta):
+            assert mac_geometric(rb, rc, 2 * r, theta)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        rb=st.floats(0, 10, allow_nan=False),
+        rc=st.floats(0, 10, allow_nan=False),
+        r=st.floats(1e-6, 100, allow_nan=False),
+        theta=st.floats(0.01, 0.5, allow_nan=False),
+    )
+    def test_monotone_in_theta(self, rb, rc, r, theta):
+        """Passing at a strict theta implies passing at a looser theta."""
+        if mac_geometric(rb, rc, r, theta):
+            assert mac_geometric(rb, rc, r, min(1.0, 2 * theta))

@@ -1,0 +1,167 @@
+"""Tests for the simulated MPI layer (windows, locks, communicator)."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import LockViolation, SimComm, Window
+from repro.perf.comm import CommModel
+
+
+class TestWindowLocks:
+    def _win(self):
+        return Window(owner=0, name="w", array=np.arange(10.0))
+
+    def test_get_requires_lock(self):
+        win = self._win()
+        with pytest.raises(LockViolation, match="outside a lock epoch"):
+            win.get(origin=1)
+
+    def test_shared_lock_allows_get(self):
+        win = self._win()
+        win.lock(1)
+        data = win.get(1)
+        win.unlock(1)
+        assert np.array_equal(data, np.arange(10.0))
+
+    def test_get_returns_copy(self):
+        win = self._win()
+        win.lock(1)
+        data = win.get(1)
+        data[:] = -1
+        fresh = win.get(1)
+        win.unlock(1)
+        assert np.array_equal(fresh, np.arange(10.0))
+
+    def test_concurrent_shared_locks(self):
+        win = self._win()
+        win.lock(1)
+        win.lock(2)
+        assert win.get(1) is not None
+        assert win.get(2) is not None
+        win.unlock(1)
+        win.unlock(2)
+
+    def test_exclusive_excludes_shared(self):
+        win = self._win()
+        win.lock(1, exclusive=True)
+        with pytest.raises(LockViolation):
+            win.lock(2)
+        win.unlock(1)
+
+    def test_shared_blocks_exclusive(self):
+        win = self._win()
+        win.lock(1)
+        with pytest.raises(LockViolation):
+            win.lock(2, exclusive=True)
+        win.unlock(1)
+
+    def test_put_requires_exclusive(self):
+        win = self._win()
+        win.lock(1)
+        with pytest.raises(LockViolation, match="exclusive"):
+            win.put(1, np.zeros(10))
+        win.unlock(1)
+        win.lock(1, exclusive=True)
+        win.put(1, np.ones(10))
+        assert np.array_equal(win.get(1), np.ones(10))
+        win.unlock(1)
+
+    def test_double_shared_lock_same_origin(self):
+        win = self._win()
+        win.lock(1)
+        with pytest.raises(LockViolation):
+            win.lock(1)
+        win.unlock(1)
+
+    def test_unlock_without_lock(self):
+        win = self._win()
+        with pytest.raises(LockViolation):
+            win.unlock(3)
+
+    def test_indexed_get(self):
+        win = self._win()
+        win.lock(1)
+        assert np.array_equal(win.get(1, slice(2, 5)), [2.0, 3.0, 4.0])
+        win.unlock(1)
+
+
+class TestSimComm:
+    def test_window_registry(self):
+        comm = SimComm(2)
+        comm.create_window(0, "a", np.zeros(4))
+        assert comm.window(0, "a").shape == (4,)
+        with pytest.raises(KeyError):
+            comm.window(1, "a")
+        with pytest.raises(ValueError):
+            comm.create_window(0, "a", np.zeros(4))
+
+    def test_get_moves_real_data(self):
+        comm = SimComm(2)
+        payload = np.arange(12.0).reshape(3, 4)
+        comm.create_window(1, "data", payload)
+        got = comm.get(0, 1, "data")
+        assert np.array_equal(got, payload)
+
+    def test_remote_get_charges_clock(self):
+        model = CommModel(latency=1e-3, bandwidth=1e6, epoch_overhead=0.0)
+        comm = SimComm(2, comm_model=model)
+        comm.create_window(1, "d", np.zeros(125))  # 1000 bytes
+        comm.get(0, 1, "d")
+        assert comm.clocks[0] == pytest.approx(1e-3 + 1e-3)
+        assert comm.clocks[1] == 0.0
+
+    def test_local_get_free(self):
+        comm = SimComm(2)
+        comm.create_window(0, "d", np.zeros(1000))
+        comm.get(0, 0, "d")
+        assert comm.clocks[0] == 0.0
+        assert comm.stats[0].bytes_local == 8000
+
+    def test_stats_by_peer(self):
+        comm = SimComm(3)
+        comm.create_window(1, "d", np.zeros(10))
+        comm.create_window(2, "d", np.zeros(20))
+        comm.get(0, 1, "d")
+        comm.get(0, 2, "d")
+        assert comm.stats[0].by_peer == {1: 80, 2: 160}
+        assert comm.stats[0].bytes_remote == 240
+
+    def test_put(self):
+        comm = SimComm(2)
+        comm.create_window(1, "d", np.zeros(4))
+        comm.put(0, 1, "d", np.ones(4))
+        assert np.array_equal(comm.get(0, 1, "d"), np.ones(4))
+
+    def test_barrier_aligns_clocks(self):
+        comm = SimComm(3)
+        comm.advance_clock(0, 1.0)
+        comm.advance_clock(2, 3.0)
+        t = comm.barrier()
+        assert t == 3.0
+        assert np.all(comm.clocks == 3.0)
+
+    def test_rank_handle(self):
+        comm = SimComm(4)
+        h = comm.rank_handle(2)
+        assert h.size == 4
+        assert h.remote_ranks() == [0, 1, 3]
+        h.create_window("w", np.zeros(2))
+        assert comm.window(2, "w") is not None
+
+    def test_invalid_ranks(self):
+        comm = SimComm(2)
+        with pytest.raises(ValueError):
+            comm.rank_handle(2)
+        with pytest.raises(ValueError):
+            comm.advance_clock(-1, 1.0)
+        with pytest.raises(ValueError):
+            comm.advance_clock(0, -1.0)
+        with pytest.raises(ValueError):
+            SimComm(0)
+
+    def test_free_windows(self):
+        comm = SimComm(1)
+        comm.create_window(0, "w", np.zeros(1))
+        comm.free_windows()
+        with pytest.raises(KeyError):
+            comm.window(0, "w")

@@ -1,0 +1,148 @@
+"""Tests for the performance model (machine specs, comm model, timers)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.perf import (
+    CPU_XEON_X5650,
+    GPU_P100,
+    GPU_TITAN_V,
+    CommModel,
+    INFINIBAND_COMET,
+    MachineSpec,
+    PhaseTimes,
+    Stopwatch,
+)
+
+
+class TestMachineSpec:
+    def test_presets_sane(self):
+        assert GPU_TITAN_V.kind == "gpu"
+        assert GPU_P100.kind == "gpu"
+        assert CPU_XEON_X5650.kind == "cpu"
+
+    def test_gpu_at_least_100x_cpu(self):
+        """Paper Fig. 4: BLTC runs >= 100x faster on the GPU than the CPU."""
+        ratio = GPU_TITAN_V.interaction_rate / CPU_XEON_X5650.interaction_rate
+        assert ratio >= 100.0
+
+    def test_titan_v_faster_than_p100(self):
+        # 7.45 vs 4.7 TFLOP/s DP.
+        assert GPU_TITAN_V.interaction_rate > GPU_P100.interaction_rate
+
+    def test_invalid_kind(self):
+        with pytest.raises(ValueError):
+            MachineSpec(name="x", kind="tpu", interaction_rate=1.0,
+                        transcendental_penalty=0.0)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            MachineSpec(name="x", kind="cpu", interaction_rate=0.0,
+                        transcendental_penalty=0.0)
+
+    def test_occupancy_saturates_at_one(self):
+        s = GPU_TITAN_V
+        assert s.occupancy(10 * s.saturation_blocks) == 1.0
+        assert s.occupancy(s.saturation_blocks) == 1.0
+
+    def test_occupancy_scales_down(self):
+        s = GPU_TITAN_V
+        half = s.occupancy(s.saturation_blocks // 2)
+        assert 0.4 < half < 0.6
+
+    def test_occupancy_floor(self):
+        s = GPU_TITAN_V
+        assert s.occupancy(0) == s.min_efficiency
+        assert s.occupancy(1) >= s.min_efficiency
+
+    def test_interaction_time_linear_in_work(self):
+        t1 = GPU_TITAN_V.interaction_time(1e9)
+        t2 = GPU_TITAN_V.interaction_time(2e9)
+        assert t2 == pytest.approx(2 * t1)
+
+    def test_interaction_time_flop_scaling(self):
+        base = GPU_TITAN_V.interaction_time(1e9, flops_per_interaction=20)
+        heavy = GPU_TITAN_V.interaction_time(1e9, flops_per_interaction=40)
+        assert heavy == pytest.approx(2 * base)
+
+    def test_cpu_transfer_free(self):
+        assert CPU_XEON_X5650.transfer_time(1 << 30) == 0.0
+
+    def test_gpu_transfer_alpha_beta(self):
+        t = GPU_TITAN_V.transfer_time(12.0e9)
+        assert t == pytest.approx(GPU_TITAN_V.transfer_latency + 1.0)
+
+
+class TestCommModel:
+    def test_op_time(self):
+        m = CommModel(latency=1e-6, bandwidth=1e9, epoch_overhead=1e-6)
+        assert m.op_time(1e9) == pytest.approx(1.0 + 2e-6)
+
+    def test_multiple_ops(self):
+        m = CommModel(latency=1e-6, bandwidth=1e9, epoch_overhead=0.0)
+        assert m.op_time(0, n_ops=100) == pytest.approx(1e-4)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            CommModel(bandwidth=0.0)
+        with pytest.raises(ValueError):
+            CommModel(latency=-1.0)
+        with pytest.raises(ValueError):
+            INFINIBAND_COMET.op_time(-5)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        a=st.floats(0, 1e9, allow_nan=False),
+        b=st.floats(0, 1e9, allow_nan=False),
+    )
+    def test_monotone_in_bytes(self, a, b):
+        lo, hi = min(a, b), max(a, b)
+        assert INFINIBAND_COMET.op_time(lo) <= INFINIBAND_COMET.op_time(hi)
+
+
+class TestPhaseTimes:
+    def test_total_and_add(self):
+        p = PhaseTimes(setup=1.0, precompute=2.0, compute=3.0)
+        q = PhaseTimes(setup=0.5, precompute=0.5, compute=0.5)
+        assert p.total == 6.0
+        assert (p + q).total == 7.5
+
+    def test_max_with(self):
+        p = PhaseTimes(setup=1.0, precompute=5.0, compute=1.0)
+        q = PhaseTimes(setup=2.0, precompute=1.0, compute=1.5)
+        m = p.max_with(q)
+        assert (m.setup, m.precompute, m.compute) == (2.0, 5.0, 1.5)
+
+    def test_fractions_sum_to_one(self):
+        p = PhaseTimes(setup=1.0, precompute=1.0, compute=2.0)
+        f = p.fractions()
+        assert sum(f.values()) == pytest.approx(1.0)
+        assert f["compute"] == pytest.approx(0.5)
+
+    def test_fractions_of_zero(self):
+        assert all(v == 0.0 for v in PhaseTimes().fractions().values())
+
+    def test_as_dict(self):
+        p = PhaseTimes(setup=1.0)
+        assert p.as_dict() == {"setup": 1.0, "precompute": 0.0, "compute": 0.0}
+
+
+class TestStopwatch:
+    def test_measures_time(self):
+        import time
+
+        w = Stopwatch()
+        with w:
+            time.sleep(0.01)
+        assert w.elapsed >= 0.009
+
+    def test_accumulates(self):
+        w = Stopwatch()
+        with w:
+            pass
+        first = w.elapsed
+        with w:
+            pass
+        assert w.elapsed >= first

@@ -1,0 +1,107 @@
+"""Unit and property tests for repro.partition.rcb."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.partition import partition_sizes, rcb_partition
+from repro.workloads import gaussian_clusters, random_cube
+
+
+class TestPartitionSizes:
+    def test_even(self):
+        assert np.array_equal(partition_sizes(12, 4), [3, 3, 3, 3])
+
+    def test_uneven(self):
+        assert np.array_equal(partition_sizes(13, 4), [4, 3, 3, 3])
+
+    def test_six_parts_of_unit_square(self):
+        """Fig. 2b: six partitions, each with 1/6 of the load."""
+        sizes = partition_sizes(6000, 6)
+        assert np.all(sizes == 1000)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            partition_sizes(5, 0)
+
+
+class TestRcb:
+    @pytest.mark.parametrize("parts", [1, 2, 3, 4, 6, 7, 8, 32])
+    def test_balance(self, parts):
+        p = random_cube(3200, seed=0)
+        labels = rcb_partition(p.positions, parts)
+        counts = np.bincount(labels, minlength=parts)
+        assert counts.max() - counts.min() <= parts  # near-perfect balance
+        assert counts.sum() == 3200
+        assert set(np.unique(labels)) == set(range(parts))
+
+    def test_exact_balance_power_of_two(self):
+        p = random_cube(4096, seed=1)
+        labels = rcb_partition(p.positions, 8)
+        counts = np.bincount(labels)
+        assert np.all(counts == 512)
+
+    def test_partitions_are_spatially_separable(self):
+        """Each pair of partitions is separated by an axis-aligned cut at
+        the top level: the first cut splits cleanly."""
+        p = random_cube(2000, seed=2)
+        labels = rcb_partition(p.positions, 2)
+        a = p.positions[labels == 0]
+        b = p.positions[labels == 1]
+        # There must exist an axis where a and b barely overlap.
+        overlaps = []
+        for d in range(3):
+            overlaps.append(
+                min(a[:, d].max(), b[:, d].max())
+                - max(a[:, d].min(), b[:, d].min())
+            )
+        assert min(overlaps) <= 1e-6  # cut plane => near-zero overlap
+
+    def test_clustered_input_still_balanced(self):
+        p = gaussian_clusters(3000, n_clusters=3, seed=3, spread=0.01)
+        labels = rcb_partition(p.positions, 5)
+        counts = np.bincount(labels, minlength=5)
+        assert counts.max() - counts.min() <= 5
+
+    def test_cycle_axis_policy(self):
+        """Fig. 2 alternation: the first cut is in y."""
+        p = random_cube(1000, seed=4)
+        labels = rcb_partition(p.positions, 2, axis_policy="cycle")
+        a = p.positions[labels == 0]
+        b = p.positions[labels == 1]
+        # y-ranges must be disjoint (the cut was perpendicular to y).
+        assert a[:, 1].max() <= b[:, 1].min() or b[:, 1].max() <= a[:, 1].min()
+
+    def test_single_part(self):
+        p = random_cube(100, seed=5)
+        labels = rcb_partition(p.positions, 1)
+        assert np.all(labels == 0)
+
+    def test_errors(self):
+        p = random_cube(10, seed=6)
+        with pytest.raises(ValueError):
+            rcb_partition(p.positions, 0)
+        with pytest.raises(ValueError):
+            rcb_partition(p.positions, 11)
+        with pytest.raises(ValueError):
+            rcb_partition(p.positions, 2, axis_policy="diagonal")
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=500),
+        parts=st.integers(min_value=1, max_value=16),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_property_balance_and_coverage(self, n, parts, seed):
+        if parts > n:
+            return
+        rng = np.random.default_rng(seed)
+        pts = rng.uniform(-1, 1, size=(n, 3))
+        labels = rcb_partition(pts, parts)
+        counts = np.bincount(labels, minlength=parts)
+        assert counts.sum() == n
+        assert counts.min() >= 1
+        # Weighted-median splitting keeps parts within a small additive
+        # band of perfect balance.
+        assert counts.max() - counts.min() <= max(2, parts)

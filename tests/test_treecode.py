@@ -1,0 +1,245 @@
+"""Integration tests for the single-device BLTC driver.
+
+These are the paper's core accuracy claims: the BLTC converges to the
+direct sum as the interpolation degree grows (Fig. 4's x-axis), tighter
+MAC values give smaller errors, the method is kernel-independent, and the
+GPU timing model reproduces the >=100x CPU speedup.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    BarycentricTreecode,
+    CoulombKernel,
+    CPU_XEON_X5650,
+    GPU_TITAN_V,
+    GaussianKernel,
+    InverseMultiquadricKernel,
+    TreecodeParams,
+    YukawaKernel,
+    direct_sum,
+    plummer_sphere,
+    random_cube,
+    relative_l2_error,
+)
+
+
+@pytest.fixture(scope="module")
+def cube2000():
+    return random_cube(2000, seed=0)
+
+
+@pytest.fixture(scope="module")
+def coulomb_ref(cube2000):
+    return direct_sum(
+        cube2000.positions, cube2000.positions, cube2000.charges, CoulombKernel()
+    )
+
+
+def _params(**kw):
+    base = dict(theta=0.7, degree=4, max_leaf_size=150, max_batch_size=150)
+    base.update(kw)
+    return TreecodeParams(**base)
+
+
+class TestAccuracy:
+    def test_error_decreases_with_degree(self, cube2000, coulomb_ref):
+        """Fig. 4: error falls with n until machine precision."""
+        errs = []
+        for n in (1, 3, 5, 7):
+            tc = BarycentricTreecode(CoulombKernel(), _params(degree=n))
+            res = tc.compute(cube2000)
+            errs.append(relative_l2_error(coulomb_ref, res.potential))
+        assert errs[1] < errs[0]
+        assert errs[2] < errs[1]
+        assert errs[2] < 1e-5
+
+    def test_machine_precision_reachable(self, cube2000, coulomb_ref):
+        """With small clusters, high degree forces everything direct ->
+        machine precision, exactly as the Fig. 4 curves terminate."""
+        tc = BarycentricTreecode(CoulombKernel(), _params(degree=10))
+        res = tc.compute(cube2000)
+        assert relative_l2_error(coulomb_ref, res.potential) < 1e-13
+
+    def test_smaller_theta_smaller_error(self, cube2000, coulomb_ref):
+        errs = {}
+        for theta in (0.5, 0.9):
+            tc = BarycentricTreecode(
+                CoulombKernel(), _params(theta=theta, degree=3)
+            )
+            errs[theta] = relative_l2_error(
+                coulomb_ref, tc.compute(cube2000).potential
+            )
+        assert errs[0.5] <= errs[0.9]
+
+    def test_yukawa_accuracy(self, cube2000):
+        kernel = YukawaKernel(kappa=0.5)
+        ref = direct_sum(
+            cube2000.positions, cube2000.positions, cube2000.charges, kernel
+        )
+        tc = BarycentricTreecode(kernel, _params(degree=6))
+        err = relative_l2_error(ref, tc.compute(cube2000).potential)
+        assert err < 1e-6
+
+    @pytest.mark.parametrize(
+        "kernel",
+        [GaussianKernel(sigma=0.8), InverseMultiquadricKernel(c=0.4)],
+        ids=["gaussian", "imq"],
+    )
+    def test_kernel_independence(self, cube2000, kernel):
+        """Any smooth kernel plugs in with only kernel evaluations."""
+        ref = direct_sum(
+            cube2000.positions, cube2000.positions, cube2000.charges, kernel
+        )
+        tc = BarycentricTreecode(kernel, _params(degree=6))
+        err = relative_l2_error(ref, tc.compute(cube2000).potential)
+        assert err < 1e-5
+
+    def test_nonuniform_distribution(self):
+        p = plummer_sphere(1500, seed=1)
+        kernel = CoulombKernel()
+        ref = direct_sum(p.positions, p.positions, p.charges, kernel)
+        tc = BarycentricTreecode(kernel, _params(degree=6))
+        err = relative_l2_error(ref, tc.compute(p).potential)
+        assert err < 1e-4
+
+    def test_disjoint_targets_and_sources(self, cube2000):
+        """BEM-style usage: targets != sources (paper Sec. 2.4)."""
+        rng = np.random.default_rng(2)
+        targets = rng.uniform(-1, 1, size=(500, 3))
+        kernel = CoulombKernel()
+        ref = kernel.potential(targets, cube2000.positions, cube2000.charges)
+        tc = BarycentricTreecode(kernel, _params(degree=6))
+        res = tc.compute(cube2000, targets=targets)
+        assert relative_l2_error(ref, res.potential) < 1e-6
+
+    def test_mixed_precision_mode(self, cube2000, coulomb_ref):
+        """float32 evaluation: ~single-precision accuracy (Sec. 5)."""
+        tc = BarycentricTreecode(
+            CoulombKernel(), _params(degree=6, dtype=np.float32)
+        )
+        err = relative_l2_error(coulomb_ref, tc.compute(cube2000).potential)
+        assert 1e-9 < err < 1e-4
+
+
+class TestResultRecord:
+    def test_phases_positive(self, cube2000):
+        res = BarycentricTreecode(CoulombKernel(), _params()).compute(cube2000)
+        assert res.phases.setup > 0
+        assert res.phases.precompute > 0
+        assert res.phases.compute > 0
+        assert res.simulated_total == pytest.approx(res.phases.total)
+        assert res.wall_seconds > 0
+
+    def test_stats_consistency(self, cube2000):
+        res = BarycentricTreecode(CoulombKernel(), _params()).compute(cube2000)
+        s = res.stats
+        assert s["n_sources"] == 2000 and s["n_targets"] == 2000
+        assert s["n_batches"] >= 1
+        # Launches: one per batch-cluster interaction + 2 per moment cluster.
+        expected = (
+            s["n_approx_interactions"]
+            + s["n_direct_interactions"]
+            + 2 * s["n_clusters_with_moments"]
+        )
+        assert s["launches"] == expected
+        assert s["bytes_h2d"] > 0 and s["bytes_d2h"] > 0
+
+    def test_potential_not_all_zero(self, cube2000):
+        res = BarycentricTreecode(CoulombKernel(), _params()).compute(cube2000)
+        assert np.all(np.isfinite(res.potential))
+        assert np.linalg.norm(res.potential) > 0
+
+
+class TestTimingModel:
+    def test_gpu_vs_cpu_speedup(self):
+        """Paper Fig. 4 conclusion (2): the BLTC runs much faster on the
+        GPU than the CPU -- *provided* the batches are large enough for
+        occupancy (the paper uses NB = NL ~ 2000 for exactly this
+        reason).  At this reduced scale the model gives >= 40x; the full
+        >= 100x is exercised at paper scale by the Fig. 4 benchmark and
+        by the device-model unit test."""
+        # N chosen so the octree lands just under NL (12000 -> 8 leaves of
+        # ~1500): batches of ~1500 targets saturate the device model.
+        p = random_cube(12_000, seed=4)
+        params = TreecodeParams(
+            theta=0.8, degree=4, max_leaf_size=2000, max_batch_size=2000
+        )
+        gpu = BarycentricTreecode(
+            CoulombKernel(), params, machine=GPU_TITAN_V
+        ).compute(p)
+        cpu = BarycentricTreecode(
+            CoulombKernel(), params, machine=CPU_XEON_X5650
+        ).compute(p)
+        assert np.allclose(gpu.potential, cpu.potential)  # identical numerics
+        speedup = cpu.phases.compute / gpu.phases.compute
+        assert speedup >= 40.0
+
+    def test_small_batches_hurt_gpu_occupancy(self, cube2000):
+        """The flip side of target batching (Sec. 3.2): tiny batches leave
+        the GPU latency-bound, eroding its advantage."""
+        small = _params(max_leaf_size=30, max_batch_size=30)
+        big = _params(max_leaf_size=400, max_batch_size=400)
+        t_small = BarycentricTreecode(
+            CoulombKernel(), small, machine=GPU_TITAN_V
+        ).compute(cube2000)
+        t_big = BarycentricTreecode(
+            CoulombKernel(), big, machine=GPU_TITAN_V
+        ).compute(cube2000)
+        assert t_big.phases.compute < t_small.phases.compute
+
+    def test_async_streams_faster(self, cube2000):
+        params = _params(degree=4)
+        fast = BarycentricTreecode(
+            CoulombKernel(), params, async_streams=True
+        ).compute(cube2000)
+        slow = BarycentricTreecode(
+            CoulombKernel(), params, async_streams=False
+        ).compute(cube2000)
+        assert fast.phases.compute < slow.phases.compute
+        assert np.allclose(fast.potential, slow.potential)
+
+    def test_yukawa_slower_than_coulomb(self, cube2000):
+        """Paper Sec. 4: Yukawa run times exceed Coulomb's."""
+        params = _params(degree=4)
+        c = BarycentricTreecode(CoulombKernel(), params).compute(cube2000)
+        y = BarycentricTreecode(YukawaKernel(0.5), params).compute(cube2000)
+        assert y.phases.compute > c.phases.compute
+
+    def test_treecode_beats_direct_sum_model(self):
+        """O(N log N) vs O(N^2): at a few hundred thousand particles the
+        treecode's simulated time undercuts the single-launch GPU direct
+        sum (Fig. 4 red line).  Model-only (dry-run) mode keeps the real
+        tree/lists but skips Python numerics."""
+        from repro.perf.machine import GPU_TITAN_V as spec
+
+        p = random_cube(300_000, seed=3)
+        params = TreecodeParams(
+            theta=0.8, degree=8, max_leaf_size=2000, max_batch_size=2000
+        )
+        tc_res = BarycentricTreecode(CoulombKernel(), params).compute(
+            p, dry_run=True
+        )
+        direct_interactions = 300_000.0**2
+        direct_time = spec.interaction_time(
+            direct_interactions, blocks=300_000
+        )
+        assert tc_res.phases.total < direct_time
+        # And the treecode actually used approximations to get there.
+        assert tc_res.stats["n_approx_interactions"] > 0
+
+    def test_dry_run_matches_real_run_accounting(self, cube2000):
+        """Dry-run produces identical simulated times and launch counts to
+        the real run; only the potential differs (zeros)."""
+        params = _params(degree=4)
+        real = BarycentricTreecode(CoulombKernel(), params).compute(cube2000)
+        dry = BarycentricTreecode(CoulombKernel(), params).compute(
+            cube2000, dry_run=True
+        )
+        assert dry.stats["launches"] == real.stats["launches"]
+        assert dry.stats["kernel_evaluations"] == pytest.approx(
+            real.stats["kernel_evaluations"]
+        )
+        assert dry.phases.total == pytest.approx(real.phases.total)
+        assert np.all(dry.potential == 0.0)

@@ -1,0 +1,91 @@
+"""Unit tests for repro.util."""
+
+import numpy as np
+import pytest
+
+from repro.util import TINY, as_charges, as_points, chunk_ranges, default_rng
+
+
+class TestAsPoints:
+    def test_accepts_n_by_3(self):
+        pts = as_points([[0.0, 1.0, 2.0], [3.0, 4.0, 5.0]])
+        assert pts.shape == (2, 3)
+        assert pts.dtype == np.float64
+
+    def test_single_point_promoted(self):
+        pts = as_points([1.0, 2.0, 3.0])
+        assert pts.shape == (1, 3)
+
+    def test_rejects_wrong_width(self):
+        with pytest.raises(ValueError, match="shape"):
+            as_points(np.zeros((4, 2)))
+
+    def test_rejects_nan(self):
+        bad = np.zeros((2, 3))
+        bad[1, 1] = np.nan
+        with pytest.raises(ValueError, match="finite"):
+            as_points(bad)
+
+    def test_rejects_inf(self):
+        bad = np.zeros((2, 3))
+        bad[0, 2] = np.inf
+        with pytest.raises(ValueError, match="finite"):
+            as_points(bad)
+
+    def test_contiguous_output(self):
+        base = np.zeros((6, 6))
+        view = base[:, :3]
+        out = as_points(view)
+        assert out.flags["C_CONTIGUOUS"]
+
+
+class TestAsCharges:
+    def test_basic(self):
+        q = as_charges([1.0, -2.0], 2)
+        assert q.shape == (2,)
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ValueError, match="shape"):
+            as_charges([1.0, 2.0], 3)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="shape"):
+            as_charges(np.zeros((2, 2)), 2)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="finite"):
+            as_charges([1.0, np.nan], 2)
+
+
+class TestChunkRanges:
+    def test_exact_division(self):
+        assert list(chunk_ranges(6, 2)) == [(0, 2), (2, 4), (4, 6)]
+
+    def test_remainder(self):
+        assert list(chunk_ranges(5, 2)) == [(0, 2), (2, 4), (4, 5)]
+
+    def test_chunk_larger_than_n(self):
+        assert list(chunk_ranges(3, 100)) == [(0, 3)]
+
+    def test_zero_n(self):
+        assert list(chunk_ranges(0, 4)) == []
+
+    def test_invalid_chunk(self):
+        with pytest.raises(ValueError):
+            list(chunk_ranges(4, 0))
+
+    def test_covers_everything_once(self):
+        seen = []
+        for lo, hi in chunk_ranges(97, 13):
+            seen.extend(range(lo, hi))
+        assert seen == list(range(97))
+
+
+def test_tiny_is_smallest_normal_double():
+    assert TINY == np.finfo(np.float64).tiny
+
+
+def test_default_rng_deterministic():
+    a = default_rng(5).uniform(size=4)
+    b = default_rng(5).uniform(size=4)
+    assert np.array_equal(a, b)

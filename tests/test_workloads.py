@@ -1,0 +1,106 @@
+"""Unit tests for repro.workloads."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    ParticleSet,
+    gaussian_clusters,
+    plummer_sphere,
+    random_cube,
+    sphere_surface,
+)
+
+
+class TestParticleSet:
+    def test_validates_shapes(self):
+        with pytest.raises(ValueError):
+            ParticleSet(np.zeros((3, 2)), np.zeros(3))
+        with pytest.raises(ValueError):
+            ParticleSet(np.zeros((3, 3)), np.zeros(4))
+
+    def test_len_and_n(self):
+        p = random_cube(17, seed=0)
+        assert len(p) == 17 and p.n == 17
+
+    def test_subset_preserves_pairs(self):
+        p = random_cube(30, seed=0)
+        s = p.subset(np.array([3, 7, 11]))
+        assert np.array_equal(s.positions, p.positions[[3, 7, 11]])
+        assert np.array_equal(s.charges, p.charges[[3, 7, 11]])
+
+    def test_nbytes(self):
+        p = random_cube(10, seed=0)
+        assert p.nbytes() == 10 * 3 * 8 + 10 * 8
+
+
+class TestRandomCube:
+    def test_bounds(self):
+        p = random_cube(500, seed=1)
+        assert np.all(p.positions >= -1.0) and np.all(p.positions <= 1.0)
+        assert np.all(p.charges >= -1.0) and np.all(p.charges <= 1.0)
+
+    def test_deterministic_by_seed(self):
+        a = random_cube(100, seed=9)
+        b = random_cube(100, seed=9)
+        assert np.array_equal(a.positions, b.positions)
+        assert np.array_equal(a.charges, b.charges)
+
+    def test_custom_box(self):
+        p = random_cube(200, seed=2, low=0.0, high=2.0)
+        assert p.positions.min() >= 0.0 and p.positions.max() <= 2.0
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            random_cube(0)
+
+
+class TestPlummer:
+    def test_equal_masses_sum_to_total(self):
+        p = plummer_sphere(400, seed=3, total_mass=2.0)
+        assert np.allclose(p.charges, 2.0 / 400)
+        assert p.charges.sum() == pytest.approx(2.0)
+
+    def test_centrally_concentrated(self):
+        p = plummer_sphere(5000, seed=4, scale=1.0)
+        r = np.linalg.norm(p.positions, axis=1)
+        # Plummer half-mass radius ~ 1.3 * scale.
+        assert np.median(r) < 2.5
+
+    def test_finite(self):
+        p = plummer_sphere(1000, seed=5)
+        assert np.all(np.isfinite(p.positions))
+
+
+class TestGaussianClusters:
+    def test_shape_and_charges(self):
+        p = gaussian_clusters(300, n_clusters=4, seed=6)
+        assert p.n == 300
+        assert np.all(np.abs(p.charges) <= 1.0)
+
+    def test_clustered_tighter_than_uniform(self):
+        p = gaussian_clusters(2000, n_clusters=3, seed=7, spread=0.01)
+        # Nearest-cluster-center spread should be tiny compared to the box.
+        from scipy.spatial import cKDTree
+
+        tree = cKDTree(p.positions)
+        d, _ = tree.query(p.positions, k=2)
+        assert np.median(d[:, 1]) < 0.05
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            gaussian_clusters(0)
+        with pytest.raises(ValueError):
+            gaussian_clusters(10, n_clusters=0)
+
+
+class TestSphereSurface:
+    def test_on_sphere(self):
+        p = sphere_surface(500, seed=8, radius=2.0)
+        r = np.linalg.norm(p.positions, axis=1)
+        assert np.allclose(r, 2.0)
+
+    def test_roughly_isotropic(self):
+        p = sphere_surface(20000, seed=9)
+        mean = p.positions.mean(axis=0)
+        assert np.all(np.abs(mean) < 0.05)
