@@ -1,0 +1,166 @@
+"""Backend-fusion ablation: fused vs reference execution of one plan.
+
+The execution-plan refactor separates *compiling* the work (gathering
+CSR index arrays and shared source buffers) from *executing* it.  This
+benchmark compiles one plan per regime and times each backend on it:
+
+* ``numpy``  -- the seed implementation's blocked semantics: per-batch
+  re-concatenation of segment sources plus per-launch device accounting
+  interleaved with the numerics (the pre-refactor hot path);
+* ``fused``  -- zero-copy evaluation from the shared pre-gathered
+  buffers plus vectorized (bulk) launch charging;
+* ``model``  -- launch accounting only (the dry-run path), showing what
+  plan-derived bulk charging does for paper-scale timing studies.
+
+The fusion advantage is largest where the seed path was overhead-bound
+-- many small batches, shallow interpolation degree (exactly the
+regime the paper's Sec. 3.2 batching discussion worries about) -- and
+tapers toward 1x where dense kernel arithmetic dominates.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from conftest import write_result
+from repro import CoulombKernel, TreecodeParams, get_backend, random_cube
+from repro.analysis import format_table
+from repro.core.interaction_lists import build_interaction_lists
+from repro.core.moments import precompute_moments
+from repro.core.plan import compile_plan
+from repro.gpu.device import GpuDevice
+from repro.perf.machine import GPU_TITAN_V
+from repro.tree.batches import TargetBatches
+from repro.tree.octree import ClusterTree
+
+#: (label, n, theta, degree, NB=NL, compute_forces)
+REGIMES = [
+    ("small batches", 30_000, 0.8, 2, 60, False),
+    ("balanced", 30_000, 0.8, 3, 100, False),
+    ("small + forces", 15_000, 0.8, 2, 60, True),
+]
+
+BACKENDS = ("numpy", "fused", "model")
+ROUNDS = 3
+
+
+def _compiled_plan(n, theta, degree, leaf):
+    p = random_cube(n, seed=900)
+    params = TreecodeParams(
+        theta=theta, degree=degree, max_leaf_size=leaf, max_batch_size=leaf
+    )
+    tree = ClusterTree(p.positions, leaf)
+    batches = TargetBatches(p.positions, leaf)
+    moments = precompute_moments(tree, p.charges, params)
+    lists = build_interaction_lists(batches, tree, params)
+    return compile_plan(tree, batches, moments, lists, p.charges, params)
+
+
+def _time_backend(backend, plan, *, forces):
+    kernel = CoulombKernel()
+    best = float("inf")
+    results = None
+    for _ in range(ROUNDS):
+        device = GpuDevice(GPU_TITAN_V)
+        t0 = time.perf_counter()
+        out = backend.execute(
+            plan, kernel, device, compute_forces=forces
+        )
+        best = min(best, time.perf_counter() - t0)
+        results = (out, device)
+    return best, results
+
+
+@pytest.fixture(scope="module")
+def fusion_sweep():
+    rows = []
+    checks = []
+    for label, n, theta, degree, leaf, forces in REGIMES:
+        plan = _compiled_plan(n, theta, degree, leaf)
+        seconds = {}
+        outputs = {}
+        for name in BACKENDS:
+            seconds[name], outputs[name] = _time_backend(
+                get_backend(name), plan, forces=forces
+            )
+        checks.append((label, outputs))
+        rows.append(
+            {
+                "regime": label,
+                "n": n,
+                "degree": degree,
+                "batch": leaf,
+                "segments": plan.n_segments,
+                "numpy_s": seconds["numpy"],
+                "fused_s": seconds["fused"],
+                "model_s": seconds["model"],
+                "speedup": seconds["numpy"] / seconds["fused"],
+                "model_x": seconds["numpy"] / seconds["model"],
+            }
+        )
+    return rows, checks
+
+
+def test_fusion_regenerate(benchmark, fusion_sweep, results_dir):
+    rows, _ = benchmark.pedantic(lambda: fusion_sweep, rounds=1, iterations=1)
+    headers = [
+        "regime", "N", "n", "NB", "segments",
+        "numpy (s)", "fused (s)", "model (s)",
+        "fused speedup", "model speedup",
+    ]
+    table = [
+        [
+            r["regime"], r["n"], r["degree"], r["batch"], r["segments"],
+            f"{r['numpy_s']:.3f}", f"{r['fused_s']:.3f}",
+            f"{r['model_s']:.4f}",
+            f"{r['speedup']:.2f}x", f"{r['model_x']:.0f}x",
+        ]
+        for r in rows
+    ]
+    text = format_table(
+        headers,
+        table,
+        title=(
+            "Backend fusion ablation -- wall-clock of one compiled plan "
+            "(min of 3 rounds; numpy = seed per-batch semantics, fused = "
+            "pre-gathered buffers + bulk launch charging)"
+        ),
+    )
+    write_result(results_dir, "ablation_backend_fusion.txt", text)
+
+
+def test_fused_wins_overhead_bound_regime(fusion_sweep):
+    """Many small batches: the regime the refactor targets."""
+    rows, _ = fusion_sweep
+    small = next(r for r in rows if r["regime"] == "small batches")
+    assert small["speedup"] > 1.15, small
+
+
+def test_fused_never_substantially_slower(fusion_sweep):
+    rows, _ = fusion_sweep
+    for r in rows:
+        assert r["speedup"] > 0.75, r
+
+
+def test_model_backend_orders_of_magnitude_faster(fusion_sweep):
+    rows, _ = fusion_sweep
+    for r in rows:
+        assert r["model_x"] > 5.0, r
+
+
+def test_backends_agree_on_every_regime(fusion_sweep):
+    """The timing comparison is only meaningful if results agree."""
+    _, checks = fusion_sweep
+    for label, outputs in checks:
+        (phi_np, f_np), dev_np = outputs["numpy"]
+        (phi_fu, f_fu), dev_fu = outputs["fused"]
+        (phi_mo, _), dev_mo = outputs["model"]
+        assert np.allclose(phi_np, phi_fu, rtol=1e-9, atol=1e-12), label
+        if f_np is not None:
+            assert np.allclose(f_np, f_fu, rtol=1e-8, atol=1e-11), label
+        assert np.all(phi_mo == 0.0)
+        for dev in (dev_fu, dev_mo):
+            assert dev.counters.launches == dev_np.counters.launches
+            assert dev.counters.interactions == dev_np.counters.interactions
+            assert dev.elapsed() == pytest.approx(dev_np.elapsed())

@@ -38,7 +38,21 @@ from .kernels import (
     get_kernel,
     register_kernel,
 )
-from .core import BarycentricTreecode, TreecodeResult, direct_sum, direct_sum_at
+from .core import (
+    Backend,
+    BarycentricTreecode,
+    ExecutionPlan,
+    FusedBackend,
+    ModelBackend,
+    NumpyBackend,
+    TreecodeResult,
+    available_backends,
+    compile_plan,
+    direct_sum,
+    direct_sum_at,
+    get_backend,
+    register_backend,
+)
 from .distributed import DistributedBLTC, DistributedResult
 from .partition import rcb_partition
 from .perf import (
@@ -75,6 +89,15 @@ __all__ = [
     "register_kernel",
     "BarycentricTreecode",
     "TreecodeResult",
+    "ExecutionPlan",
+    "compile_plan",
+    "Backend",
+    "NumpyBackend",
+    "FusedBackend",
+    "ModelBackend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
     "DistributedBLTC",
     "DistributedResult",
     "direct_sum",

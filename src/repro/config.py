@@ -62,6 +62,15 @@ class TreecodeParams:
     #: (paper Sec. 2.3); guarantees some source coordinates coincide with
     #: Chebyshev point coordinates, exercising the removable singularities.
     shrink_to_fit: bool = True
+    #: Evaluation backend executing the compiled plan: ``"numpy"`` (the
+    #: reference blocked semantics), ``"fused"`` (pre-gathered buffers, no
+    #: per-batch concatenation -- faster, same counters) or ``"model"``
+    #: (launch accounting only).  Resolved through the registry in
+    #: :mod:`repro.core.backends` at compute time, so custom registered
+    #: backends are selectable by name; a ready-made
+    #: :class:`~repro.core.backends.Backend` instance (one carrying its
+    #: own state) is accepted directly and passes through the resolver.
+    backend: object = "numpy"
 
     def __post_init__(self) -> None:
         if not (0.0 < self.theta <= 1.0):
@@ -79,6 +88,19 @@ class TreecodeParams:
         if self.dtype not in (np.float32, np.float64):
             raise ValueError(
                 f"dtype must be numpy.float32 or numpy.float64, got {self.dtype}"
+            )
+        if isinstance(self.backend, str):
+            if not self.backend:
+                raise ValueError(
+                    "backend must be a non-empty registry name, got ''"
+                )
+        elif not callable(getattr(self.backend, "execute", None)):
+            # Duck-typed so this module never imports the backend
+            # package (which imports this one): anything with an
+            # execute() method is treated as a Backend instance.
+            raise ValueError(
+                "backend must be a registry name or a Backend instance, "
+                f"got {self.backend!r}"
             )
 
     @property

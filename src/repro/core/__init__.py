@@ -6,16 +6,30 @@
   traversal (BLTC algorithm lines 10-20) over local or remote trees.
 * :mod:`~repro.core.moments` -- modified charges (eq. 12) via the two
   preprocessing kernels (eqs. 14-15).
-* :mod:`~repro.core.executor` -- evaluates interaction lists with the
-  batch-cluster direct-sum and approximation kernels on a simulated device.
+* :mod:`~repro.core.plan` -- compiles (tree, batches, moments, lists)
+  into a flat :class:`~repro.core.plan.ExecutionPlan`.
+* :mod:`~repro.core.backends` -- pluggable plan-evaluation backends
+  (numpy reference, fused, model-only) behind one registry.
+* :mod:`~repro.core.executor` -- standalone per-batch evaluation
+  primitives (the pre-plan form, still useful for direct experiments).
 * :mod:`~repro.core.direct` -- the O(N^2) direct-summation baseline.
 * :mod:`~repro.core.treecode` -- the single-device BLTC driver.
 """
 
+from .backends import (
+    Backend,
+    FusedBackend,
+    ModelBackend,
+    NumpyBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+)
 from .direct import direct_sum, direct_sum_at
 from .mac import mac_accepts, mac_geometric
 from .interaction_lists import InteractionLists, build_interaction_lists
 from .moments import cluster_grid, modified_charges, precompute_moments
+from .plan import ExecutionPlan, PlanBuilder, compile_plan
 from .treecode import BarycentricTreecode, TreecodeResult
 
 __all__ = [
@@ -28,6 +42,16 @@ __all__ = [
     "precompute_moments",
     "direct_sum",
     "direct_sum_at",
+    "ExecutionPlan",
+    "PlanBuilder",
+    "compile_plan",
+    "Backend",
+    "NumpyBackend",
+    "FusedBackend",
+    "ModelBackend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
     "BarycentricTreecode",
     "TreecodeResult",
 ]

@@ -1,0 +1,83 @@
+"""Pluggable evaluation backends for compiled execution plans.
+
+The pipeline (single-device BLTC, distributed driver and the Sec. 5
+extension schemes) compiles its work into an
+:class:`~repro.core.plan.ExecutionPlan` and hands it to one of these
+backends:
+
+* :class:`NumpyBackend` (``"numpy"``) -- the reference; reproduces the
+  seed implementation's blocked per-batch arithmetic byte-for-byte.
+* :class:`FusedBackend` (``"fused"``) -- evaluates from the shared
+  pre-gathered buffers with no per-batch concatenation or copies;
+  bitwise-close results, measurably faster wall-clock.
+* :class:`ModelBackend` (``"model"``) -- launch accounting only (the
+  old ``dry_run`` mode); runs the timing model at paper scale.
+
+Select one with ``TreecodeParams(backend="fused")`` or register your own
+(numba, multiprocessing, a real GPU) via :func:`register_backend`.
+"""
+
+from __future__ import annotations
+
+from .base import (
+    Backend,
+    charge_plan_launches,
+    charge_segment_launches,
+    launch_cost_multiplier,
+)
+from .fused import FusedBackend
+from .model import ModelBackend
+from .numpy_backend import NumpyBackend
+
+__all__ = [
+    "Backend",
+    "NumpyBackend",
+    "FusedBackend",
+    "ModelBackend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "charge_plan_launches",
+    "charge_segment_launches",
+    "launch_cost_multiplier",
+]
+
+_REGISTRY: dict[str, type[Backend]] = {}
+
+
+def register_backend(cls: type[Backend]) -> type[Backend]:
+    """Register a backend class under ``cls.name`` (decorator-friendly)."""
+    name = getattr(cls, "name", None)
+    if not name or name == "abstract":
+        raise ValueError(f"backend class {cls!r} needs a distinct name")
+    _REGISTRY[name] = cls
+    return cls
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names of all registered backends."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_backend(name: str | Backend) -> Backend:
+    """Resolve a backend instance from a registry name.
+
+    Backend instances pass through unchanged, so drivers accept either a
+    name (registry lookup) or a ready-made object (custom backends that
+    carry their own state).
+    """
+    if isinstance(name, Backend):
+        return name
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {name!r}; available: "
+            f"{', '.join(available_backends())}"
+        ) from None
+    return cls()
+
+
+register_backend(NumpyBackend)
+register_backend(FusedBackend)
+register_backend(ModelBackend)

@@ -18,6 +18,7 @@ import numpy as np
 
 from ..gpu.device import Device
 from ..kernels.base import Kernel
+from .backends.base import launch_cost_multiplier
 
 __all__ = ["direct_sum", "direct_sum_at"]
 
@@ -51,9 +52,7 @@ def direct_sum(
             blocks=m,
             kind="direct",
             flops_per_interaction=kernel.flops_per_interaction,
-            cost_multiplier=kernel.cost_multiplier(
-                device.spec.transcendental_penalty
-            ),
+            cost_multiplier=launch_cost_multiplier(kernel, device, dtype),
         )
         device.download(m * np.dtype(dtype).itemsize)
     return kernel.potential(targets, sources, charges)

@@ -14,6 +14,11 @@ NumPy primitive (:meth:`repro.kernels.base.Kernel.potential`); the
 simulated device is charged per launch with the exact interaction count
 and block count.  Accumulation into the batch potential uses ``+=`` where
 the GPU uses an atomic update -- same arithmetic, no race to model.
+
+These are the standalone per-batch primitives; the pipeline drivers now
+compile their work into an :class:`~repro.core.plan.ExecutionPlan` and
+execute it through :mod:`repro.core.backends`, which share the same
+launch-charging helpers.
 """
 
 from __future__ import annotations
@@ -24,6 +29,11 @@ import numpy as np
 
 from ..gpu.device import Device
 from ..kernels.base import Kernel
+from .backends.base import (
+    FORCE_FLOP_FACTOR,
+    charge_segment_launches,
+    launch_cost_multiplier,
+)
 
 __all__ = [
     "execute_batch_interactions",
@@ -57,23 +67,15 @@ def execute_batch_forces(
     acc = np.zeros((m, 3), dtype=np.float64)
     if m == 0:
         return acc
-    cost_mult = kernel.cost_multiplier(device.spec.transcendental_penalty)
-    if np.dtype(dtype) == np.float32:
-        cost_mult *= 0.5
+    cost_mult = launch_cost_multiplier(kernel, device, dtype)
     tgt = np.ascontiguousarray(batch_points, dtype=dtype)
     for pairs, kind in ((approx_pairs, "approx-force"), (direct_pairs, "direct-force")):
         if not pairs:
             continue
-        for pts, _ in pairs:
-            device.launch(
-                float(m) * pts.shape[0],
-                blocks=m,
-                kind=kind,
-                # The gradient kernel costs roughly 2x the potential
-                # kernel (three components sharing one distance eval).
-                flops_per_interaction=2.0 * kernel.flops_per_interaction,
-                cost_multiplier=cost_mult,
-            )
+        charge_segment_launches(
+            device, kernel, m, [pts.shape[0] for pts, _ in pairs], kind,
+            cost_multiplier=cost_mult, flops_factor=FORCE_FLOP_FACTOR,
+        )
         src = np.concatenate([p for p, _ in pairs], axis=0)
         q = np.concatenate([w for _, w in pairs], axis=0)
         kernel.force(
@@ -91,27 +93,25 @@ def charge_batch_launches(
     n_targets: int,
     approx_sizes: Sequence[int],
     direct_sizes: Sequence[int],
+    *,
+    dtype=np.float64,
 ) -> None:
     """Record the kernel launches of one batch without any numerics.
 
-    Model-only (dry-run) counterpart of
-    :func:`execute_batch_interactions`: the device is charged for exactly
-    the same launches, with the same interaction counts and block counts,
-    but no potential is evaluated.  Used by the large-scale benchmark
-    harnesses where Python numerics would be prohibitive.
+    Model-only counterpart of :func:`execute_batch_interactions`: the
+    device is charged for exactly the same launches, with the same
+    interaction counts and block counts, but no potential is evaluated.
+    The pipeline's model mode now goes through
+    :class:`~repro.core.backends.ModelBackend`; this remains the
+    standalone per-batch form.
     """
     if n_targets == 0:
         return
-    cost_mult = kernel.cost_multiplier(device.spec.transcendental_penalty)
+    cost_mult = launch_cost_multiplier(kernel, device, dtype)
     for sizes, kind in ((approx_sizes, "approx"), (direct_sizes, "direct")):
-        for sz in sizes:
-            device.launch(
-                float(n_targets) * float(sz),
-                blocks=n_targets,
-                kind=kind,
-                flops_per_interaction=kernel.flops_per_interaction,
-                cost_multiplier=cost_mult,
-            )
+        charge_segment_launches(
+            device, kernel, n_targets, sizes, kind, cost_multiplier=cost_mult
+        )
 
 
 def execute_batch_interactions(
@@ -143,26 +143,19 @@ def execute_batch_interactions(
     acc = np.zeros(m, dtype=np.float64)
     if m == 0:
         return acc
-    cost_mult = kernel.cost_multiplier(device.spec.transcendental_penalty)
-    if np.dtype(dtype) == np.float32:
-        # Mixed precision (Sec. 5 future work): single-precision
-        # arithmetic doubles the FMA throughput on the Titan V / P100
-        # (DP:SP = 1:2), halving the kernel busy time.
-        cost_mult *= 0.5
+    # Mixed precision (Sec. 5 future work) halves the busy time on
+    # DP:SP = 1:2 devices; the rule lives on MachineSpec.
+    cost_mult = launch_cost_multiplier(kernel, device, dtype)
     tgt = np.ascontiguousarray(batch_points, dtype=dtype)
 
     for pairs, kind in ((approx_pairs, "approx"), (direct_pairs, "direct")):
         if not pairs:
             continue
         # One simulated kernel launch per (batch, cluster) pair ...
-        for pts, _ in pairs:
-            device.launch(
-                float(m) * pts.shape[0],
-                blocks=m,
-                kind=kind,
-                flops_per_interaction=kernel.flops_per_interaction,
-                cost_multiplier=cost_mult,
-            )
+        charge_segment_launches(
+            device, kernel, m, [pts.shape[0] for pts, _ in pairs], kind,
+            cost_multiplier=cost_mult,
+        )
         # ... but one fused numerical evaluation over the concatenated
         # sources, which is arithmetically identical (the potential is a
         # sum over all listed clusters) and far friendlier to NumPy.

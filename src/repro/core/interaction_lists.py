@@ -103,6 +103,31 @@ class InteractionLists:
         """Total batch-cluster direct interactions."""
         return int(sum(len(d) for d in self.direct))
 
+    def csr(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Flat CSR view ``(approx_ptr, approx_ids, direct_ptr, direct_ids)``.
+
+        ``approx_ids[approx_ptr[b]:approx_ptr[b+1]]`` are the cluster
+        indices batch ``b`` approximates (same order as ``approx[b]``),
+        and likewise for the direct side.  This is the array form the
+        execution-plan compiler consumes -- per-batch python lists never
+        reach the hot path.
+        """
+        approx_ptr = np.zeros(len(self.approx) + 1, dtype=np.intp)
+        np.cumsum([len(a) for a in self.approx], out=approx_ptr[1:])
+        direct_ptr = np.zeros(len(self.direct) + 1, dtype=np.intp)
+        np.cumsum([len(d) for d in self.direct], out=direct_ptr[1:])
+        approx_ids = (
+            np.concatenate(self.approx)
+            if self.approx
+            else np.empty(0, dtype=np.intp)
+        )
+        direct_ids = (
+            np.concatenate(self.direct)
+            if self.direct
+            else np.empty(0, dtype=np.intp)
+        )
+        return approx_ptr, approx_ids.astype(np.intp), direct_ptr, direct_ids.astype(np.intp)
+
 
 def traverse_batch(
     batch_center: np.ndarray,

@@ -85,8 +85,9 @@ def moment_flop_counts(n_cluster: int, degree: int) -> tuple[float, float]:
 class ClusterMoments:
     """Grids and modified charges for the clusters of one source tree.
 
-    In dry-run (model-only) mode the set of qualifying clusters
-    (``node_ids``) is tracked without computing any numerical moments.
+    Under a model-only backend (``numerics=False``) the set of
+    qualifying clusters (``node_ids``) is tracked without computing any
+    numerical moments.
     """
 
     def __init__(self, degree: int) -> None:
@@ -128,7 +129,7 @@ def precompute_moments(
     params: TreecodeParams,
     *,
     device: Device | None = None,
-    dry_run: bool = False,
+    numerics: bool = True,
 ) -> ClusterMoments:
     """Compute modified charges for every approximable cluster.
 
@@ -143,10 +144,11 @@ def precompute_moments(
     kernels per cluster: kernel 1 with one thread block per source
     particle, kernel 2 with one block per grid point (Sec. 3.2).
 
-    ``dry_run=True`` (model-only mode) records the qualifying clusters
-    and charges the device but skips the numerical tensor contractions;
-    used by the large-scale benchmark harnesses where only the timing
-    model is exercised.
+    ``numerics=False`` (driven by a model-only backend's
+    ``needs_numerics``) records the qualifying clusters and charges the
+    device but skips the numerical tensor contractions; used by the
+    large-scale benchmark harnesses where only the timing model is
+    exercised.
     """
     charges = np.asarray(charges, dtype=np.float64).ravel()
     if charges.shape[0] != tree.n_particles:
@@ -159,7 +161,7 @@ def precompute_moments(
         if params.size_check and not (n_ip < node.count):
             continue
         moments.node_ids.add(node.index)
-        if not dry_run:
+        if numerics:
             grid = cluster_grid(node, params.degree)
             idx = tree.node_indices(node)
             qhat = modified_charges(tree.positions[idx], charges[idx], grid)

@@ -1,0 +1,316 @@
+"""Execution-plan compiler: interaction lists -> flat, backend-ready arrays.
+
+The paper's GPU implementation separates *deciding* the work (tree
+traversal, Sec. 2.4) from *doing* it (kernel launches, Sec. 3.2).  This
+module is the analogous boundary in the reproduction: it compiles the
+per-batch interaction lists into an :class:`ExecutionPlan` -- CSR-style
+index arrays plus pre-gathered source buffers -- that the evaluation
+backends (:mod:`repro.core.backends`) consume without ever touching the
+tree, the moments dictionaries or per-batch python lists again.
+
+Plan anatomy
+------------
+A plan is a set of *groups*, each owning a contiguous block of target
+rows, and per group a run of *segments*, each one simulated kernel launch
+against a contiguous block of source rows:
+
+* ``group_ptr[g]:group_ptr[g+1]``     -- target rows of group ``g``;
+* ``seg_group_ptr[g]:seg_group_ptr[g+1]`` -- segments of group ``g``;
+* ``seg_ptr[s]:seg_ptr[s+1]``         -- source rows of segment ``s``;
+* ``seg_kind[s]``                     -- launch kind (index into
+  ``kind_names``: "approx", "direct", "cluster-cluster", ...).
+
+For the BLTC a group is a target batch and a segment is one
+(batch, cluster) pair; the cluster-particle and dual-tree extensions
+group by *target cluster* instead, with one segment per contributing
+source block -- the same structure serves all three schemes.
+
+Launch metadata (interaction count = group size x segment size, block
+count = group size, kind) is fully determined by the index arrays, so
+device-cost accounting derives from the plan alone; numerics are layered
+on top by whichever backend runs it.  A plan compiled with
+``numerics=False`` (model-only mode) carries the index arrays and sizes
+but no floating-point buffers -- enough for the timing model at paper
+scale without gathering a single coordinate.
+
+``out_index`` maps each target row to a slot of the caller's output
+vector (of length ``out_size``); compilers keep ``out_index`` injective
+over all target rows, so backends accumulate with a plain fancy-indexed
+``+=``.
+
+Memory trade-off: a numerics plan materializes every segment's source
+rows (clusters referenced by many batches are duplicated), trading
+O(total interaction rows / n_ip)-sized buffers for zero per-batch
+gathering at execution time.  At the scales this reproduction runs real
+numerics this is megabytes; paper-scale runs (10^6+ particles) go
+through model-only plans, which carry no buffers at all.  A streaming /
+shared-segment gather is a noted follow-up in ROADMAP.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..config import TreecodeParams
+    from ..tree.batches import TargetBatches
+    from ..tree.octree import ClusterTree
+    from .interaction_lists import InteractionLists
+    from .moments import ClusterMoments
+
+__all__ = ["ExecutionPlan", "PlanBuilder", "compile_plan"]
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """Flat, immutable description of one device's evaluation work."""
+
+    #: Segment-kind vocabulary; ``seg_kind`` indexes into it.
+    kind_names: tuple[str, ...]
+    #: (G+1,) target-row offsets per group.
+    group_ptr: np.ndarray
+    #: (G+1,) segment offsets per group.
+    seg_group_ptr: np.ndarray
+    #: (S,) kind index per segment.
+    seg_kind: np.ndarray
+    #: (S+1,) source-row offsets per segment.
+    seg_ptr: np.ndarray
+    #: Length of the output vector the plan accumulates into.
+    out_size: int
+    #: (T, 3) gathered target coordinates, or None in model-only mode.
+    targets: np.ndarray | None = None
+    #: (T,) output slot per target row, or None in model-only mode.
+    out_index: np.ndarray | None = None
+    #: (R, 3) gathered source/grid coordinates, or None in model-only mode.
+    src_points: np.ndarray | None = None
+    #: (R,) gathered charges/modified charges, or None in model-only mode.
+    src_weights: np.ndarray | None = None
+
+    # -- structure queries ----------------------------------------------
+    @property
+    def n_groups(self) -> int:
+        return len(self.group_ptr) - 1
+
+    @property
+    def n_segments(self) -> int:
+        return len(self.seg_kind)
+
+    @property
+    def n_target_rows(self) -> int:
+        return int(self.group_ptr[-1])
+
+    @property
+    def n_source_rows(self) -> int:
+        return int(self.seg_ptr[-1])
+
+    @property
+    def has_numerics(self) -> bool:
+        return self.src_points is not None
+
+    def group_size(self, g: int) -> int:
+        return int(self.group_ptr[g + 1] - self.group_ptr[g])
+
+    def seg_size(self, s: int) -> int:
+        return int(self.seg_ptr[s + 1] - self.seg_ptr[s])
+
+    def group_kind_runs(self, g: int) -> Iterator[tuple[str, int, int]]:
+        """Yield ``(kind, seg_lo, seg_hi)`` runs of equal-kind segments.
+
+        Segments of one group are stored kind-contiguously by the
+        builder, so one run per kind is the common case; interleaved
+        kinds simply yield more runs (still correct, just more calls).
+        """
+        lo = int(self.seg_group_ptr[g])
+        hi = int(self.seg_group_ptr[g + 1])
+        s = lo
+        while s < hi:
+            k = self.seg_kind[s]
+            e = s + 1
+            while e < hi and self.seg_kind[e] == k:
+                e += 1
+            yield self.kind_names[k], s, e
+            s = e
+
+    def segment_counts_by_kind(self) -> dict[str, int]:
+        """Number of segments (== simulated launches) per kind."""
+        counts = np.bincount(self.seg_kind, minlength=len(self.kind_names))
+        return {
+            name: int(c) for name, c in zip(self.kind_names, counts) if c
+        }
+
+    def interactions_total(self) -> float:
+        """Total kernel evaluations charged by this plan."""
+        sizes = np.diff(self.seg_ptr).astype(np.float64)
+        groups = np.repeat(
+            np.diff(self.group_ptr).astype(np.float64),
+            np.diff(self.seg_group_ptr),
+        )
+        return float(np.dot(sizes, groups))
+
+
+class PlanBuilder:
+    """Incrementally assemble an :class:`ExecutionPlan`.
+
+    ``numerics=True`` expects every group/segment to supply its arrays
+    (targets / output indices / source points / weights); ``False``
+    expects only sizes and builds a structure-only plan for model-mode
+    backends.  Add segments of one group kind-contiguously so backends
+    get one run per kind.
+    """
+
+    def __init__(self, out_size: int, *, numerics: bool = True) -> None:
+        self.out_size = int(out_size)
+        self.numerics = bool(numerics)
+        self._kind_names: list[str] = []
+        self._kind_index: dict[str, int] = {}
+        self._group_sizes: list[int] = []
+        self._segs_per_group: list[int] = []
+        self._seg_kind: list[int] = []
+        self._seg_sizes: list[int] = []
+        self._targets: list[np.ndarray] = []
+        self._out_index: list[np.ndarray] = []
+        self._src_points: list[np.ndarray] = []
+        self._src_weights: list[np.ndarray] = []
+
+    # ------------------------------------------------------------------
+    def add_group(
+        self,
+        *,
+        size: int | None = None,
+        targets: np.ndarray | None = None,
+        out_index: np.ndarray | None = None,
+    ) -> int:
+        """Open a new group; returns its index."""
+        if self.numerics:
+            if targets is None or out_index is None:
+                raise ValueError(
+                    "numerics plan requires targets and out_index per group"
+                )
+            self._targets.append(targets)
+            self._out_index.append(out_index)
+            size = targets.shape[0]
+        elif size is None:
+            raise ValueError("model plan requires the group size")
+        self._group_sizes.append(int(size))
+        self._segs_per_group.append(0)
+        return len(self._group_sizes) - 1
+
+    def add_segment(
+        self,
+        kind: str,
+        *,
+        size: int | None = None,
+        points: np.ndarray | None = None,
+        weights: np.ndarray | None = None,
+    ) -> None:
+        """Append one launch segment to the most recent group."""
+        if not self._group_sizes:
+            raise ValueError("add_group must be called before add_segment")
+        if self.numerics:
+            if points is None or weights is None:
+                raise ValueError(
+                    "numerics plan requires points and weights per segment"
+                )
+            self._src_points.append(points)
+            self._src_weights.append(weights)
+            size = points.shape[0]
+        elif size is None:
+            raise ValueError("model plan requires the segment size")
+        k = self._kind_index.get(kind)
+        if k is None:
+            k = len(self._kind_names)
+            self._kind_names.append(kind)
+            self._kind_index[kind] = k
+        self._seg_kind.append(k)
+        self._seg_sizes.append(int(size))
+        self._segs_per_group[-1] += 1
+
+    # ------------------------------------------------------------------
+    def build(self) -> ExecutionPlan:
+        group_ptr = np.zeros(len(self._group_sizes) + 1, dtype=np.intp)
+        np.cumsum(self._group_sizes, out=group_ptr[1:])
+        seg_group_ptr = np.zeros(len(self._group_sizes) + 1, dtype=np.intp)
+        np.cumsum(self._segs_per_group, out=seg_group_ptr[1:])
+        seg_ptr = np.zeros(len(self._seg_sizes) + 1, dtype=np.intp)
+        np.cumsum(self._seg_sizes, out=seg_ptr[1:])
+        targets = out_index = src_points = src_weights = None
+        if self.numerics:
+            targets = _concat(self._targets, (0, 3), np.float64)
+            out_index = _concat(self._out_index, (0,), np.intp)
+            src_points = _concat(self._src_points, (0, 3), np.float64)
+            src_weights = _concat(self._src_weights, (0,), np.float64)
+        return ExecutionPlan(
+            kind_names=tuple(self._kind_names),
+            group_ptr=group_ptr,
+            seg_group_ptr=seg_group_ptr,
+            seg_kind=np.asarray(self._seg_kind, dtype=np.intp),
+            seg_ptr=seg_ptr,
+            out_size=self.out_size,
+            targets=targets,
+            out_index=out_index,
+            src_points=src_points,
+            src_weights=src_weights,
+        )
+
+
+def _concat(arrays: Sequence[np.ndarray], empty_shape, dtype) -> np.ndarray:
+    if not arrays:
+        return np.empty(empty_shape, dtype=dtype)
+    return np.ascontiguousarray(np.concatenate(arrays, axis=0), dtype=dtype)
+
+
+def compile_plan(
+    tree: "ClusterTree",
+    batches: "TargetBatches",
+    moments: "ClusterMoments",
+    lists: "InteractionLists",
+    charges: np.ndarray,
+    params: "TreecodeParams",
+    *,
+    numerics: bool = True,
+) -> ExecutionPlan:
+    """Compile the BLTC's (tree, batches, moments, lists) into a plan.
+
+    One group per target batch; per group first the approximation
+    segments (cluster Chebyshev points carrying modified charges,
+    eq. 11), then the direct segments (cluster source particles, eq. 9),
+    in interaction-list order -- exactly the launch sequence of the
+    paper's compute phase.  With ``numerics=False`` only the index
+    structure is compiled (model-only mode; segment sizes come from the
+    tree metadata, no particle data is gathered).
+    """
+    n_ip = params.n_interpolation_points
+    builder = PlanBuilder(batches.n_targets, numerics=numerics)
+    charges = np.asarray(charges, dtype=np.float64).ravel()
+    approx_ptr, approx_ids, direct_ptr, direct_ids = lists.csr()
+    approx_ids = approx_ids.tolist()
+    direct_ids = direct_ids.tolist()
+    for b in range(len(batches)):
+        if numerics:
+            builder.add_group(
+                targets=batches.batch_points(b),
+                out_index=batches.batch_indices(b),
+            )
+            for c in approx_ids[approx_ptr[b]:approx_ptr[b + 1]]:
+                builder.add_segment(
+                    "approx",
+                    points=moments.grid(c).points,
+                    weights=moments.charges(c),
+                )
+            for c in direct_ids[direct_ptr[b]:direct_ptr[b + 1]]:
+                idx = tree.node_indices(c)
+                builder.add_segment(
+                    "direct",
+                    points=tree.positions[idx],
+                    weights=charges[idx],
+                )
+        else:
+            builder.add_group(size=batches.batch(b).count)
+            for _ in range(approx_ptr[b + 1] - approx_ptr[b]):
+                builder.add_segment("approx", size=n_ip)
+            for c in direct_ids[direct_ptr[b]:direct_ptr[b + 1]]:
+                builder.add_segment("direct", size=tree.nodes[c].count)
+    return builder.build()

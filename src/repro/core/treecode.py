@@ -1,21 +1,34 @@
 """Single-device barycentric Lagrange treecode driver (BLTC algorithm).
 
 Orchestrates the full pipeline of the paper's Sec. 2.4 algorithm on one
-(simulated) device:
+(simulated) device.  Since the execution-plan refactor the pipeline has
+three layers:
 
-1. build the source-cluster tree and the target batches        [setup]
-2. copy source data to the device                              [precompute]
-3. compute modified charges for every cluster (two kernels)    [precompute]
-4. copy modified charges back                                  [precompute]
-5. build interaction lists for every batch                     [setup]
-6. copy targets + interaction data ("the LET") to the device   [setup]
-7. launch the direct-sum / approximation kernels               [compute]
-8. copy potentials back                                        [compute]
+1. **Structure** [setup/precompute] -- build the source-cluster tree and
+   the target batches, compute modified charges for every cluster (two
+   kernels), and build per-batch interaction lists.  These phases charge
+   the device for the copies and preprocessing kernels exactly as the
+   paper's OpenACC code performs them.
+2. **Planning** -- :func:`repro.core.plan.compile_plan` flattens
+   ``(tree, batches, moments, lists)`` into an
+   :class:`~repro.core.plan.ExecutionPlan`: CSR-style batch->segment
+   index arrays plus pre-gathered target/source buffers, one segment per
+   simulated kernel launch.  No device time is charged here -- the plan
+   is the simulator's internal representation, not algorithmic work.
+3. **Execution** [compute] -- a pluggable backend
+   (:mod:`repro.core.backends`) runs the plan: ``"numpy"`` reproduces
+   the seed's blocked per-batch arithmetic byte-for-byte, ``"fused"``
+   evaluates straight from the shared buffers (faster wall-clock, same
+   counters), and ``"model"`` charges launches without numerics (the old
+   ``dry_run`` path).  All backends charge the device through one code
+   path, so launches, interaction counts, bytes and phase times are
+   backend-independent.
 
-Phase attribution follows the paper's definition of the setup, precompute
-and compute phases (Sec. 4).  The distributed driver in
-:mod:`repro.distributed` wraps the same building blocks with RCB
-partitioning and locally essential trees.
+Select a backend with ``TreecodeParams(backend="fused")``;
+``compute(dry_run=True)`` forces the model backend.  Phase attribution
+follows the paper's setup / precompute / compute definition (Sec. 4).
+The distributed driver in :mod:`repro.distributed` wraps the same
+building blocks with RCB partitioning and locally essential trees.
 """
 
 from __future__ import annotations
@@ -32,13 +45,10 @@ from ..perf.timer import PhaseTimes, Stopwatch
 from ..tree.batches import TargetBatches
 from ..tree.octree import ClusterTree
 from ..workloads import ParticleSet
-from .executor import (
-    charge_batch_launches,
-    execute_batch_forces,
-    execute_batch_interactions,
-)
+from .backends import Backend, get_backend
 from .interaction_lists import InteractionLists, build_interaction_lists
 from .moments import ClusterMoments, precompute_moments
+from .plan import ExecutionPlan, compile_plan
 
 __all__ = ["BarycentricTreecode", "TreecodeResult"]
 
@@ -71,7 +81,7 @@ class BarycentricTreecode:
     Parameters
     ----------
     kernel : interaction kernel ``G(x, y)``.
-    params : treecode parameters (theta, degree, NL, NB, ...).
+    params : treecode parameters (theta, degree, NL, NB, backend, ...).
     machine : device specification for the simulated timing; defaults to
         the paper's Titan V.  Pass ``CPU_XEON_X5650`` for the CPU model.
     async_streams : queue kernels on 4 asynchronous streams (Sec. 3.2);
@@ -111,14 +121,17 @@ class BarycentricTreecode:
         tree, interaction lists and modified charges; requires a kernel
         with an analytic gradient.
 
-        ``dry_run=True`` is model-only mode: the tree, batches, moments
-        bookkeeping, interaction lists and every simulated device event
-        are produced exactly as in a real run, but the floating-point
-        potential evaluation is skipped and the returned potential is all
-        zeros.  This lets the timing model run at paper scale (10^6-10^9
-        particles) where Python numerics would be prohibitive.
+        ``dry_run=True`` forces the model backend regardless of
+        ``params.backend``: tree, batches, moments bookkeeping,
+        interaction lists, the compiled plan and every simulated device
+        event are produced exactly as in a real run, but the
+        floating-point evaluation is skipped and the returned potential
+        is all zeros.  This lets the timing model run at paper scale
+        (10^6-10^9 particles) where Python numerics would be
+        prohibitive.
         """
         params = self.params
+        backend = get_backend("model" if dry_run else params.backend)
         if targets is None:
             target_pos = sources.positions
         elif isinstance(targets, ParticleSet):
@@ -145,14 +158,18 @@ class BarycentricTreecode:
             )
             device.host_work(
                 sources.n * (tree.max_level + 1)
-                + target_pos.shape[0] * (batches._tree.max_level + 1)
+                + target_pos.shape[0] * (batches.max_level + 1)
             )
             phases.setup += device.take_phase()
 
             # -- precompute: HtD source copy, moment kernels, DtH moments
             device.upload(sources.nbytes(), label="source data")
             moments = precompute_moments(
-                tree, sources.charges, params, device=device, dry_run=dry_run
+                tree,
+                sources.charges,
+                params,
+                device=device,
+                numerics=backend.needs_numerics,
             )
             moments_bytes = (
                 moments.n_clusters * params.n_interpolation_points * FLOAT_BYTES
@@ -169,10 +186,20 @@ class BarycentricTreecode:
             )
             phases.setup += device.take_phase()
 
-            # -- compute: potential kernels + DtH potentials
-            potential, forces = self._execute(
-                device, tree, batches, moments, lists, sources.charges,
-                dry_run=dry_run, compute_forces=compute_forces,
+            # -- plan: flatten lists into backend-ready arrays (host-side
+            # representation of work already charged above; no device time)
+            plan = compile_plan(
+                tree, batches, moments, lists, sources.charges, params,
+                numerics=backend.needs_numerics,
+            )
+
+            # -- compute: backend executes the plan + DtH potentials
+            potential, forces = backend.execute(
+                plan,
+                self.kernel,
+                device,
+                dtype=params.dtype,
+                compute_forces=compute_forces,
             )
             device.download(potential.nbytes, label="potentials")
             if forces is not None:
@@ -187,66 +214,6 @@ class BarycentricTreecode:
             stats=stats,
             forces=forces,
         )
-
-    # ------------------------------------------------------------------
-    def _execute(
-        self,
-        device: Device,
-        tree: ClusterTree,
-        batches: TargetBatches,
-        moments: ClusterMoments,
-        lists: InteractionLists,
-        charges: np.ndarray,
-        *,
-        dry_run: bool = False,
-        compute_forces: bool = False,
-    ) -> tuple[np.ndarray, np.ndarray | None]:
-        out = np.zeros(batches.n_targets, dtype=np.float64)
-        forces = (
-            np.zeros((batches.n_targets, 3), dtype=np.float64)
-            if compute_forces
-            else None
-        )
-        if dry_run:
-            n_ip = self.params.n_interpolation_points
-            for b in range(len(batches)):
-                charge_batch_launches(
-                    self.kernel,
-                    device,
-                    batches.batch(b).count,
-                    [n_ip] * len(lists.approx[b]),
-                    [tree.nodes[int(c)].count for c in lists.direct[b]],
-                )
-            return out, forces
-        for b in range(len(batches)):
-            approx_pairs = [
-                (moments.grid(c).points, moments.charges(c))
-                for c in lists.approx[b]
-            ]
-            direct_pairs = []
-            for c in lists.direct[b]:
-                idx = tree.node_indices(c)
-                direct_pairs.append((tree.positions[idx], charges[idx]))
-            phi = execute_batch_interactions(
-                self.kernel,
-                device,
-                batches.batch_points(b),
-                approx_pairs,
-                direct_pairs,
-                dtype=self.params.dtype,
-            )
-            out[batches.batch_indices(b)] += phi
-            if forces is not None:
-                f = execute_batch_forces(
-                    self.kernel,
-                    device,
-                    batches.batch_points(b),
-                    approx_pairs,
-                    direct_pairs,
-                    dtype=self.params.dtype,
-                )
-                forces[batches.batch_indices(b)] += f
-        return out, forces
 
     # ------------------------------------------------------------------
     @staticmethod

@@ -9,7 +9,10 @@ substrates, one simulated GPU per rank:
 4.  Ranks expose tree array / particles / moments in RMA windows.
 5.  Each rank gets remote tree arrays, builds interaction
     lists, and fills its LET via RMA gets                       [setup]
-6.  HtD LET copy; potential kernels; DtH potentials             [compute]
+6.  HtD LET copy; each rank's merged local+LET work is compiled
+    into an execution plan and run by the configured backend
+    (``params.backend``; ``dry_run`` forces the model backend);
+    DtH potentials                                              [compute]
 
 Rank programs are executed sequentially but deterministically; passive-
 target RMA means the interleaving cannot change any value read (windows
@@ -33,13 +36,10 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..config import DEFAULT_PARAMS, TreecodeParams
-from ..core.executor import (
-    charge_batch_launches,
-    execute_batch_forces,
-    execute_batch_interactions,
-)
+from ..core.backends import get_backend
 from ..core.interaction_lists import build_interaction_lists
 from ..core.moments import precompute_moments
+from ..core.plan import PlanBuilder
 from ..gpu.device import make_device
 from ..kernels.base import Kernel
 from ..mpi.comm import SimComm
@@ -165,13 +165,15 @@ class DistributedBLTC:
         ``compute_forces=True`` additionally evaluates forces at every
         particle, reusing the LETs and modified charges.
 
-        ``dry_run=True`` is model-only mode: partitioning, tree builds,
-        RMA traffic (real bytes through the simulated windows) and device
-        launch accounting all happen, but the floating-point kernels are
-        skipped -- used by the weak/strong scaling benchmarks at paper
-        scale.
+        ``dry_run=True`` forces the model backend on every rank:
+        partitioning, tree builds, RMA traffic (real bytes through the
+        simulated windows) and device launch accounting all happen, but
+        the floating-point kernels are skipped -- used by the weak/strong
+        scaling benchmarks at paper scale.  Otherwise the backend named
+        by ``params.backend`` executes each rank's compiled plan.
         """
         params = self.params
+        backend = get_backend("model" if dry_run else params.backend)
         n = particles.n
         if n < self.n_ranks:
             raise ValueError(
@@ -229,7 +231,7 @@ class DistributedBLTC:
                 dev.upload(local.nbytes(), label="source data")
                 moments = precompute_moments(
                     trees[r], local.charges, params, device=dev,
-                    dry_run=dry_run,
+                    numerics=backend.needs_numerics,
                 )
                 mbytes = (
                     moments.n_clusters
@@ -292,15 +294,20 @@ class DistributedBLTC:
             for r in range(self.n_ranks):
                 dev = devices[r]
                 local = particles.subset(rank_idx[r])
-                phi_local, f_local = self._evaluate_rank(
-                    dev,
+                plan = self._compile_rank_plan(
                     trees[r],
                     batch_sets[r],
                     moment_sets[r],
                     local_lists[r],
                     lets[r],
                     local.charges,
-                    dry_run=dry_run,
+                    numerics=backend.needs_numerics,
+                )
+                phi_local, f_local = backend.execute(
+                    plan,
+                    self.kernel,
+                    dev,
+                    dtype=params.dtype,
                     compute_forces=compute_forces,
                 )
                 dev.download(phi_local.nbytes, label="potentials")
@@ -326,9 +333,8 @@ class DistributedBLTC:
         )
 
     # ------------------------------------------------------------------
-    def _evaluate_rank(
+    def _compile_rank_plan(
         self,
-        device,
         tree: ClusterTree,
         batches: TargetBatches,
         moments,
@@ -336,75 +342,68 @@ class DistributedBLTC:
         let,
         charges: np.ndarray,
         *,
-        dry_run: bool = False,
-        compute_forces: bool = False,
-    ) -> tuple[np.ndarray, np.ndarray | None]:
-        out = np.zeros(batches.n_targets, dtype=np.float64)
-        forces = (
-            np.zeros((batches.n_targets, 3), dtype=np.float64)
-            if compute_forces
-            else None
-        )
+        numerics: bool = True,
+    ):
+        """Compile one rank's merged (local + LET) work into a plan.
+
+        Per batch the approximation segments come first (local clusters,
+        then each remote rank's in ascending rank order), then the direct
+        segments in the same local-then-remote order -- the merge order
+        of the seed implementation, preserved so the blocked reference
+        backend reproduces its arithmetic exactly.
+        """
+        charges = np.asarray(charges, dtype=np.float64).ravel()
+        n_ip = self.params.n_interpolation_points
         remote_ranks = sorted(let.lists)
-        if dry_run:
-            n_ip = self.params.n_interpolation_points
-            for b in range(len(batches)):
-                approx_sizes = [n_ip] * len(local_lists.approx[b])
-                direct_sizes = [
-                    tree.nodes[int(c)].count for c in local_lists.direct[b]
-                ]
-                for s in remote_ranks:
-                    rl = let.lists[s]
-                    approx_sizes.extend([n_ip] * len(rl.approx[b]))
-                    direct_sizes.extend(
-                        let.direct_data[s][int(c)][0].shape[0]
-                        for c in rl.direct[b]
-                    )
-                charge_batch_launches(
-                    self.kernel,
-                    device,
-                    batches.batch(b).count,
-                    approx_sizes,
-                    direct_sizes,
-                )
-            return out, forces
+        builder = PlanBuilder(batches.n_targets, numerics=numerics)
         for b in range(len(batches)):
-            approx_pairs = [
-                (moments.grid(c).points, moments.charges(c))
-                for c in local_lists.approx[b]
-            ]
-            direct_pairs = []
-            for c in local_lists.direct[b]:
-                idx = tree.node_indices(c)
-                direct_pairs.append((tree.positions[idx], charges[idx]))
-            for s in remote_ranks:
-                rl = let.lists[s]
-                for c in rl.approx[b]:
-                    grid, qhat = let.approx_data[s][int(c)]
-                    approx_pairs.append((grid.points, qhat))
-                for c in rl.direct[b]:
-                    pos, q = let.direct_data[s][int(c)]
-                    direct_pairs.append((pos, q))
-            phi = execute_batch_interactions(
-                self.kernel,
-                device,
-                batches.batch_points(b),
-                approx_pairs,
-                direct_pairs,
-                dtype=self.params.dtype,
-            )
-            out[batches.batch_indices(b)] += phi
-            if forces is not None:
-                f = execute_batch_forces(
-                    self.kernel,
-                    device,
-                    batches.batch_points(b),
-                    approx_pairs,
-                    direct_pairs,
-                    dtype=self.params.dtype,
+            if numerics:
+                builder.add_group(
+                    targets=batches.batch_points(b),
+                    out_index=batches.batch_indices(b),
                 )
-                forces[batches.batch_indices(b)] += f
-        return out, forces
+                for c in local_lists.approx[b]:
+                    c = int(c)
+                    builder.add_segment(
+                        "approx",
+                        points=moments.grid(c).points,
+                        weights=moments.charges(c),
+                    )
+                for s in remote_ranks:
+                    for c in let.lists[s].approx[b]:
+                        grid, qhat = let.approx_data[s][int(c)]
+                        builder.add_segment(
+                            "approx", points=grid.points, weights=qhat
+                        )
+                for c in local_lists.direct[b]:
+                    idx = tree.node_indices(int(c))
+                    builder.add_segment(
+                        "direct",
+                        points=tree.positions[idx],
+                        weights=charges[idx],
+                    )
+                for s in remote_ranks:
+                    for c in let.lists[s].direct[b]:
+                        pos, q = let.direct_data[s][int(c)]
+                        builder.add_segment("direct", points=pos, weights=q)
+            else:
+                builder.add_group(size=batches.batch(b).count)
+                n_approx = len(local_lists.approx[b]) + sum(
+                    len(let.lists[s].approx[b]) for s in remote_ranks
+                )
+                for _ in range(n_approx):
+                    builder.add_segment("approx", size=n_ip)
+                for c in local_lists.direct[b]:
+                    builder.add_segment(
+                        "direct", size=tree.nodes[int(c)].count
+                    )
+                for s in remote_ranks:
+                    for c in let.lists[s].direct[b]:
+                        builder.add_segment(
+                            "direct",
+                            size=let.direct_data[s][int(c)][0].shape[0],
+                        )
+        return builder.build()
 
     # ------------------------------------------------------------------
     def _stats(self, comm, trees, batch_sets, local_lists, lets, devices) -> dict:

@@ -22,6 +22,13 @@ A final interpolation pass sends each target cluster's accumulated grid
 potentials to its own particles with the barycentric basis.  The scheme
 reduces the asymptotic complexity from O(N log N) toward O(N), which is
 why it is the natural next step after the BLTC.
+
+The four pair classes are compiled into one
+:class:`~repro.core.plan.ExecutionPlan` -- one group per receiving
+target block (a target cluster's Chebyshev grid for cc/cp pairs, a
+target node's particles for pc/direct pairs), one segment per
+contributing source block -- and executed by the backend named in
+``params.backend``, sharing the launch-charging path with the BLTC.
 """
 
 from __future__ import annotations
@@ -29,8 +36,10 @@ from __future__ import annotations
 import numpy as np
 
 from ..config import DEFAULT_PARAMS, TreecodeParams
+from ..core.backends import get_backend
 from ..core.mac import mac_geometric
 from ..core.moments import precompute_moments
+from ..core.plan import PlanBuilder
 from ..core.treecode import TreecodeResult
 from ..gpu.device import make_device
 from ..interpolation.barycentric import lagrange_basis
@@ -79,8 +88,8 @@ class DualTreeTreecode:
         else:
             target_pos = np.atleast_2d(np.asarray(targets, dtype=np.float64))
         kernel = self.kernel
+        backend = get_backend(params.backend)
         device = make_device(self.machine, async_streams=self.async_streams)
-        cost_mult = kernel.cost_multiplier(self.machine.transcendental_penalty)
         n_ip = params.n_interpolation_points
         phases = PhaseTimes()
         watch = Stopwatch()
@@ -108,7 +117,8 @@ class DualTreeTreecode:
             # -- precompute: source-side modified charges ----------------
             device.upload(sources.nbytes() + target_pos.nbytes)
             moments = precompute_moments(
-                s_tree, sources.charges, params, device=device
+                s_tree, sources.charges, params, device=device,
+                numerics=backend.needs_numerics,
             )
             phases.precompute += device.take_phase()
 
@@ -148,77 +158,133 @@ class DualTreeTreecode:
             device.host_work(mac_evals * 4)
             phases.setup += device.take_phase()
 
-            # -- compute: evaluate the four pair classes -----------------
-            out = np.zeros(target_pos.shape[0], dtype=np.float64)
+            # -- plan: group the four pair classes by receiving target
+            # block.  Grid groups (cluster Chebyshev grids, fed by cc and
+            # cp pairs) accumulate into psi rows appended after the
+            # particle outputs; particle groups (target nodes, fed by pc
+            # and direct pairs) accumulate straight into the potentials.
+            n_targets = target_pos.shape[0]
+            numerics = backend.needs_numerics
             t_grids: dict[int, ChebyshevGrid3D] = {}
-            psi: dict[int, np.ndarray] = {}
+            grid_groups: dict[int, int] = {}
+            node_groups: dict[int, int] = {}
+            #: per group: ("grid" | "node", target node index).
+            group_keys: list[tuple[str, int]] = []
+            #: per group: list of (kind, source points | None, source
+            #: weights | None, source size).  The four pair-class passes
+            #: below append in a fixed order, so each group's segments
+            #: are kind-contiguous by construction.  Model-only backends
+            #: gather no arrays, only sizes.
+            group_segs: list[list] = []
 
-            def target_grid(ti: int) -> ChebyshevGrid3D:
-                g = t_grids.get(ti)
+            def grid_group(ti: int) -> int:
+                g = grid_groups.get(ti)
                 if g is None:
                     nd = t_tree.nodes[ti]
-                    g = ChebyshevGrid3D.for_box(
+                    t_grids[ti] = ChebyshevGrid3D.for_box(
                         nd.box.lo, nd.box.hi, params.degree
                     )
-                    t_grids[ti] = g
-                    psi[ti] = np.zeros(n_ip, dtype=np.float64)
+                    g = len(group_keys)
+                    grid_groups[ti] = g
+                    group_keys.append(("grid", ti))
+                    group_segs.append([])
                 return g
 
-            def launch(n_inter: float, blocks: int, kind: str) -> None:
-                device.launch(
-                    n_inter,
-                    blocks=blocks,
-                    kind=kind,
-                    flops_per_interaction=kernel.flops_per_interaction,
-                    cost_multiplier=cost_mult,
-                )
+            def node_group(ti: int) -> int:
+                g = node_groups.get(ti)
+                if g is None:
+                    g = len(group_keys)
+                    node_groups[ti] = g
+                    group_keys.append(("node", ti))
+                    group_segs.append([])
+                return g
 
-            dtype = params.dtype
             for ti, si in cc_pairs:
-                grid = target_grid(ti)
-                kernel.potential(
-                    grid.points.astype(dtype),
-                    moments.grid(si).points.astype(dtype),
-                    moments.charges(si).astype(dtype),
-                    out=psi[ti],
+                group_segs[grid_group(ti)].append(
+                    (
+                        "cluster-cluster",
+                        moments.grid(si).points if numerics else None,
+                        moments.charges(si) if numerics else None,
+                        n_ip,
+                    )
                 )
-                launch(float(n_ip) * n_ip, n_ip, "cluster-cluster")
             for ti, si in pc_pairs:
-                idx = t_tree.node_indices(ti)
-                phi = np.zeros(idx.shape[0], dtype=np.float64)
-                kernel.potential(
-                    target_pos[idx].astype(dtype),
-                    moments.grid(si).points.astype(dtype),
-                    moments.charges(si).astype(dtype),
-                    out=phi,
+                group_segs[node_group(ti)].append(
+                    (
+                        "particle-cluster",
+                        moments.grid(si).points if numerics else None,
+                        moments.charges(si) if numerics else None,
+                        n_ip,
+                    )
                 )
-                out[idx] += phi
-                launch(float(idx.shape[0]) * n_ip, idx.shape[0], "particle-cluster")
             for ti, si in cp_pairs:
-                grid = target_grid(ti)
-                s_idx = s_tree.node_indices(si)
-                kernel.potential(
-                    grid.points.astype(dtype),
-                    sources.positions[s_idx].astype(dtype),
-                    sources.charges[s_idx].astype(dtype),
-                    out=psi[ti],
-                )
-                launch(float(n_ip) * s_idx.shape[0], n_ip, "cluster-particle")
+                if numerics:
+                    s_idx = s_tree.node_indices(si)
+                    seg = (
+                        "cluster-particle",
+                        sources.positions[s_idx],
+                        sources.charges[s_idx],
+                        s_idx.shape[0],
+                    )
+                else:
+                    seg = (
+                        "cluster-particle", None, None, s_tree.nodes[si].count
+                    )
+                group_segs[grid_group(ti)].append(seg)
             for ti, si in direct_pairs:
-                idx = t_tree.node_indices(ti)
-                s_idx = s_tree.node_indices(si)
-                phi = np.zeros(idx.shape[0], dtype=np.float64)
-                kernel.potential(
-                    target_pos[idx].astype(dtype),
-                    sources.positions[s_idx].astype(dtype),
-                    sources.charges[s_idx].astype(dtype),
-                    out=phi,
-                )
-                out[idx] += phi
-                launch(
-                    float(idx.shape[0]) * s_idx.shape[0], idx.shape[0], "direct"
-                )
+                if numerics:
+                    s_idx = s_tree.node_indices(si)
+                    seg = (
+                        "direct",
+                        sources.positions[s_idx],
+                        sources.charges[s_idx],
+                        s_idx.shape[0],
+                    )
+                else:
+                    seg = ("direct", None, None, s_tree.nodes[si].count)
+                group_segs[node_group(ti)].append(seg)
+
+            builder = PlanBuilder(
+                n_targets + n_ip * len(t_grids), numerics=numerics
+            )
+            grid_slot: dict[int, int] = {}
+            next_row = n_targets
+            for g, (key, ti) in enumerate(group_keys):
+                if key == "grid":
+                    rows = np.arange(next_row, next_row + n_ip, dtype=np.intp)
+                    grid_slot[ti] = next_row
+                    next_row += n_ip
+                    if numerics:
+                        builder.add_group(
+                            targets=t_grids[ti].points, out_index=rows
+                        )
+                    else:
+                        builder.add_group(size=n_ip)
+                else:
+                    if numerics:
+                        idx = t_tree.node_indices(ti)
+                        builder.add_group(
+                            targets=target_pos[idx], out_index=idx
+                        )
+                    else:
+                        builder.add_group(size=t_tree.nodes[ti].count)
+                for kind, pts, q, size in group_segs[g]:
+                    if numerics:
+                        builder.add_segment(kind, points=pts, weights=q)
+                    else:
+                        builder.add_segment(kind, size=size)
+            plan = builder.build()
+
+            # -- compute: backend evaluates the plan ---------------------
+            out_flat, _ = backend.execute(
+                plan, kernel, device, dtype=params.dtype
+            )
             phases.compute += device.take_phase()
+            out = out_flat[:n_targets].copy()
+            psi = {
+                ti: out_flat[row:row + n_ip]
+                for ti, row in grid_slot.items()
+            }
 
             # -- compute: downward interpolation of grid potentials ------
             np1 = params.degree + 1

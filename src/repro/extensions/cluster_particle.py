@@ -17,8 +17,13 @@ GPU-friendly:
    cluster tree under the same two-condition MAC (the size condition now
    compares ``(n+1)^3`` against the number of *targets* in the cluster).
 2. *Accumulation* -- accepted (cluster, batch) pairs add kernel sums into
-   the cluster's grid potentials ``psi_k`` (one launch per pair); failed
-   leaf pairs add directly into the leaf targets' potentials.
+   the cluster's grid potentials ``psi_k``; failed leaf pairs add
+   directly into the leaf targets' potentials.  This stage is compiled
+   into an :class:`~repro.core.plan.ExecutionPlan` -- one group per
+   receiving target block (a cluster's Chebyshev grid or a leaf's
+   particles), one segment per contributing source batch -- and executed
+   by the backend named in ``params.backend``, exactly like the BLTC's
+   compute phase.
 3. *Downward interpolation* -- each cluster's accumulated ``psi`` is
    interpolated to its own target particles with the barycentric basis
    (removable singularities handled as in Sec. 2.3).
@@ -33,7 +38,9 @@ from __future__ import annotations
 import numpy as np
 
 from ..config import DEFAULT_PARAMS, TreecodeParams
+from ..core.backends import get_backend
 from ..core.interaction_lists import LocalTreeAdapter, traverse_batch
+from ..core.plan import PlanBuilder
 from ..core.treecode import TreecodeResult
 from ..gpu.device import make_device
 from ..interpolation.barycentric import lagrange_basis
@@ -78,6 +85,7 @@ class ClusterParticleTreecode:
     ) -> TreecodeResult:
         """Potential at every target due to all sources."""
         params = self.params
+        backend = get_backend(params.backend)
         if targets is None:
             target_pos = sources.positions
         elif isinstance(targets, ParticleSet):
@@ -88,8 +96,8 @@ class ClusterParticleTreecode:
         phases = PhaseTimes()
         watch = Stopwatch()
         kernel = self.kernel
-        cost_mult = kernel.cost_multiplier(self.machine.transcendental_penalty)
         n_ip = params.n_interpolation_points
+        n_targets = target_pos.shape[0]
 
         with watch:
             # -- setup: TARGET cluster tree + SOURCE batches -------------
@@ -107,8 +115,8 @@ class ClusterParticleTreecode:
             )
             adapter = LocalTreeAdapter(tree)
             device.host_work(
-                target_pos.shape[0] * (tree.max_level + 1)
-                + sources.n * (batches._tree.max_level + 1)
+                n_targets * (tree.max_level + 1)
+                + sources.n * (batches.max_level + 1)
             )
             phases.setup += device.take_phase()
 
@@ -126,56 +134,101 @@ class ClusterParticleTreecode:
             device.host_work(mac_evals * 4)
             phases.setup += device.take_phase()
 
-            # -- compute: accumulate grid potentials + direct sums -------
-            out = np.zeros(target_pos.shape[0], dtype=np.float64)
+            # -- plan: group the accepted pairs by receiving target block.
+            # Approximated target clusters receive on their Chebyshev
+            # grids (output rows beyond n_targets, split off below);
+            # failed leaf pairs receive on the leaf's own particles.
             grids: dict[int, ChebyshevGrid3D] = {}
-            psi: dict[int, np.ndarray] = {}
-            n_approx = 0
-            n_direct = 0
+            grid_groups: dict[int, int] = {}
+            direct_groups: dict[int, int] = {}
+            #: per group: ("approx", cluster) or ("direct", cluster).
+            group_keys: list[tuple[str, int]] = []
+            group_batches: list[list[int]] = []
+            src_cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+
+            def batch_sources(b: int) -> tuple[np.ndarray, np.ndarray]:
+                cached = src_cache.get(b)
+                if cached is None:
+                    cached = (
+                        batches.batch_points(b),
+                        sources.charges[batches.batch_indices(b)],
+                    )
+                    src_cache[b] = cached
+                return cached
+
             for b, (approx, direct) in enumerate(lists):
-                src = np.ascontiguousarray(
-                    batches.batch_points(b), dtype=params.dtype
-                )
-                q = sources.charges[batches.batch_indices(b)].astype(
-                    params.dtype
-                )
                 for c in approx:
-                    grid = grids.get(c)
-                    if grid is None:
+                    g = grid_groups.get(c)
+                    if g is None:
                         nd = tree.nodes[c]
-                        grid = ChebyshevGrid3D.for_box(
+                        grids[c] = ChebyshevGrid3D.for_box(
                             nd.box.lo, nd.box.hi, params.degree
                         )
-                        grids[c] = grid
-                        psi[c] = np.zeros(n_ip, dtype=np.float64)
-                    kernel.potential(
-                        grid.points.astype(params.dtype), src, q, out=psi[c]
-                    )
-                    device.launch(
-                        float(n_ip) * src.shape[0],
-                        blocks=n_ip,
-                        kind="approx",
-                        flops_per_interaction=kernel.flops_per_interaction,
-                        cost_multiplier=cost_mult,
-                    )
-                    n_approx += 1
+                        g = len(group_keys)
+                        grid_groups[c] = g
+                        group_keys.append(("approx", c))
+                        group_batches.append([])
+                    group_batches[g].append(b)
                 for c in direct:
+                    g = direct_groups.get(c)
+                    if g is None:
+                        g = len(group_keys)
+                        direct_groups[c] = g
+                        group_keys.append(("direct", c))
+                        group_batches.append([])
+                    group_batches[g].append(b)
+
+            grid_rows = n_ip * len(grids)
+            builder = PlanBuilder(
+                n_targets + grid_rows, numerics=backend.needs_numerics
+            )
+            grid_slot: dict[int, int] = {}
+            next_row = n_targets
+            for g, (kind, c) in enumerate(group_keys):
+                if kind == "approx":
+                    rows = np.arange(next_row, next_row + n_ip, dtype=np.intp)
+                    grid_slot[c] = next_row
+                    next_row += n_ip
+                    if backend.needs_numerics:
+                        builder.add_group(
+                            targets=grids[c].points, out_index=rows
+                        )
+                    else:
+                        builder.add_group(size=n_ip)
+                else:
                     idx = tree.node_indices(c)
-                    tgt = np.ascontiguousarray(
-                        target_pos[idx], dtype=params.dtype
-                    )
-                    phi = np.zeros(idx.shape[0], dtype=np.float64)
-                    kernel.potential(tgt, src, q, out=phi)
-                    out[idx] += phi
-                    device.launch(
-                        float(idx.shape[0]) * src.shape[0],
-                        blocks=idx.shape[0],
-                        kind="direct",
-                        flops_per_interaction=kernel.flops_per_interaction,
-                        cost_multiplier=cost_mult,
-                    )
-                    n_direct += 1
+                    if backend.needs_numerics:
+                        builder.add_group(
+                            targets=target_pos[idx], out_index=idx
+                        )
+                    else:
+                        builder.add_group(size=idx.shape[0])
+                for b in group_batches[g]:
+                    if backend.needs_numerics:
+                        pts, q = batch_sources(b)
+                        builder.add_segment(kind, points=pts, weights=q)
+                    else:
+                        builder.add_segment(
+                            kind, size=batches.batch(b).count
+                        )
+            plan = builder.build()
+
+            # -- compute: backend runs the accumulation plan -------------
+            out_flat, _ = backend.execute(
+                plan, kernel, device, dtype=params.dtype
+            )
             phases.compute += device.take_phase()
+            out = out_flat[:n_targets].copy()
+            psi = {
+                c: out_flat[row:row + n_ip]
+                for c, row in grid_slot.items()
+            }
+            n_approx = sum(
+                len(group_batches[g]) for g in grid_groups.values()
+            )
+            n_direct = sum(
+                len(group_batches[g]) for g in direct_groups.values()
+            )
 
             # -- compute: downward barycentric interpolation -------------
             # Each cluster's grid potentials interpolate to its own
@@ -207,7 +260,7 @@ class ClusterParticleTreecode:
             "machine": self.machine.name,
             "scheme": "cluster-particle",
             "n_sources": sources.n,
-            "n_targets": target_pos.shape[0],
+            "n_targets": n_targets,
             "n_tree_nodes": len(tree),
             "n_batches": len(batches),
             "n_approx_interactions": n_approx,

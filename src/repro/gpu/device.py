@@ -91,6 +91,23 @@ class Device:
         """Record one compute-kernel launch."""
         raise NotImplementedError
 
+    def launch_many(
+        self,
+        kinds,
+        n_interactions,
+        durations,
+    ) -> None:
+        """Record a sequence of launches with precomputed durations.
+
+        Bulk form of :meth:`launch` for plan-driven charging: callers
+        compute the per-launch durations vectorized (via
+        :meth:`~repro.perf.machine.MachineSpec.interaction_times`, which
+        is bitwise-faithful to the scalar path) and this method
+        accumulates them *in sequence order*, so counters and simulated
+        time are byte-identical to the equivalent scalar launch loop.
+        """
+        raise NotImplementedError
+
     def host_work(self, n_ops: float) -> None:
         """Account for host-side (CPU) bookkeeping such as tree builds."""
         self.synchronize()
@@ -151,6 +168,35 @@ class GpuDevice(Device):
         else:
             self.time += self.spec.launch_latency + duration
 
+    def launch_many(self, kinds, n_interactions, durations) -> None:
+        c = self.counters
+        by_kind = c.by_kind
+        busy = c.busy_by_kind
+        asynchronous = self.async_streams
+        latency = self.spec.launch_latency
+        queued = self._queued_busy
+        time = self.time
+        interactions = c.interactions
+        for kind, n, d in zip(
+            kinds, n_interactions.tolist(), durations.tolist()
+        ):
+            interactions += n
+            entry = by_kind[kind]
+            entry[0] += 1
+            entry[1] += n
+            busy[kind] += d
+            if asynchronous:
+                queued += d
+            else:
+                time += latency + d
+        c.interactions = interactions
+        c.launches += len(kinds)
+        if asynchronous:
+            self._queued_busy = queued
+            self._queued_launches += len(kinds)
+        else:
+            self.time = time
+
     def synchronize(self) -> None:
         if self._queued_launches:
             # Busy time is work-conserving across streams; launch latency
@@ -196,6 +242,25 @@ class CpuDevice(Device):
         )
         self.counters.record_launch(kind, n_interactions, duration)
         self.time += duration
+
+    def launch_many(self, kinds, n_interactions, durations) -> None:
+        c = self.counters
+        by_kind = c.by_kind
+        busy = c.busy_by_kind
+        time = self.time
+        interactions = c.interactions
+        for kind, n, d in zip(
+            kinds, n_interactions.tolist(), durations.tolist()
+        ):
+            interactions += n
+            entry = by_kind[kind]
+            entry[0] += 1
+            entry[1] += n
+            busy[kind] += d
+            time += d
+        c.interactions = interactions
+        c.launches += len(kinds)
+        self.time = time
 
 
 def make_device(spec: MachineSpec, *, async_streams: bool = True) -> Device:

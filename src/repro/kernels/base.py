@@ -196,26 +196,31 @@ class RadialKernel(Kernel):
         # the direct-summation reference evaluate pairs through this same
         # function, so the paper's error metric (eq. 16) compares
         # identical arithmetic.
-        r2, zero = self._pairwise_r2(targets, sources)
-        if np.any(zero):
-            r = np.sqrt(np.where(zero, 1.0, r2))
-            g = self.evaluate_r(r)
-            g[zero] = self.evaluate_r0()
-        else:
-            g = self.evaluate_r(np.sqrt(r2))
+        #
+        # Coincident entries are patched sparsely (they are at most one
+        # per row) rather than via full-matrix np.where passes, and the
+        # square root runs in place on the owned r2 buffer -- bitwise the
+        # same values, several fewer O(M K) passes.
+        r2, zero_idx = self._pairwise_r2(targets, sources)
+        if zero_idx[0].size:
+            r2[zero_idx] = 1.0
+        np.sqrt(r2, out=r2)
+        g = self.evaluate_r(r2)
+        if zero_idx[0].size:
+            g[zero_idx] = self.evaluate_r0()
         return g
 
     def _pairwise_r2(
         self, targets: np.ndarray, sources: np.ndarray
-    ) -> tuple[np.ndarray, np.ndarray]:
-        """Squared distances and the coincidence mask (shared helper)."""
+    ) -> tuple[np.ndarray, tuple[np.ndarray, ...]]:
+        """Squared distances and the coincident-entry indices (shared)."""
         t2 = np.einsum("md,md->m", targets, targets)
         s2 = np.einsum("kd,kd->k", sources, sources)
         r2 = t2[:, None] + s2[None, :]
         r2 -= 2.0 * (targets @ sources.T)
         scale = float(t2.max(initial=0.0) + s2.max(initial=0.0))
         noise_floor = 16.0 * np.finfo(r2.dtype).eps * max(scale, 1e-300)
-        return r2, r2 <= noise_floor
+        return r2, np.nonzero(r2 <= noise_floor)
 
     def pairwise_gradient(
         self, targets: np.ndarray, sources: np.ndarray
@@ -228,9 +233,12 @@ class RadialKernel(Kernel):
         """
         targets = np.atleast_2d(targets)
         sources = np.atleast_2d(sources)
-        r2, zero = self._pairwise_r2(targets, sources)
-        r = np.sqrt(np.where(zero, 1.0, r2))
-        factor = self.evaluate_dr_over_r(r)
-        factor[zero] = 0.0
+        r2, zero_idx = self._pairwise_r2(targets, sources)
+        if zero_idx[0].size:
+            r2[zero_idx] = 1.0
+        np.sqrt(r2, out=r2)
+        factor = self.evaluate_dr_over_r(r2)
+        if zero_idx[0].size:
+            factor[zero_idx] = 0.0
         diff = targets[:, None, :] - sources[None, :, :]
         return factor[:, :, None] * diff

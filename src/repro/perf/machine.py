@@ -28,6 +28,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 __all__ = ["MachineSpec", "GPU_TITAN_V", "GPU_P100", "CPU_XEON_X5650"]
 
 #: Reference flop count the interaction_rate is quoted against.
@@ -64,6 +66,10 @@ class MachineSpec:
     #: CPU tree-operation rate: traversal/bookkeeping steps per second,
     #: used for the host-side setup phase (tree build, interaction lists).
     host_op_rate: float = 5.0e7
+    #: Single-precision throughput relative to double precision
+    #: (DP:SP = 1:``sp_dp_ratio``).  2.0 for the paper's Titan V / P100
+    #: class of devices; a future DP:SP != 1:2 machine changes only this.
+    sp_dp_ratio: float = 2.0
 
     def __post_init__(self) -> None:
         if self.kind not in ("cpu", "gpu"):
@@ -74,6 +80,21 @@ class MachineSpec:
             raise ValueError("n_streams must be >= 1")
         if self.saturation_blocks < 1:
             raise ValueError("saturation_blocks must be >= 1")
+        if self.sp_dp_ratio <= 0:
+            raise ValueError("sp_dp_ratio must be positive")
+
+    def precision_multiplier(self, dtype) -> float:
+        """Busy-time factor for kernels evaluated at ``dtype``.
+
+        ``float32`` runs ``sp_dp_ratio``-times faster than the double-
+        precision baseline (the paper's mixed-precision future-work mode);
+        every other dtype costs the double-precision baseline.  This is
+        the single home of the half-cost rule: the executor, the plan
+        charger and the direct-sum baseline all consult it.
+        """
+        if np.dtype(dtype) == np.float32:
+            return 1.0 / self.sp_dp_ratio
+        return 1.0
 
     def occupancy(self, blocks: int) -> float:
         """Efficiency factor in (0, 1] for a launch with ``blocks`` blocks.
@@ -96,6 +117,36 @@ class MachineSpec:
     ) -> float:
         """Simulated compute time for ``n_interactions`` kernel evaluations."""
         eff = 1.0 if blocks is None else self.occupancy(blocks)
+        rate = self.interaction_rate * eff
+        scale = flops_per_interaction / BASE_FLOPS_PER_INTERACTION
+        return n_interactions * scale * cost_multiplier / rate
+
+    def interaction_times(
+        self,
+        n_interactions: np.ndarray,
+        blocks: np.ndarray | None,
+        *,
+        flops_per_interaction: float = BASE_FLOPS_PER_INTERACTION,
+        cost_multiplier: float = 1.0,
+    ) -> np.ndarray:
+        """Vectorized :meth:`interaction_time` over arrays of launches.
+
+        Elementwise results are bitwise-identical to the scalar method
+        (same operation order), so bulk charging of a launch sequence
+        reproduces the per-launch accounting exactly.
+        """
+        n_interactions = np.asarray(n_interactions, dtype=np.float64)
+        if blocks is None:
+            eff = 1.0
+        else:
+            eff = np.maximum(
+                self.min_efficiency,
+                np.minimum(
+                    1.0,
+                    np.asarray(blocks, dtype=np.float64)
+                    / self.saturation_blocks,
+                ),
+            )
         rate = self.interaction_rate * eff
         scale = flops_per_interaction / BASE_FLOPS_PER_INTERACTION
         return n_interactions * scale * cost_multiplier / rate

@@ -52,6 +52,11 @@ class TargetBatches:
         return self._tree.n_particles
 
     @property
+    def max_level(self) -> int:
+        """Depth of the underlying batch tree (host-side build cost)."""
+        return self._tree.max_level
+
+    @property
     def perm(self) -> np.ndarray:
         """Permutation of target indices; batch ``b`` owns a slice of it."""
         return self._tree.perm

@@ -1,0 +1,297 @@
+"""Backend-equivalence suite for the execution-plan architecture.
+
+The contract of :mod:`repro.core.backends`: on the same compiled plan,
+every backend records identical device counters (launches, interactions,
+bytes, per-kind breakdown), the numpy and fused backends return
+bitwise-close potentials *and forces*, and the model backend returns
+zeros while charging the same simulated time.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    BarycentricTreecode,
+    CoulombKernel,
+    DistributedBLTC,
+    FusedBackend,
+    ModelBackend,
+    NumpyBackend,
+    TreecodeParams,
+    YukawaKernel,
+    available_backends,
+    compile_plan,
+    direct_sum,
+    get_backend,
+    random_cube,
+    register_backend,
+    relative_l2_error,
+)
+from repro.core.backends import Backend
+from repro.core.interaction_lists import build_interaction_lists
+from repro.core.moments import precompute_moments
+from repro.core.plan import PlanBuilder
+from repro.gpu.device import GpuDevice
+from repro.perf.machine import GPU_TITAN_V
+from repro.tree.batches import TargetBatches
+from repro.tree.octree import ClusterTree
+
+
+def _params(**kw):
+    base = dict(theta=0.7, degree=4, max_leaf_size=150, max_batch_size=150)
+    base.update(kw)
+    return TreecodeParams(**base)
+
+
+@pytest.fixture(scope="module")
+def cube():
+    return random_cube(2500, seed=501)
+
+
+@pytest.fixture(scope="module")
+def shared_plan(cube):
+    """One compiled plan reused by every backend."""
+    params = _params()
+    tree = ClusterTree(cube.positions, params.max_leaf_size)
+    batches = TargetBatches(cube.positions, params.max_batch_size)
+    moments = precompute_moments(tree, cube.charges, params)
+    lists = build_interaction_lists(batches, tree, params)
+    plan = compile_plan(tree, batches, moments, lists, cube.charges, params)
+    return plan
+
+
+class TestRegistry:
+    def test_three_builtin_backends(self):
+        names = available_backends()
+        assert {"numpy", "fused", "model"} <= set(names)
+
+    def test_lookup_returns_instances(self):
+        assert isinstance(get_backend("numpy"), NumpyBackend)
+        assert isinstance(get_backend("fused"), FusedBackend)
+        assert isinstance(get_backend("model"), ModelBackend)
+
+    def test_instance_passthrough(self):
+        be = FusedBackend()
+        assert get_backend(be) is be
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            get_backend("cuda")
+
+    def test_unknown_backend_via_params(self, cube):
+        tc = BarycentricTreecode(CoulombKernel(), _params(backend="nope"))
+        with pytest.raises(ValueError, match="unknown backend"):
+            tc.compute(cube)
+
+    def test_register_custom_backend(self, cube):
+        class EchoBackend(ModelBackend):
+            name = "test-echo"
+
+        register_backend(EchoBackend)
+        assert "test-echo" in available_backends()
+        res = BarycentricTreecode(
+            CoulombKernel(), _params(backend="test-echo")
+        ).compute(cube)
+        assert np.all(res.potential == 0.0)
+
+    def test_register_rejects_anonymous(self):
+        with pytest.raises(ValueError):
+            register_backend(Backend)
+
+    def test_config_rejects_non_string(self):
+        with pytest.raises(ValueError):
+            TreecodeParams(backend="")
+
+
+class TestPlanLevelEquivalence:
+    """All three backends on one plan: identical DeviceCounters."""
+
+    def _run(self, backend, plan, *, forces=False, dtype=np.float64):
+        device = GpuDevice(GPU_TITAN_V)
+        out, f = backend.execute(
+            plan, CoulombKernel(), device,
+            dtype=dtype, compute_forces=forces,
+        )
+        return out, f, device
+
+    @pytest.mark.parametrize("forces", [False, True], ids=["pot", "forces"])
+    def test_identical_counters(self, shared_plan, forces):
+        devices = {}
+        for name in ("numpy", "fused", "model"):
+            _, _, devices[name] = self._run(
+                get_backend(name), shared_plan, forces=forces
+            )
+        ref = devices["numpy"].counters
+        for name in ("fused", "model"):
+            c = devices[name].counters
+            assert c.launches == ref.launches, name
+            assert c.interactions == ref.interactions, name
+            assert c.bytes_h2d == ref.bytes_h2d, name
+            assert c.bytes_d2h == ref.bytes_d2h, name
+            assert {k: tuple(v) for k, v in c.by_kind.items()} == {
+                k: tuple(v) for k, v in ref.by_kind.items()
+            }, name
+            assert devices[name].elapsed() == pytest.approx(
+                devices["numpy"].elapsed()
+            ), name
+
+    def test_numpy_fused_bitwise_close(self, shared_plan):
+        phi_np, f_np, _ = self._run(
+            get_backend("numpy"), shared_plan, forces=True
+        )
+        phi_fu, f_fu, _ = self._run(
+            get_backend("fused"), shared_plan, forces=True
+        )
+        assert np.allclose(phi_np, phi_fu, rtol=1e-12, atol=1e-14)
+        assert np.allclose(f_np, f_fu, rtol=1e-10, atol=1e-13)
+
+    def test_model_returns_zeros(self, shared_plan):
+        phi, f, _ = self._run(get_backend("model"), shared_plan, forces=True)
+        assert np.all(phi == 0.0)
+        assert np.all(f == 0.0)
+
+    def test_model_runs_structure_only_plan(self, cube):
+        params = _params()
+        tree = ClusterTree(cube.positions, params.max_leaf_size)
+        batches = TargetBatches(cube.positions, params.max_batch_size)
+        moments = precompute_moments(
+            tree, cube.charges, params, numerics=False
+        )
+        lists = build_interaction_lists(batches, tree, params)
+        plan = compile_plan(
+            tree, batches, moments, lists, cube.charges, params,
+            numerics=False,
+        )
+        assert not plan.has_numerics
+        _, _, dev = self._run(get_backend("model"), plan)
+        assert dev.counters.launches == plan.n_segments
+        for name in ("numpy", "fused"):
+            with pytest.raises(ValueError, match="needs a plan"):
+                self._run(get_backend(name), plan)
+
+    def test_float32_halves_busy_time(self, shared_plan):
+        _, _, d64 = self._run(get_backend("model"), shared_plan)
+        _, _, d32 = self._run(
+            get_backend("model"), shared_plan, dtype=np.float32
+        )
+        busy64 = sum(d64.counters.busy_by_kind.values())
+        busy32 = sum(d32.counters.busy_by_kind.values())
+        assert busy32 == pytest.approx(0.5 * busy64)
+
+
+class TestPipelineEquivalence:
+    """End-to-end compute() with each backend on shared workloads."""
+
+    @pytest.fixture(scope="class")
+    def runs(self, cube):
+        params = _params(degree=5)
+        out = {}
+        for name in ("numpy", "fused", "model"):
+            out[name] = BarycentricTreecode(
+                YukawaKernel(0.5), params.with_(backend=name)
+            ).compute(cube, compute_forces=True)
+        return out
+
+    def test_potentials_and_forces_close(self, runs, cube):
+        a, b = runs["numpy"], runs["fused"]
+        assert np.allclose(a.potential, b.potential, rtol=1e-12, atol=1e-14)
+        assert np.allclose(a.forces, b.forces, rtol=1e-10, atol=1e-13)
+        ref = direct_sum(
+            cube.positions, cube.positions, cube.charges, YukawaKernel(0.5)
+        )
+        assert relative_l2_error(ref, b.potential) < 1e-5
+
+    def test_identical_stats_and_phases(self, runs):
+        ref = runs["numpy"]
+        for name in ("fused", "model"):
+            res = runs[name]
+            for key in (
+                "launches", "kernel_evaluations", "bytes_h2d", "bytes_d2h",
+                "by_kind", "n_approx_interactions", "n_direct_interactions",
+            ):
+                assert res.stats[key] == ref.stats[key], (name, key)
+            assert res.phases.setup == pytest.approx(ref.phases.setup)
+            assert res.phases.precompute == pytest.approx(
+                ref.phases.precompute
+            )
+            assert res.phases.compute == pytest.approx(ref.phases.compute)
+
+    def test_model_zeroes_potential(self, runs):
+        assert np.all(runs["model"].potential == 0.0)
+
+    def test_dry_run_forces_model_backend(self, cube):
+        res = BarycentricTreecode(
+            CoulombKernel(), _params(backend="fused")
+        ).compute(cube, dry_run=True)
+        assert np.all(res.potential == 0.0)
+
+    def test_distributed_backend_param(self, cube):
+        params = _params()
+        base = DistributedBLTC(
+            CoulombKernel(), params, n_ranks=2
+        ).compute(cube)
+        fused = DistributedBLTC(
+            CoulombKernel(), params.with_(backend="fused"), n_ranks=2
+        ).compute(cube)
+        assert np.allclose(
+            base.potential, fused.potential, rtol=1e-12, atol=1e-14
+        )
+        assert fused.total_seconds == pytest.approx(base.total_seconds)
+
+    def test_mixed_precision_fused(self, cube):
+        params = _params(degree=5, dtype=np.float32)
+        a = BarycentricTreecode(
+            CoulombKernel(), params
+        ).compute(cube)
+        b = BarycentricTreecode(
+            CoulombKernel(), params.with_(backend="fused")
+        ).compute(cube)
+        assert relative_l2_error(a.potential, b.potential) < 1e-6
+        assert a.phases.compute == pytest.approx(b.phases.compute)
+
+
+class TestPlanStructure:
+    def test_csr_export_roundtrip(self, cube):
+        params = _params()
+        tree = ClusterTree(cube.positions, params.max_leaf_size)
+        batches = TargetBatches(cube.positions, params.max_batch_size)
+        lists = build_interaction_lists(batches, tree, params)
+        a_ptr, a_ids, d_ptr, d_ids = lists.csr()
+        assert a_ptr[-1] == lists.n_approx
+        assert d_ptr[-1] == lists.n_direct
+        for b in range(len(batches)):
+            assert np.array_equal(a_ids[a_ptr[b]:a_ptr[b + 1]], lists.approx[b])
+            assert np.array_equal(d_ids[d_ptr[b]:d_ptr[b + 1]], lists.direct[b])
+
+    def test_plan_counts_match_lists(self, cube, shared_plan):
+        params = _params()
+        tree = ClusterTree(cube.positions, params.max_leaf_size)
+        batches = TargetBatches(cube.positions, params.max_batch_size)
+        lists = build_interaction_lists(batches, tree, params)
+        counts = shared_plan.segment_counts_by_kind()
+        assert counts.get("approx", 0) == lists.n_approx
+        assert counts.get("direct", 0) == lists.n_direct
+        assert shared_plan.n_groups == len(batches)
+        assert shared_plan.n_target_rows == batches.n_targets
+
+    def test_interactions_total_matches_device(self, shared_plan):
+        device = GpuDevice(GPU_TITAN_V)
+        get_backend("model").execute(shared_plan, CoulombKernel(), device)
+        assert shared_plan.interactions_total() == pytest.approx(
+            device.counters.interactions
+        )
+
+    def test_builder_validation(self):
+        b = PlanBuilder(10, numerics=True)
+        with pytest.raises(ValueError, match="add_group"):
+            b.add_segment("approx", points=np.zeros((2, 3)), weights=np.zeros(2))
+        with pytest.raises(ValueError, match="targets"):
+            b.add_group(size=4)
+        m = PlanBuilder(10, numerics=False)
+        with pytest.raises(ValueError, match="size"):
+            m.add_group()
+
+    def test_batches_max_level_public(self, cube):
+        batches = TargetBatches(cube.positions, 200)
+        assert batches.max_level == batches._tree.max_level
+        assert batches.max_level >= 1
