@@ -1,4 +1,4 @@
-"""Backend-fusion ablation: fused vs reference execution of one plan.
+"""Backend ablation: every executing backend on one compiled plan.
 
 The execution-plan refactor separates *compiling* the work (gathering
 CSR index arrays and shared source buffers) from *executing* it.  This
@@ -9,8 +9,17 @@ benchmark compiles one plan per regime and times each backend on it:
   interleaved with the numerics (the pre-refactor hot path);
 * ``fused``  -- zero-copy evaluation from the shared pre-gathered
   buffers plus vectorized (bulk) launch charging;
+* ``multiprocessing`` -- the fused per-group arithmetic sharded over a
+  persistent worker pool (one worker per CPU; on a single-core host it
+  evaluates inline, so the column then tracks ``fused``);
+* ``numba``  -- JIT-compiled gather+GEMV loops (column present only
+  where numba is installed);
 * ``model``  -- launch accounting only (the dry-run path), showing what
   plan-derived bulk charging does for paper-scale timing studies.
+
+Each regime also compiles the plan with the shared-segment source
+gather and reports the physical-row shrink (clusters referenced by many
+batches stored once) -- the memory knob for large real-numerics runs.
 
 The fusion advantage is largest where the seed path was overhead-bound
 -- many small batches, shallow interpolation degree (exactly the
@@ -26,6 +35,7 @@ import pytest
 from conftest import write_result
 from repro import CoulombKernel, TreecodeParams, get_backend, random_cube
 from repro.analysis import format_table
+from repro.core.backends.numba_backend import NUMBA_AVAILABLE
 from repro.core.interaction_lists import build_interaction_lists
 from repro.core.moments import precompute_moments
 from repro.core.plan import compile_plan
@@ -41,11 +51,14 @@ REGIMES = [
     ("small + forces", 15_000, 0.8, 2, 60, True),
 ]
 
-BACKENDS = ("numpy", "fused", "model")
+BACKENDS = ("numpy", "fused", "multiprocessing") + (
+    ("numba",) if NUMBA_AVAILABLE else ()
+) + ("model",)
 ROUNDS = 3
 
 
-def _compiled_plan(n, theta, degree, leaf):
+def _compiled_plans(n, theta, degree, leaf):
+    """(duplicated plan, shared-gather plan) for one regime."""
     p = random_cube(n, seed=900)
     params = TreecodeParams(
         theta=theta, degree=degree, max_leaf_size=leaf, max_batch_size=leaf
@@ -54,7 +67,11 @@ def _compiled_plan(n, theta, degree, leaf):
     batches = TargetBatches(p.positions, leaf)
     moments = precompute_moments(tree, p.charges, params)
     lists = build_interaction_lists(batches, tree, params)
-    return compile_plan(tree, batches, moments, lists, p.charges, params)
+    dup = compile_plan(tree, batches, moments, lists, p.charges, params)
+    shared = compile_plan(
+        tree, batches, moments, lists, p.charges, params, shared_sources=True
+    )
+    return dup, shared
 
 
 def _time_backend(backend, plan, *, forces):
@@ -76,45 +93,56 @@ def _time_backend(backend, plan, *, forces):
 def fusion_sweep():
     rows = []
     checks = []
-    for label, n, theta, degree, leaf, forces in REGIMES:
-        plan = _compiled_plan(n, theta, degree, leaf)
-        seconds = {}
-        outputs = {}
-        for name in BACKENDS:
-            seconds[name], outputs[name] = _time_backend(
-                get_backend(name), plan, forces=forces
+    # One persistent instance per backend so the worker pool (and any
+    # JIT compilation) is paid once across regimes and rounds.
+    instances = {name: get_backend(name) for name in BACKENDS}
+    try:
+        for label, n, theta, degree, leaf, forces in REGIMES:
+            plan, shared_plan = _compiled_plans(n, theta, degree, leaf)
+            seconds = {}
+            outputs = {}
+            for name in BACKENDS:
+                seconds[name], outputs[name] = _time_backend(
+                    instances[name], plan, forces=forces
+                )
+            checks.append((label, outputs))
+            rows.append(
+                {
+                    "regime": label,
+                    "n": n,
+                    "degree": degree,
+                    "batch": leaf,
+                    "segments": plan.n_segments,
+                    "seconds": seconds,
+                    "speedup": seconds["numpy"] / seconds["fused"],
+                    "model_x": seconds["numpy"] / seconds["model"],
+                    "rows_dup": plan.source_buffer_rows,
+                    "rows_shared": shared_plan.source_buffer_rows,
+                }
             )
-        checks.append((label, outputs))
-        rows.append(
-            {
-                "regime": label,
-                "n": n,
-                "degree": degree,
-                "batch": leaf,
-                "segments": plan.n_segments,
-                "numpy_s": seconds["numpy"],
-                "fused_s": seconds["fused"],
-                "model_s": seconds["model"],
-                "speedup": seconds["numpy"] / seconds["fused"],
-                "model_x": seconds["numpy"] / seconds["model"],
-            }
-        )
+    finally:
+        close = getattr(instances.get("multiprocessing"), "close", None)
+        if close:
+            close()
     return rows, checks
 
 
 def test_fusion_regenerate(benchmark, fusion_sweep, results_dir):
     rows, _ = benchmark.pedantic(lambda: fusion_sweep, rounds=1, iterations=1)
-    headers = [
-        "regime", "N", "n", "NB", "segments",
-        "numpy (s)", "fused (s)", "model (s)",
-        "fused speedup", "model speedup",
-    ]
+    headers = (
+        ["regime", "N", "n", "NB", "segments"]
+        + [f"{name} (s)" for name in BACKENDS]
+        + ["fused speedup", "model speedup", "shared-rows shrink"]
+    )
     table = [
         [
             r["regime"], r["n"], r["degree"], r["batch"], r["segments"],
-            f"{r['numpy_s']:.3f}", f"{r['fused_s']:.3f}",
-            f"{r['model_s']:.4f}",
-            f"{r['speedup']:.2f}x", f"{r['model_x']:.0f}x",
+        ]
+        + [f"{r['seconds'][name]:.3f}" for name in BACKENDS]
+        + [
+            f"{r['speedup']:.2f}x",
+            f"{r['model_x']:.0f}x",
+            f"{r['rows_dup'] / max(r['rows_shared'], 1):.1f}x",
         ]
         for r in rows
     ]
@@ -122,9 +150,11 @@ def test_fusion_regenerate(benchmark, fusion_sweep, results_dir):
         headers,
         table,
         title=(
-            "Backend fusion ablation -- wall-clock of one compiled plan "
+            "Backend ablation -- wall-clock of one compiled plan "
             "(min of 3 rounds; numpy = seed per-batch semantics, fused = "
-            "pre-gathered buffers + bulk launch charging)"
+            "pre-gathered buffers + bulk launch charging, multiprocessing "
+            "= fused arithmetic sharded over a process pool; shared-rows "
+            "shrink = duplicated/deduplicated source-buffer rows)"
         ),
     )
     write_result(results_dir, "ablation_backend_fusion.txt", text)
@@ -149,18 +179,35 @@ def test_model_backend_orders_of_magnitude_faster(fusion_sweep):
         assert r["model_x"] > 5.0, r
 
 
+def test_shared_gather_shrinks_buffers(fusion_sweep):
+    """Clusters shared across batches stored once: strictly fewer rows."""
+    rows, _ = fusion_sweep
+    for r in rows:
+        assert r["rows_shared"] < r["rows_dup"], r
+
+
 def test_backends_agree_on_every_regime(fusion_sweep):
     """The timing comparison is only meaningful if results agree."""
     _, checks = fusion_sweep
     for label, outputs in checks:
         (phi_np, f_np), dev_np = outputs["numpy"]
-        (phi_fu, f_fu), dev_fu = outputs["fused"]
         (phi_mo, _), dev_mo = outputs["model"]
-        assert np.allclose(phi_np, phi_fu, rtol=1e-9, atol=1e-12), label
-        if f_np is not None:
-            assert np.allclose(f_np, f_fu, rtol=1e-8, atol=1e-11), label
         assert np.all(phi_mo == 0.0)
-        for dev in (dev_fu, dev_mo):
+        for name in BACKENDS:
+            if name in ("numpy", "model"):
+                continue
+            (phi, f), dev = outputs[name]
+            assert np.allclose(phi_np, phi, rtol=1e-9, atol=1e-12), (
+                label, name,
+            )
+            if f_np is not None:
+                assert np.allclose(f_np, f, rtol=1e-8, atol=1e-11), (
+                    label, name,
+                )
+        for name in BACKENDS:
+            if name == "numpy":
+                continue
+            dev = outputs[name][1]
             assert dev.counters.launches == dev_np.counters.launches
             assert dev.counters.interactions == dev_np.counters.interactions
             assert dev.elapsed() == pytest.approx(dev_np.elapsed())

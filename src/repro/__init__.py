@@ -44,6 +44,8 @@ from .core import (
     ExecutionPlan,
     FusedBackend,
     ModelBackend,
+    MultiprocessingBackend,
+    NumbaBackend,
     NumpyBackend,
     TreecodeResult,
     available_backends,
@@ -94,6 +96,8 @@ __all__ = [
     "Backend",
     "NumpyBackend",
     "FusedBackend",
+    "MultiprocessingBackend",
+    "NumbaBackend",
     "ModelBackend",
     "available_backends",
     "get_backend",

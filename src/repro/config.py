@@ -64,13 +64,22 @@ class TreecodeParams:
     shrink_to_fit: bool = True
     #: Evaluation backend executing the compiled plan: ``"numpy"`` (the
     #: reference blocked semantics), ``"fused"`` (pre-gathered buffers, no
-    #: per-batch concatenation -- faster, same counters) or ``"model"``
-    #: (launch accounting only).  Resolved through the registry in
-    #: :mod:`repro.core.backends` at compute time, so custom registered
-    #: backends are selectable by name; a ready-made
+    #: per-batch concatenation -- faster, same counters),
+    #: ``"multiprocessing"`` (plan groups sharded over a persistent worker
+    #: pool), ``"numba"`` (JIT-compiled per-group loops; registered only
+    #: when numba is installed) or ``"model"`` (launch accounting only).
+    #: Names are validated against the registry at construction time and
+    #: resolved through :mod:`repro.core.backends` at compute time, so
+    #: custom registered backends are selectable by name; a ready-made
     #: :class:`~repro.core.backends.Backend` instance (one carrying its
     #: own state) is accepted directly and passes through the resolver.
     backend: object = "numpy"
+    #: De-duplicate the execution plan's source buffers: clusters
+    #: referenced by many batches are stored once and aliased through
+    #: per-segment offsets (bitwise-identical results, strictly smaller
+    #: buffers on shared workloads).  Off by default to keep the seed's
+    #: duplicated, fully-contiguous layout on the reference path.
+    shared_sources: bool = False
 
     def __post_init__(self) -> None:
         if not (0.0 < self.theta <= 1.0):
@@ -93,6 +102,20 @@ class TreecodeParams:
             if not self.backend:
                 raise ValueError(
                     "backend must be a non-empty registry name, got ''"
+                )
+            # Validate the name now instead of deep inside compute().
+            # The low-level store lives in the leaf module
+            # repro.registry (importing repro.core.backends here would
+            # be circular); while the package itself is still importing
+            # the store is empty and validation is skipped -- that
+            # window only covers DEFAULT_PARAMS below.
+            from .registry import backend_names
+
+            names = backend_names()
+            if names and self.backend not in names:
+                raise ValueError(
+                    f"unknown backend {self.backend!r}; available: "
+                    f"{', '.join(names)}"
                 )
         elif not callable(getattr(self.backend, "execute", None)):
             # Duck-typed so this module never imports the backend

@@ -9,7 +9,8 @@
 * :mod:`~repro.core.plan` -- compiles (tree, batches, moments, lists)
   into a flat :class:`~repro.core.plan.ExecutionPlan`.
 * :mod:`~repro.core.backends` -- pluggable plan-evaluation backends
-  (numpy reference, fused, model-only) behind one registry.
+  (numpy reference, fused, multiprocessing, numba-JIT, model-only)
+  behind one registry.
 * :mod:`~repro.core.executor` -- standalone per-batch evaluation
   primitives (the pre-plan form, still useful for direct experiments).
 * :mod:`~repro.core.direct` -- the O(N^2) direct-summation baseline.
@@ -20,6 +21,8 @@ from .backends import (
     Backend,
     FusedBackend,
     ModelBackend,
+    MultiprocessingBackend,
+    NumbaBackend,
     NumpyBackend,
     available_backends,
     get_backend,
@@ -48,6 +51,8 @@ __all__ = [
     "Backend",
     "NumpyBackend",
     "FusedBackend",
+    "MultiprocessingBackend",
+    "NumbaBackend",
     "ModelBackend",
     "available_backends",
     "get_backend",

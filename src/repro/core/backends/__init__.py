@@ -10,15 +10,24 @@ backends:
 * :class:`FusedBackend` (``"fused"``) -- evaluates from the shared
   pre-gathered buffers with no per-batch concatenation or copies;
   bitwise-close results, measurably faster wall-clock.
+* :class:`MultiprocessingBackend` (``"multiprocessing"``) -- shards the
+  plan's groups across a persistent worker pool, shipping the flat
+  buffers through POSIX shared memory; the paper's outer (multi-rank)
+  parallelism on one host.
+* :class:`NumbaBackend` (``"numba"``) -- JIT-compiled per-group
+  gather+GEMV loops; registered only when ``numba`` is importable.
 * :class:`ModelBackend` (``"model"``) -- launch accounting only (the
   old ``dry_run`` mode); runs the timing model at paper scale.
 
 Select one with ``TreecodeParams(backend="fused")`` or register your own
-(numba, multiprocessing, a real GPU) via :func:`register_backend`.
+(a real GPU, ...) via :func:`register_backend`.  The name -> class store
+itself lives in :mod:`repro.registry` so the config layer can validate
+backend names without importing this package.
 """
 
 from __future__ import annotations
 
+from ...registry import backend_names, backend_type, register_backend_type
 from .base import (
     Backend,
     charge_plan_launches,
@@ -27,12 +36,16 @@ from .base import (
 )
 from .fused import FusedBackend
 from .model import ModelBackend
+from .multiproc import MultiprocessingBackend
+from .numba_backend import NUMBA_AVAILABLE, NumbaBackend
 from .numpy_backend import NumpyBackend
 
 __all__ = [
     "Backend",
     "NumpyBackend",
     "FusedBackend",
+    "MultiprocessingBackend",
+    "NumbaBackend",
     "ModelBackend",
     "available_backends",
     "get_backend",
@@ -42,21 +55,23 @@ __all__ = [
     "launch_cost_multiplier",
 ]
 
-_REGISTRY: dict[str, type[Backend]] = {}
-
 
 def register_backend(cls: type[Backend]) -> type[Backend]:
     """Register a backend class under ``cls.name`` (decorator-friendly)."""
     name = getattr(cls, "name", None)
     if not name or name == "abstract":
         raise ValueError(f"backend class {cls!r} needs a distinct name")
-    _REGISTRY[name] = cls
+    register_backend_type(name, cls)
     return cls
 
 
 def available_backends() -> tuple[str, ...]:
     """Names of all registered backends."""
-    return tuple(sorted(_REGISTRY))
+    return backend_names()
+
+
+#: Shared instances for backends with ``share_instance = True``.
+_SHARED_INSTANCES: dict[str, Backend] = {}
 
 
 def get_backend(name: str | Backend) -> Backend:
@@ -64,20 +79,37 @@ def get_backend(name: str | Backend) -> Backend:
 
     Backend instances pass through unchanged, so drivers accept either a
     name (registry lookup) or a ready-made object (custom backends that
-    carry their own state).
+    carry their own state).  Classes marked ``share_instance`` resolve
+    to one shared instance per name, so selecting e.g.
+    ``TreecodeParams(backend="multiprocessing")`` reuses the same worker
+    pool across ``compute()`` calls instead of forking a fresh one each
+    time.
     """
     if isinstance(name, Backend):
         return name
     try:
-        cls = _REGISTRY[name]
+        cls = backend_type(name)
     except KeyError:
         raise ValueError(
             f"unknown backend {name!r}; available: "
             f"{', '.join(available_backends())}"
         ) from None
+    if getattr(cls, "share_instance", False):
+        inst = _SHARED_INSTANCES.get(name)
+        if inst is None or type(inst) is not cls:
+            inst = cls()
+            _SHARED_INSTANCES[name] = inst
+        return inst
     return cls()
 
 
 register_backend(NumpyBackend)
 register_backend(FusedBackend)
 register_backend(ModelBackend)
+register_backend(MultiprocessingBackend)
+if NUMBA_AVAILABLE:
+    # Gated registration: without numba the name is absent from the
+    # registry (selection fails with the standard unknown-backend error
+    # listing what *is* available) and constructing NumbaBackend directly
+    # raises a clean RuntimeError.
+    register_backend(NumbaBackend)

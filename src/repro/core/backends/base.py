@@ -169,6 +169,10 @@ class Backend(abc.ABC):
     name: str = "abstract"
     #: Whether the pipeline must compute moments / gather plan buffers.
     needs_numerics: bool = True
+    #: Reuse one shared instance for by-name registry lookups.  Set True
+    #: on backends whose state is expensive to recreate (a worker pool,
+    #: a JIT cache); stateless backends keep fresh instances per lookup.
+    share_instance: bool = False
 
     @abc.abstractmethod
     def execute(

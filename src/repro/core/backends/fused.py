@@ -1,15 +1,18 @@
 """Fused backend: zero-copy evaluation straight from the plan buffers.
 
-The plan compiler already gathered every group's sources contiguously,
-so this backend evaluates each group with *one* blocked accumulation
-over its whole source range -- no per-batch ``np.concatenate``, no
-per-call ``ascontiguousarray`` copies, and at most one dtype cast of the
-shared buffers for the whole run.  Forces reuse the same gathered
-buffers.  Results agree with :class:`~.numpy_backend.NumpyBackend` to
-floating-point roundoff (the accumulation merges the per-kind partial
-sums into one pass); the recorded device counters are identical, since
-launch charging derives from the plan, not from how the numerics are
-blocked.
+The plan compiler already gathered every group's sources contiguously
+(duplicated layout) or de-duplicated them behind per-segment offsets
+(shared layout), so this backend evaluates each group with *one*
+blocked accumulation over its whole source range -- no per-batch
+``np.concatenate`` in the contiguous case and at most one dtype cast of
+the buffers for the whole run.  Forces reuse the same gathered buffers.
+The arithmetic itself lives in :mod:`.groupeval` and is shared verbatim
+with the multiprocessing backend's shards (which is why the two are
+bitwise identical by construction).  Results agree with
+:class:`~.numpy_backend.NumpyBackend` to floating-point roundoff (the
+accumulation merges the per-kind partial sums into one pass); the
+recorded device counters are identical, since launch charging derives
+from the plan, not from how the numerics are blocked.
 """
 
 from __future__ import annotations
@@ -17,6 +20,7 @@ from __future__ import annotations
 import numpy as np
 
 from .base import Backend, charge_plan_launches
+from .groupeval import eval_group_range, plan_arrays
 
 __all__ = ["FusedBackend"]
 
@@ -50,31 +54,12 @@ class FusedBackend(Backend):
             if compute_forces
             else None
         )
-        # Cast the shared buffers once; float64 plans pass through as-is.
-        tgt_all = np.ascontiguousarray(plan.targets, dtype=dtype)
-        src_all = np.ascontiguousarray(plan.src_points, dtype=dtype)
-        q_all = np.ascontiguousarray(plan.src_weights, dtype=dtype)
-        group_ptr = plan.group_ptr
-        seg_group_ptr = plan.seg_group_ptr
-        seg_ptr = plan.seg_ptr
-        for g in range(plan.n_groups):
-            t_lo, t_hi = int(group_ptr[g]), int(group_ptr[g + 1])
-            m = t_hi - t_lo
-            if m == 0:
-                continue
-            r_lo = int(seg_ptr[seg_group_ptr[g]])
-            r_hi = int(seg_ptr[seg_group_ptr[g + 1]])
-            if r_hi == r_lo:
-                continue
-            tgt = tgt_all[t_lo:t_hi]
-            idx = plan.out_index[t_lo:t_hi]
-            phi = np.zeros(m, dtype=np.float64)
-            kernel.potential(tgt, src_all[r_lo:r_hi], q_all[r_lo:r_hi], out=phi)
-            out[idx] += phi
-            if forces is not None:
-                f_acc = np.zeros((m, 3), dtype=np.float64)
-                kernel.force(
-                    tgt, src_all[r_lo:r_hi], q_all[r_lo:r_hi], out=f_acc
-                )
-                forces[idx] += f_acc
+        t_lo, t_hi, phi, f_rows = eval_group_range(
+            plan_arrays(plan), kernel, dtype, compute_forces,
+            0, plan.n_groups,
+        )
+        idx = plan.out_index[t_lo:t_hi]
+        out[idx] += phi
+        if forces is not None and f_rows is not None:
+            forces[idx] += f_rows
         return out, forces

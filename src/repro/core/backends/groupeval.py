@@ -1,0 +1,122 @@
+"""The fused per-group evaluation shared by the fused and mp backends.
+
+One implementation of the per-group "gather sources, one blocked
+kernel accumulation" arithmetic, operating on a plain dict of the
+plan's flat arrays so it runs identically in-process (FusedBackend, the
+multiprocessing backend's inline path) and inside pool workers (which
+rebuild the dict from shared memory).  Keeping it single-sourced is
+what makes the multiprocessing backend's "bitwise == fused" contract a
+structural property instead of a hand-synchronized one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["PLAN_ARRAY_FIELDS", "plan_arrays", "eval_group_range"]
+
+#: The ExecutionPlan fields a group evaluation needs (``seg_src_lo`` is
+#: absent for the duplicated source-buffer layout).
+PLAN_ARRAY_FIELDS = (
+    "targets",
+    "out_index",
+    "src_points",
+    "src_weights",
+    "group_ptr",
+    "seg_group_ptr",
+    "seg_ptr",
+    "seg_src_lo",
+)
+
+
+def plan_arrays(plan) -> dict:
+    """The plan's non-None flat arrays keyed by field name."""
+    return {
+        f: getattr(plan, f)
+        for f in PLAN_ARRAY_FIELDS
+        if getattr(plan, f) is not None
+    }
+
+
+def _group_source_slices(arrays, g):
+    """Physical (lo, hi) source row ranges of group ``g``, in order."""
+    s_lo = int(arrays["seg_group_ptr"][g])
+    s_hi = int(arrays["seg_group_ptr"][g + 1])
+    seg_ptr = arrays["seg_ptr"]
+    seg_src_lo = arrays.get("seg_src_lo")
+    if seg_src_lo is None:
+        return [(int(seg_ptr[s_lo]), int(seg_ptr[s_hi]))]
+    out = []
+    for s in range(s_lo, s_hi):
+        lo = int(seg_src_lo[s])
+        out.append((lo, lo + int(seg_ptr[s + 1] - seg_ptr[s])))
+    return out
+
+
+def eval_group_range(arrays, kernel, dtype, compute_forces, g_lo, g_hi):
+    """Fused per-group accumulation over groups ``[g_lo, g_hi)``.
+
+    Returns ``(t_lo, t_hi, phi, forces)`` where ``phi`` covers the
+    contiguous target rows of the range; the caller scatters through
+    ``out_index`` (injective, so shards of disjoint group ranges never
+    race on the output).
+    """
+    group_ptr = arrays["group_ptr"]
+    t_lo_all = int(group_ptr[g_lo])
+    t_hi_all = int(group_ptr[g_hi])
+    phi = np.zeros(t_hi_all - t_lo_all, dtype=np.float64)
+    f_out = (
+        np.zeros((t_hi_all - t_lo_all, 3), dtype=np.float64)
+        if compute_forces
+        else None
+    )
+    # Cast once per range; float64 passes through as views.  In the
+    # duplicated layout the range's source rows are one contiguous run,
+    # so a mixed-precision cast copies only that slice instead of the
+    # whole buffer per worker; the shared layout's rows are scattered
+    # (and already de-duplicated), so it casts the full buffers.
+    if "seg_src_lo" in arrays:
+        base = 0
+        src_all = np.ascontiguousarray(arrays["src_points"], dtype=dtype)
+        q_all = np.ascontiguousarray(arrays["src_weights"], dtype=dtype)
+    else:
+        seg_ptr = arrays["seg_ptr"]
+        seg_group_ptr = arrays["seg_group_ptr"]
+        base = int(seg_ptr[seg_group_ptr[g_lo]])
+        end = int(seg_ptr[seg_group_ptr[g_hi]])
+        src_all = np.ascontiguousarray(
+            arrays["src_points"][base:end], dtype=dtype
+        )
+        q_all = np.ascontiguousarray(
+            arrays["src_weights"][base:end], dtype=dtype
+        )
+    for g in range(g_lo, g_hi):
+        t_lo, t_hi = int(group_ptr[g]), int(group_ptr[g + 1])
+        m = t_hi - t_lo
+        if m == 0:
+            continue
+        slices = [
+            (lo - base, hi - base)
+            for lo, hi in _group_source_slices(arrays, g)
+            if hi > lo
+        ]
+        if not slices:
+            continue
+        # Contiguity fast path: a single run needs no gather at all.
+        contiguous = len(slices) == 1 or all(
+            slices[i][1] == slices[i + 1][0] for i in range(len(slices) - 1)
+        )
+        if contiguous:
+            lo, hi = slices[0][0], slices[-1][1]
+            src, q = src_all[lo:hi], q_all[lo:hi]
+        else:
+            src = np.concatenate([src_all[lo:hi] for lo, hi in slices], axis=0)
+            q = np.concatenate([q_all[lo:hi] for lo, hi in slices])
+        tgt = np.ascontiguousarray(
+            arrays["targets"][t_lo:t_hi], dtype=dtype
+        )
+        o_lo = t_lo - t_lo_all
+        kernel.potential(tgt, src, q, out=phi[o_lo:o_lo + m])
+        if f_out is not None:
+            kernel.force(tgt, src, q, out=f_out[o_lo:o_lo + m])
+    return t_lo_all, t_hi_all, phi, f_out

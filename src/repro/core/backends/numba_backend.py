@@ -1,0 +1,331 @@
+"""Numba backend: JIT-compiled per-group gather+GEMV accumulation.
+
+The plan seam hands this backend the same flat buffers every other
+backend consumes; here the per-group loop -- gather the group's source
+rows, evaluate the kernel row block, accumulate the GEMV -- is compiled
+to machine code with :func:`numba.njit`, with the kernel's scalar form
+(:meth:`~repro.kernels.base.Kernel.scalar_functions`) inlined into the
+innermost loop.  This is the reproduction's stand-in for the paper's
+compiled GPU kernels: no NumPy temporaries, one pass over each
+(target row, source row) pair.
+
+Numerics: the squared distance uses the same expanded form
+``r^2 = |t|^2 + |s|^2 - 2 t.s`` and the same coincidence noise floor as
+:meth:`~repro.kernels.base.RadialKernel.pairwise`, so coincident pairs
+(removable singularities) are classified identically; remaining
+differences against the BLAS-based backends are pure summation-order
+roundoff, within the tolerance the fused backend meets in the
+equivalence suite.
+
+Availability: the module imports everywhere (the loop bodies are plain
+Python, also runnable un-jitted for testing), but the backend class is
+registered only when ``numba`` is importable
+(``importlib.util.find_spec``); constructing it without numba raises a
+clean RuntimeError naming the missing dependency.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+
+import numpy as np
+
+from .base import Backend, charge_plan_launches
+
+__all__ = ["NUMBA_AVAILABLE", "NumbaBackend", "build_group_loops"]
+
+NUMBA_AVAILABLE = importlib.util.find_spec("numba") is not None
+
+#: Compiled (potential_loop, force_loop) per kernel configuration.
+_LOOP_CACHE: dict = {}
+
+
+def _kernel_cache_key(kernel):
+    """``(key, cacheable)`` identity of a kernel's scalar configuration.
+
+    Kernels whose state is unsortable/unhashable get ``cacheable=False``
+    rather than a repr-based key: the default repr is identical for
+    every instance of a class, so caching on it could silently hand one
+    instance the loops compiled around another's parameters.
+    """
+    try:
+        params = tuple(sorted(vars(kernel).items()))
+        hash(params)
+    except TypeError:
+        return (type(kernel), id(kernel)), False
+    return (type(kernel), params), True
+
+
+def _make_loops(eval_r, eval_dr_over_r, r0, jit):
+    """Build the per-group loops around a kernel's scalar functions.
+
+    ``jit`` wraps each function (identity for pure-Python testing,
+    ``numba.njit`` in production); the scalar functions are wrapped too
+    so numba can inline them into the compiled loop.
+    """
+    eval_r = jit(eval_r)
+    if eval_dr_over_r is not None:
+        eval_dr_over_r = jit(eval_dr_over_r)
+
+    def potential_loop(
+        targets, src_points, src_weights,
+        group_ptr, seg_group_ptr, seg_lo_arr, seg_sizes,
+        phi, eps16,
+    ):
+        n_groups = group_ptr.shape[0] - 1
+        for g in range(n_groups):
+            t_lo = group_ptr[g]
+            t_hi = group_ptr[g + 1]
+            m = t_hi - t_lo
+            if m == 0:
+                continue
+            s_lo = seg_group_ptr[g]
+            s_hi = seg_group_ptr[g + 1]
+            rows = 0
+            for s in range(s_lo, s_hi):
+                rows += seg_sizes[s]
+            if rows == 0:
+                continue
+            # Gather the group's source rows (aliased segments resolve
+            # through seg_lo_arr) into dense per-group arrays.
+            sx = np.empty(rows, src_points.dtype)
+            sy = np.empty(rows, src_points.dtype)
+            sz = np.empty(rows, src_points.dtype)
+            sq = np.empty(rows, src_weights.dtype)
+            s2 = np.empty(rows, src_points.dtype)
+            pos = 0
+            s2max = 0.0
+            for s in range(s_lo, s_hi):
+                lo = seg_lo_arr[s]
+                for j in range(seg_sizes[s]):
+                    x = src_points[lo + j, 0]
+                    y = src_points[lo + j, 1]
+                    z = src_points[lo + j, 2]
+                    sx[pos] = x
+                    sy[pos] = y
+                    sz[pos] = z
+                    sq[pos] = src_weights[lo + j]
+                    v = x * x + y * y + z * z
+                    s2[pos] = v
+                    if v > s2max:
+                        s2max = v
+                    pos += 1
+            t2max = 0.0
+            for i in range(m):
+                tx = targets[t_lo + i, 0]
+                ty = targets[t_lo + i, 1]
+                tz = targets[t_lo + i, 2]
+                v = tx * tx + ty * ty + tz * tz
+                if v > t2max:
+                    t2max = v
+            noise = eps16 * max(t2max + s2max, 1e-300)
+            for i in range(m):
+                tx = targets[t_lo + i, 0]
+                ty = targets[t_lo + i, 1]
+                tz = targets[t_lo + i, 2]
+                t2 = tx * tx + ty * ty + tz * tz
+                acc = 0.0
+                for j in range(rows):
+                    r2 = (t2 + s2[j]) - 2.0 * (
+                        tx * sx[j] + ty * sy[j] + tz * sz[j]
+                    )
+                    if r2 <= noise:
+                        acc += r0 * sq[j]
+                    else:
+                        acc += eval_r(np.sqrt(r2)) * sq[j]
+                phi[t_lo + i] += acc
+
+    force_loop = None
+    if eval_dr_over_r is not None:
+        _dr = eval_dr_over_r
+
+        def force_loop(
+            targets, src_points, src_weights,
+            group_ptr, seg_group_ptr, seg_lo_arr, seg_sizes,
+            force, eps16,
+        ):
+            n_groups = group_ptr.shape[0] - 1
+            for g in range(n_groups):
+                t_lo = group_ptr[g]
+                t_hi = group_ptr[g + 1]
+                m = t_hi - t_lo
+                if m == 0:
+                    continue
+                s_lo = seg_group_ptr[g]
+                s_hi = seg_group_ptr[g + 1]
+                rows = 0
+                for s in range(s_lo, s_hi):
+                    rows += seg_sizes[s]
+                if rows == 0:
+                    continue
+                sx = np.empty(rows, src_points.dtype)
+                sy = np.empty(rows, src_points.dtype)
+                sz = np.empty(rows, src_points.dtype)
+                sq = np.empty(rows, src_weights.dtype)
+                s2 = np.empty(rows, src_points.dtype)
+                pos = 0
+                s2max = 0.0
+                for s in range(s_lo, s_hi):
+                    lo = seg_lo_arr[s]
+                    for j in range(seg_sizes[s]):
+                        x = src_points[lo + j, 0]
+                        y = src_points[lo + j, 1]
+                        z = src_points[lo + j, 2]
+                        sx[pos] = x
+                        sy[pos] = y
+                        sz[pos] = z
+                        sq[pos] = src_weights[lo + j]
+                        v = x * x + y * y + z * z
+                        s2[pos] = v
+                        if v > s2max:
+                            s2max = v
+                        pos += 1
+                t2max = 0.0
+                for i in range(m):
+                    tx = targets[t_lo + i, 0]
+                    ty = targets[t_lo + i, 1]
+                    tz = targets[t_lo + i, 2]
+                    v = tx * tx + ty * ty + tz * tz
+                    if v > t2max:
+                        t2max = v
+                noise = eps16 * max(t2max + s2max, 1e-300)
+                for i in range(m):
+                    tx = targets[t_lo + i, 0]
+                    ty = targets[t_lo + i, 1]
+                    tz = targets[t_lo + i, 2]
+                    t2 = tx * tx + ty * ty + tz * tz
+                    fx = 0.0
+                    fy = 0.0
+                    fz = 0.0
+                    for j in range(rows):
+                        r2 = (t2 + s2[j]) - 2.0 * (
+                            tx * sx[j] + ty * sy[j] + tz * sz[j]
+                        )
+                        if r2 <= noise:
+                            continue  # coincident pairs contribute no force
+                        factor = _dr(np.sqrt(r2)) * sq[j]
+                        fx += factor * (tx - sx[j])
+                        fy += factor * (ty - sy[j])
+                        fz += factor * (tz - sz[j])
+                    # force = -sum grad = -(factor * diff) accumulated above
+                    force[t_lo + i, 0] -= fx
+                    force[t_lo + i, 1] -= fy
+                    force[t_lo + i, 2] -= fz
+
+    return jit(potential_loop), jit(force_loop) if force_loop is not None else None
+
+
+def build_group_loops(kernel, jit=None):
+    """Resolve (and cache) the compiled loops for ``kernel``.
+
+    ``jit=None`` uses ``numba.njit`` (requires numba); pass an identity
+    function to obtain the pure-Python loops for testing the algorithm
+    without a compiler.  Returns ``(potential_loop, force_loop_or_None)``.
+    """
+    jitted = jit is None
+    if jitted:
+        if not NUMBA_AVAILABLE:  # pragma: no cover - exercised via backend
+            raise RuntimeError(
+                "numba is not installed; the 'numba' backend is unavailable "
+                "(pip install numba, or select backend='fused')"
+            )
+        import numba
+
+        jit = numba.njit(cache=False)
+    kernel_key, cacheable = _kernel_cache_key(kernel)
+    cacheable = cacheable and jitted
+    key = (kernel_key, jitted)
+    if cacheable and key in _LOOP_CACHE:
+        return _LOOP_CACHE[key]
+    try:
+        eval_r, eval_dr = kernel.scalar_functions()
+    except NotImplementedError as exc:
+        raise ValueError(
+            f"kernel {kernel.name!r} provides no scalar functions; "
+            "the numba backend needs them to compile its loops"
+        ) from exc
+    r0 = float(kernel.evaluate_r0()) if hasattr(kernel, "evaluate_r0") else 0.0
+    loops = _make_loops(eval_r, eval_dr, r0, jit)
+    if cacheable:
+        _LOOP_CACHE[key] = loops
+    return loops
+
+
+class NumbaBackend(Backend):
+    """JIT-compiled gather+GEMV evaluation of a compiled plan."""
+
+    name = "numba"
+    needs_numerics = True
+
+    def __init__(self) -> None:
+        if not NUMBA_AVAILABLE:
+            raise RuntimeError(
+                "numba is not installed; the 'numba' backend is unavailable "
+                "(pip install numba, or select backend='fused')"
+            )
+
+    def execute(
+        self,
+        plan,
+        kernel,
+        device,
+        *,
+        dtype=np.float64,
+        compute_forces: bool = False,
+    ):
+        if not plan.has_numerics:
+            raise ValueError(
+                f"backend {self.name!r} needs a plan compiled with numerics"
+            )
+        charge_plan_launches(
+            plan, kernel, device,
+            dtype=dtype, compute_forces=compute_forces, bulk=True,
+        )
+        potential_loop, force_loop = build_group_loops(kernel)
+        if compute_forces and force_loop is None:
+            raise NotImplementedError(
+                f"kernel {kernel.name!r} does not implement gradients"
+            )
+        out, forces = run_plan_loops(
+            plan, potential_loop,
+            force_loop if compute_forces else None,
+            dtype=dtype,
+        )
+        return out, forces
+
+
+def run_plan_loops(plan, potential_loop, force_loop, *, dtype=np.float64):
+    """Drive the (jitted or plain) loops over a plan's buffers."""
+    out = np.zeros(plan.out_size, dtype=np.float64)
+    forces = (
+        np.zeros((plan.out_size, 3), dtype=np.float64)
+        if force_loop is not None
+        else None
+    )
+    targets = np.ascontiguousarray(plan.targets, dtype=dtype)
+    src_points = np.ascontiguousarray(plan.src_points, dtype=dtype)
+    src_weights = np.ascontiguousarray(plan.src_weights, dtype=dtype)
+    seg_sizes = np.ascontiguousarray(np.diff(plan.seg_ptr))
+    if plan.seg_src_lo is not None:
+        seg_lo_arr = np.ascontiguousarray(plan.seg_src_lo)
+    else:
+        seg_lo_arr = np.ascontiguousarray(plan.seg_ptr[:-1])
+    group_ptr = np.ascontiguousarray(plan.group_ptr)
+    seg_group_ptr = np.ascontiguousarray(plan.seg_group_ptr)
+    eps16 = 16.0 * float(np.finfo(np.dtype(dtype)).eps)
+    phi = np.zeros(plan.n_target_rows, dtype=np.float64)
+    potential_loop(
+        targets, src_points, src_weights,
+        group_ptr, seg_group_ptr, seg_lo_arr, seg_sizes,
+        phi, eps16,
+    )
+    out[plan.out_index] += phi
+    if force_loop is not None:
+        f_rows = np.zeros((plan.n_target_rows, 3), dtype=np.float64)
+        force_loop(
+            targets, src_points, src_weights,
+            group_ptr, seg_group_ptr, seg_lo_arr, seg_sizes,
+            f_rows, eps16,
+        )
+        forces[plan.out_index] += f_rows
+    return out, forces

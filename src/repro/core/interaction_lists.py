@@ -116,17 +116,20 @@ class InteractionLists:
         np.cumsum([len(a) for a in self.approx], out=approx_ptr[1:])
         direct_ptr = np.zeros(len(self.direct) + 1, dtype=np.intp)
         np.cumsum([len(d) for d in self.direct], out=direct_ptr[1:])
+        # astype(copy=False) keeps the freshly concatenated intp arrays
+        # as-is (the common case) instead of duplicating them; the empty
+        # branches produce the same intp dtype so both paths agree.
         approx_ids = (
             np.concatenate(self.approx)
             if self.approx
             else np.empty(0, dtype=np.intp)
-        )
+        ).astype(np.intp, copy=False)
         direct_ids = (
             np.concatenate(self.direct)
             if self.direct
             else np.empty(0, dtype=np.intp)
-        )
-        return approx_ptr, approx_ids.astype(np.intp), direct_ptr, direct_ids.astype(np.intp)
+        ).astype(np.intp, copy=False)
+        return approx_ptr, approx_ids, direct_ptr, direct_ids
 
 
 def traverse_batch(

@@ -16,7 +16,12 @@ against a contiguous block of source rows:
 
 * ``group_ptr[g]:group_ptr[g+1]``     -- target rows of group ``g``;
 * ``seg_group_ptr[g]:seg_group_ptr[g+1]`` -- segments of group ``g``;
-* ``seg_ptr[s]:seg_ptr[s+1]``         -- source rows of segment ``s``;
+* ``seg_ptr[s+1] - seg_ptr[s]``       -- source-row count of segment
+  ``s`` (*logical* sizes; the physical rows live at
+  :meth:`ExecutionPlan.segment_source_range` /
+  :meth:`~ExecutionPlan.segment_points`, which resolve both
+  source-buffer layouts below -- never index ``src_points`` with
+  ``seg_ptr`` directly);
 * ``seg_kind[s]``                     -- launch kind (index into
   ``kind_names``: "approx", "direct", "cluster-cluster", ...).
 
@@ -38,13 +43,30 @@ vector (of length ``out_size``); compilers keep ``out_index`` injective
 over all target rows, so backends accumulate with a plain fancy-indexed
 ``+=``.
 
-Memory trade-off: a numerics plan materializes every segment's source
-rows (clusters referenced by many batches are duplicated), trading
-O(total interaction rows / n_ip)-sized buffers for zero per-batch
-gathering at execution time.  At the scales this reproduction runs real
-numerics this is megabytes; paper-scale runs (10^6+ particles) go
-through model-only plans, which carry no buffers at all.  A streaming /
-shared-segment gather is a noted follow-up in ROADMAP.md.
+Source-buffer layouts
+---------------------
+A numerics plan stores its gathered source rows in one of two layouts:
+
+* **duplicated** (the default): every segment's rows are materialized
+  contiguously in launch order, so ``seg_ptr`` doubles as the physical
+  offset table and a whole group's sources are one contiguous block
+  (zero-copy for the fused backend).  Clusters referenced by many
+  batches are stored once *per referencing segment*.
+* **shared** (``shared_sources=True``): segments carrying the same
+  ``share_key`` (e.g. the same cluster's Chebyshev grid) point into one
+  physical copy via the per-segment ``seg_src_lo`` offsets.  The buffers
+  shrink from O(total interaction rows / n_ip) to O(distinct source
+  rows) -- the ROADMAP's shared-segment gather for large real-numerics
+  runs.
+
+Both layouts expose the same per-segment view
+(:meth:`ExecutionPlan.segment_points` / ``segment_weights``), so every
+backend runs either; ``seg_ptr`` keeps its *logical* cumulative-size
+meaning in both (launch metadata, interaction counts and device cost
+accounting are layout-independent).  Results are bitwise identical: the
+physical rows are exact copies of the same cluster arrays either way.
+Paper-scale runs (10^6+ particles) go through model-only plans, which
+carry no buffers at all.
 """
 
 from __future__ import annotations
@@ -88,6 +110,10 @@ class ExecutionPlan:
     src_points: np.ndarray | None = None
     #: (R,) gathered charges/modified charges, or None in model-only mode.
     src_weights: np.ndarray | None = None
+    #: (S,) physical start row of each segment in the source buffers, or
+    #: None for the duplicated layout (where ``seg_ptr`` is the offset
+    #: table).  Set by the shared-source gather; segments may alias.
+    seg_src_lo: np.ndarray | None = None
 
     # -- structure queries ----------------------------------------------
     @property
@@ -104,17 +130,85 @@ class ExecutionPlan:
 
     @property
     def n_source_rows(self) -> int:
+        """Logical source rows (sum of segment sizes; counts aliases)."""
         return int(self.seg_ptr[-1])
 
     @property
     def has_numerics(self) -> bool:
         return self.src_points is not None
 
+    @property
+    def shared_sources(self) -> bool:
+        """True when segments alias de-duplicated source buffers."""
+        return self.seg_src_lo is not None
+
+    @property
+    def source_buffer_rows(self) -> int:
+        """Physical rows actually stored (== logical rows when duplicated)."""
+        return 0 if self.src_points is None else int(self.src_points.shape[0])
+
     def group_size(self, g: int) -> int:
         return int(self.group_ptr[g + 1] - self.group_ptr[g])
 
     def seg_size(self, s: int) -> int:
         return int(self.seg_ptr[s + 1] - self.seg_ptr[s])
+
+    # -- source-buffer views (both layouts) -----------------------------
+    def segment_source_range(self, s: int) -> tuple[int, int]:
+        """Physical ``[lo, hi)`` row range of segment ``s``."""
+        if self.seg_src_lo is None:
+            return int(self.seg_ptr[s]), int(self.seg_ptr[s + 1])
+        lo = int(self.seg_src_lo[s])
+        return lo, lo + self.seg_size(s)
+
+    def segment_points(self, s: int) -> np.ndarray:
+        lo, hi = self.segment_source_range(s)
+        return self.src_points[lo:hi]
+
+    def segment_weights(self, s: int) -> np.ndarray:
+        lo, hi = self.segment_source_range(s)
+        return self.src_weights[lo:hi]
+
+    def group_source_range(self, g: int) -> tuple[int, int] | None:
+        """Physical row range covering group ``g``, if contiguous.
+
+        Always a range in the duplicated layout (zero-copy fused
+        evaluation); in the shared layout segments generally alias
+        scattered ranges and callers fall back to
+        :meth:`group_sources`.  Returns None when not contiguous.
+        """
+        s_lo = int(self.seg_group_ptr[g])
+        s_hi = int(self.seg_group_ptr[g + 1])
+        if self.seg_src_lo is None:
+            return int(self.seg_ptr[s_lo]), int(self.seg_ptr[s_hi])
+        lo, pos = self.segment_source_range(s_lo) if s_hi > s_lo else (0, 0)
+        for s in range(s_lo + 1, s_hi):
+            nxt_lo, nxt_hi = self.segment_source_range(s)
+            if nxt_lo != pos:
+                return None
+            pos = nxt_hi
+        return lo, pos
+
+    def group_sources(self, g: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(points, weights)`` of group ``g``'s rows in segment order.
+
+        Contiguous views when the layout allows; otherwise a gather
+        (concatenation of the aliased segment slices) with values
+        bitwise identical to the duplicated layout.
+        """
+        rng = self.group_source_range(g)
+        if rng is not None:
+            lo, hi = rng
+            return self.src_points[lo:hi], self.src_weights[lo:hi]
+        s_lo = int(self.seg_group_ptr[g])
+        s_hi = int(self.seg_group_ptr[g + 1])
+        pts = np.concatenate(
+            [self.segment_points(s) for s in range(s_lo, s_hi)], axis=0
+        )
+        wts = np.concatenate(
+            [self.segment_weights(s) for s in range(s_lo, s_hi)]
+        )
+        return pts, wts
 
     def group_kind_runs(self, g: int) -> Iterator[tuple[str, int, int]]:
         """Yield ``(kind, seg_lo, seg_hi)`` runs of equal-kind segments.
@@ -159,11 +253,24 @@ class PlanBuilder:
     expects only sizes and builds a structure-only plan for model-mode
     backends.  Add segments of one group kind-contiguously so backends
     get one run per kind.
+
+    ``shared_sources=True`` de-duplicates the source buffers: segments
+    added with the same ``share_key`` store their rows once and alias
+    them through per-segment offsets.  Callers can skip re-gathering a
+    cluster's arrays entirely by checking :meth:`has_shared` first --
+    a repeated key needs no ``points``/``weights`` at all.
     """
 
-    def __init__(self, out_size: int, *, numerics: bool = True) -> None:
+    def __init__(
+        self,
+        out_size: int,
+        *,
+        numerics: bool = True,
+        shared_sources: bool = False,
+    ) -> None:
         self.out_size = int(out_size)
         self.numerics = bool(numerics)
+        self.shared_sources = bool(shared_sources) and self.numerics
         self._kind_names: list[str] = []
         self._kind_index: dict[str, int] = {}
         self._group_sizes: list[int] = []
@@ -174,6 +281,10 @@ class PlanBuilder:
         self._out_index: list[np.ndarray] = []
         self._src_points: list[np.ndarray] = []
         self._src_weights: list[np.ndarray] = []
+        #: share_key -> (lo, hi) physical row range already stored.
+        self._shared_ranges: dict = {}
+        self._seg_src_lo: list[int] = []
+        self._phys_rows = 0
 
     # ------------------------------------------------------------------
     def add_group(
@@ -198,6 +309,10 @@ class PlanBuilder:
         self._segs_per_group.append(0)
         return len(self._group_sizes) - 1
 
+    def has_shared(self, share_key) -> bool:
+        """True when ``share_key``'s rows are already in the buffers."""
+        return share_key in self._shared_ranges
+
     def add_segment(
         self,
         kind: str,
@@ -205,18 +320,39 @@ class PlanBuilder:
         size: int | None = None,
         points: np.ndarray | None = None,
         weights: np.ndarray | None = None,
+        share_key=None,
     ) -> None:
-        """Append one launch segment to the most recent group."""
+        """Append one launch segment to the most recent group.
+
+        ``share_key`` (hashable, e.g. ``("approx", cluster_id)``) marks
+        segments that carry the same source rows; with
+        ``shared_sources=True`` a repeated key aliases the first copy
+        and ``points``/``weights`` may be omitted.  Ignored otherwise.
+        """
         if not self._group_sizes:
             raise ValueError("add_group must be called before add_segment")
         if self.numerics:
-            if points is None or weights is None:
-                raise ValueError(
-                    "numerics plan requires points and weights per segment"
-                )
-            self._src_points.append(points)
-            self._src_weights.append(weights)
-            size = points.shape[0]
+            reuse = (
+                self.shared_sources
+                and share_key is not None
+                and share_key in self._shared_ranges
+            )
+            if reuse:
+                lo, hi = self._shared_ranges[share_key]
+            else:
+                if points is None or weights is None:
+                    raise ValueError(
+                        "numerics plan requires points and weights per segment"
+                    )
+                self._src_points.append(points)
+                self._src_weights.append(weights)
+                lo = self._phys_rows
+                hi = lo + int(points.shape[0])
+                self._phys_rows = hi
+                if self.shared_sources and share_key is not None:
+                    self._shared_ranges[share_key] = (lo, hi)
+            self._seg_src_lo.append(lo)
+            size = hi - lo
         elif size is None:
             raise ValueError("model plan requires the segment size")
         k = self._kind_index.get(kind)
@@ -236,12 +372,14 @@ class PlanBuilder:
         np.cumsum(self._segs_per_group, out=seg_group_ptr[1:])
         seg_ptr = np.zeros(len(self._seg_sizes) + 1, dtype=np.intp)
         np.cumsum(self._seg_sizes, out=seg_ptr[1:])
-        targets = out_index = src_points = src_weights = None
+        targets = out_index = src_points = src_weights = seg_src_lo = None
         if self.numerics:
             targets = _concat(self._targets, (0, 3), np.float64)
             out_index = _concat(self._out_index, (0,), np.intp)
             src_points = _concat(self._src_points, (0, 3), np.float64)
             src_weights = _concat(self._src_weights, (0,), np.float64)
+            if self.shared_sources:
+                seg_src_lo = np.asarray(self._seg_src_lo, dtype=np.intp)
         return ExecutionPlan(
             kind_names=tuple(self._kind_names),
             group_ptr=group_ptr,
@@ -253,6 +391,7 @@ class PlanBuilder:
             out_index=out_index,
             src_points=src_points,
             src_weights=src_weights,
+            seg_src_lo=seg_src_lo,
         )
 
 
@@ -271,6 +410,7 @@ def compile_plan(
     params: "TreecodeParams",
     *,
     numerics: bool = True,
+    shared_sources: bool = False,
 ) -> ExecutionPlan:
     """Compile the BLTC's (tree, batches, moments, lists) into a plan.
 
@@ -281,9 +421,16 @@ def compile_plan(
     paper's compute phase.  With ``numerics=False`` only the index
     structure is compiled (model-only mode; segment sizes come from the
     tree metadata, no particle data is gathered).
+
+    ``shared_sources=True`` stores each cluster's rows once however many
+    batches reference it (per-segment offsets alias the single copy);
+    results are bitwise identical, buffers strictly smaller whenever any
+    cluster appears in more than one interaction list.
     """
     n_ip = params.n_interpolation_points
-    builder = PlanBuilder(batches.n_targets, numerics=numerics)
+    builder = PlanBuilder(
+        batches.n_targets, numerics=numerics, shared_sources=shared_sources
+    )
     charges = np.asarray(charges, dtype=np.float64).ravel()
     approx_ptr, approx_ids, direct_ptr, direct_ids = lists.csr()
     approx_ids = approx_ids.tolist()
@@ -295,17 +442,27 @@ def compile_plan(
                 out_index=batches.batch_indices(b),
             )
             for c in approx_ids[approx_ptr[b]:approx_ptr[b + 1]]:
+                key = ("approx", c)
+                if builder.has_shared(key):
+                    builder.add_segment("approx", share_key=key)
+                    continue
                 builder.add_segment(
                     "approx",
                     points=moments.grid(c).points,
                     weights=moments.charges(c),
+                    share_key=key,
                 )
             for c in direct_ids[direct_ptr[b]:direct_ptr[b + 1]]:
+                key = ("direct", c)
+                if builder.has_shared(key):
+                    builder.add_segment("direct", share_key=key)
+                    continue
                 idx = tree.node_indices(c)
                 builder.add_segment(
                     "direct",
                     points=tree.positions[idx],
                     weights=charges[idx],
+                    share_key=key,
                 )
         else:
             builder.add_group(size=batches.batch(b).count)

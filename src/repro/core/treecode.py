@@ -191,6 +191,7 @@ class BarycentricTreecode:
             plan = compile_plan(
                 tree, batches, moments, lists, sources.charges, params,
                 numerics=backend.needs_numerics,
+                shared_sources=params.shared_sources,
             )
 
             # -- compute: backend executes the plan + DtH potentials

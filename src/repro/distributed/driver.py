@@ -351,11 +351,20 @@ class DistributedBLTC:
         segments in the same local-then-remote order -- the merge order
         of the seed implementation, preserved so the blocked reference
         backend reproduces its arithmetic exactly.
+
+        With ``params.shared_sources`` every (local or remote) cluster's
+        rows are stored once per rank plan however many batches list it;
+        share keys carry the owning rank so distinct ranks' clusters
+        never collide.
         """
         charges = np.asarray(charges, dtype=np.float64).ravel()
         n_ip = self.params.n_interpolation_points
         remote_ranks = sorted(let.lists)
-        builder = PlanBuilder(batches.n_targets, numerics=numerics)
+        builder = PlanBuilder(
+            batches.n_targets,
+            numerics=numerics,
+            shared_sources=self.params.shared_sources,
+        )
         for b in range(len(batches)):
             if numerics:
                 builder.add_group(
@@ -364,28 +373,52 @@ class DistributedBLTC:
                 )
                 for c in local_lists.approx[b]:
                     c = int(c)
+                    key = ("approx", -1, c)
+                    if builder.has_shared(key):
+                        builder.add_segment("approx", share_key=key)
+                        continue
                     builder.add_segment(
                         "approx",
                         points=moments.grid(c).points,
                         weights=moments.charges(c),
+                        share_key=key,
                     )
                 for s in remote_ranks:
                     for c in let.lists[s].approx[b]:
-                        grid, qhat = let.approx_data[s][int(c)]
+                        c = int(c)
+                        key = ("approx", s, c)
+                        if builder.has_shared(key):
+                            builder.add_segment("approx", share_key=key)
+                            continue
+                        grid, qhat = let.approx_data[s][c]
                         builder.add_segment(
-                            "approx", points=grid.points, weights=qhat
+                            "approx", points=grid.points, weights=qhat,
+                            share_key=key,
                         )
                 for c in local_lists.direct[b]:
-                    idx = tree.node_indices(int(c))
+                    c = int(c)
+                    key = ("direct", -1, c)
+                    if builder.has_shared(key):
+                        builder.add_segment("direct", share_key=key)
+                        continue
+                    idx = tree.node_indices(c)
                     builder.add_segment(
                         "direct",
                         points=tree.positions[idx],
                         weights=charges[idx],
+                        share_key=key,
                     )
                 for s in remote_ranks:
                     for c in let.lists[s].direct[b]:
-                        pos, q = let.direct_data[s][int(c)]
-                        builder.add_segment("direct", points=pos, weights=q)
+                        c = int(c)
+                        key = ("direct", s, c)
+                        if builder.has_shared(key):
+                            builder.add_segment("direct", share_key=key)
+                            continue
+                        pos, q = let.direct_data[s][c]
+                        builder.add_segment(
+                            "direct", points=pos, weights=q, share_key=key
+                        )
             else:
                 builder.add_group(size=batches.batch(b).count)
                 n_approx = len(local_lists.approx[b]) + sum(

@@ -199,53 +199,48 @@ class DualTreeTreecode:
                     group_segs.append([])
                 return g
 
+            # Segments reference their source cluster by key (the grid
+            # form and the particle form are distinct rows); the gather
+            # itself is deferred to plan-build time, where the shared
+            # layout performs it once per key however many target groups
+            # list the cluster.
+            def _moment_rows(si):
+                return lambda: (moments.grid(si).points, moments.charges(si))
+
+            def _particle_rows(si):
+                def gather():
+                    s_idx = s_tree.node_indices(si)
+                    return sources.positions[s_idx], sources.charges[s_idx]
+
+                return gather
+
             for ti, si in cc_pairs:
                 group_segs[grid_group(ti)].append(
-                    (
-                        "cluster-cluster",
-                        moments.grid(si).points if numerics else None,
-                        moments.charges(si) if numerics else None,
-                        n_ip,
-                    )
+                    ("cluster-cluster", ("moments", si),
+                     _moment_rows(si) if numerics else None, n_ip)
                 )
             for ti, si in pc_pairs:
                 group_segs[node_group(ti)].append(
-                    (
-                        "particle-cluster",
-                        moments.grid(si).points if numerics else None,
-                        moments.charges(si) if numerics else None,
-                        n_ip,
-                    )
+                    ("particle-cluster", ("moments", si),
+                     _moment_rows(si) if numerics else None, n_ip)
                 )
             for ti, si in cp_pairs:
-                if numerics:
-                    s_idx = s_tree.node_indices(si)
-                    seg = (
-                        "cluster-particle",
-                        sources.positions[s_idx],
-                        sources.charges[s_idx],
-                        s_idx.shape[0],
-                    )
-                else:
-                    seg = (
-                        "cluster-particle", None, None, s_tree.nodes[si].count
-                    )
-                group_segs[grid_group(ti)].append(seg)
+                group_segs[grid_group(ti)].append(
+                    ("cluster-particle", ("particles", si),
+                     _particle_rows(si) if numerics else None,
+                     s_tree.nodes[si].count)
+                )
             for ti, si in direct_pairs:
-                if numerics:
-                    s_idx = s_tree.node_indices(si)
-                    seg = (
-                        "direct",
-                        sources.positions[s_idx],
-                        sources.charges[s_idx],
-                        s_idx.shape[0],
-                    )
-                else:
-                    seg = ("direct", None, None, s_tree.nodes[si].count)
-                group_segs[node_group(ti)].append(seg)
+                group_segs[node_group(ti)].append(
+                    ("direct", ("particles", si),
+                     _particle_rows(si) if numerics else None,
+                     s_tree.nodes[si].count)
+                )
 
             builder = PlanBuilder(
-                n_targets + n_ip * len(t_grids), numerics=numerics
+                n_targets + n_ip * len(t_grids),
+                numerics=numerics,
+                shared_sources=params.shared_sources,
             )
             grid_slot: dict[int, int] = {}
             next_row = n_targets
@@ -268,11 +263,16 @@ class DualTreeTreecode:
                         )
                     else:
                         builder.add_group(size=t_tree.nodes[ti].count)
-                for kind, pts, q, size in group_segs[g]:
-                    if numerics:
-                        builder.add_segment(kind, points=pts, weights=q)
-                    else:
+                for kind, key, gather, size in group_segs[g]:
+                    if not numerics:
                         builder.add_segment(kind, size=size)
+                    elif builder.has_shared(key):
+                        builder.add_segment(kind, share_key=key)
+                    else:
+                        pts, q = gather()
+                        builder.add_segment(
+                            kind, points=pts, weights=q, share_key=key
+                        )
             plan = builder.build()
 
             # -- compute: backend evaluates the plan ---------------------

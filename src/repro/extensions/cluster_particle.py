@@ -180,7 +180,9 @@ class ClusterParticleTreecode:
 
             grid_rows = n_ip * len(grids)
             builder = PlanBuilder(
-                n_targets + grid_rows, numerics=backend.needs_numerics
+                n_targets + grid_rows,
+                numerics=backend.needs_numerics,
+                shared_sources=params.shared_sources,
             )
             grid_slot: dict[int, int] = {}
             next_row = n_targets
@@ -205,8 +207,16 @@ class ClusterParticleTreecode:
                         builder.add_group(size=idx.shape[0])
                 for b in group_batches[g]:
                     if backend.needs_numerics:
-                        pts, q = batch_sources(b)
-                        builder.add_segment(kind, points=pts, weights=q)
+                        # A source batch feeds every receiving group; the
+                        # shared layout stores its rows once (the key is
+                        # the batch -- the same rows serve both kinds).
+                        if builder.has_shared(b):
+                            builder.add_segment(kind, share_key=b)
+                        else:
+                            pts, q = batch_sources(b)
+                            builder.add_segment(
+                                kind, points=pts, weights=q, share_key=b
+                            )
                     else:
                         builder.add_segment(
                             kind, size=batches.batch(b).count

@@ -84,7 +84,10 @@ class Kernel(abc.ABC):
         m = targets.shape[0]
         k = sources.shape[0]
         if out is None:
-            out = np.zeros(m, dtype=np.result_type(targets, charges))
+            # Promote over all three operands: the pairwise block has
+            # dtype result_type(targets, sources), so leaving sources
+            # out would silently downcast float64 blocks on the +=.
+            out = np.zeros(m, dtype=np.result_type(targets, sources, charges))
         if k == 0 or m == 0:
             return out
         rows_per_block = max(1, block_elements // max(k, 1))
@@ -126,7 +129,9 @@ class Kernel(abc.ABC):
         m = targets.shape[0]
         k = sources.shape[0]
         if out is None:
-            out = np.zeros((m, 3), dtype=np.result_type(targets, charges))
+            # Same three-operand promotion as potential(): the gradient
+            # block carries result_type(targets, sources).
+            out = np.zeros((m, 3), dtype=np.result_type(targets, sources, charges))
         if k == 0 or m == 0:
             return out
         rows_per_block = max(1, block_elements // max(3 * k, 1))
@@ -134,6 +139,21 @@ class Kernel(abc.ABC):
             grad = self.pairwise_gradient(targets[lo:hi], sources)
             out[lo:hi] -= np.einsum("mkd,k->md", grad, charges)
         return out
+
+    def scalar_functions(self):
+        """Scalar ``(eval_r, eval_dr_over_r_or_None)`` for JIT backends.
+
+        Both are plain Python functions of one positive scalar distance
+        (any parameters baked in as closure constants), restricted to
+        arithmetic and NumPy scalar math so ``numba.njit`` can compile
+        and inline them into the per-group accumulation loop.  The
+        second entry is None for kernels without an analytic gradient.
+        Kernels that cannot provide jittable scalars raise
+        ``NotImplementedError``; the numba backend then refuses cleanly.
+        """
+        raise NotImplementedError(
+            f"kernel {self.name!r} does not provide scalar functions"
+        )
 
     def cost_multiplier(self, transcendental_penalty: float) -> float:
         """Per-device cost factor relative to a pure-arithmetic kernel.

@@ -2,9 +2,11 @@
 
 The contract of :mod:`repro.core.backends`: on the same compiled plan,
 every backend records identical device counters (launches, interactions,
-bytes, per-kind breakdown), the numpy and fused backends return
-bitwise-close potentials *and forces*, and the model backend returns
-zeros while charging the same simulated time.
+bytes, per-kind breakdown), the numpy / fused / multiprocessing (and,
+when installed, numba) backends return bitwise-close potentials *and
+forces*, and the model backend returns zeros while charging the same
+simulated time.  The de-duplicated (shared-segment) source layout must
+reproduce the duplicated layout bitwise on every executing backend.
 """
 
 import numpy as np
@@ -16,6 +18,7 @@ from repro import (
     DistributedBLTC,
     FusedBackend,
     ModelBackend,
+    MultiprocessingBackend,
     NumpyBackend,
     TreecodeParams,
     YukawaKernel,
@@ -28,6 +31,12 @@ from repro import (
     relative_l2_error,
 )
 from repro.core.backends import Backend
+from repro.core.backends.numba_backend import (
+    NUMBA_AVAILABLE,
+    NumbaBackend,
+    build_group_loops,
+    run_plan_loops,
+)
 from repro.core.interaction_lists import build_interaction_lists
 from repro.core.moments import precompute_moments
 from repro.core.plan import PlanBuilder
@@ -36,11 +45,29 @@ from repro.perf.machine import GPU_TITAN_V
 from repro.tree.batches import TargetBatches
 from repro.tree.octree import ClusterTree
 
+needs_numba = pytest.mark.skipif(
+    not NUMBA_AVAILABLE, reason="numba is not installed"
+)
+
 
 def _params(**kw):
     base = dict(theta=0.7, degree=4, max_leaf_size=150, max_batch_size=150)
     base.update(kw)
     return TreecodeParams(**base)
+
+
+def _compile(cube, *, shared_sources=False, numerics=True):
+    params = _params()
+    tree = ClusterTree(cube.positions, params.max_leaf_size)
+    batches = TargetBatches(cube.positions, params.max_batch_size)
+    moments = precompute_moments(
+        tree, cube.charges, params, numerics=numerics
+    )
+    lists = build_interaction_lists(batches, tree, params)
+    return compile_plan(
+        tree, batches, moments, lists, cube.charges, params,
+        numerics=numerics, shared_sources=shared_sources,
+    )
 
 
 @pytest.fixture(scope="module")
@@ -51,37 +78,61 @@ def cube():
 @pytest.fixture(scope="module")
 def shared_plan(cube):
     """One compiled plan reused by every backend."""
-    params = _params()
-    tree = ClusterTree(cube.positions, params.max_leaf_size)
-    batches = TargetBatches(cube.positions, params.max_batch_size)
-    moments = precompute_moments(tree, cube.charges, params)
-    lists = build_interaction_lists(batches, tree, params)
-    plan = compile_plan(tree, batches, moments, lists, cube.charges, params)
-    return plan
+    return _compile(cube)
+
+
+@pytest.fixture(scope="module")
+def dedup_plan(cube):
+    """The same work compiled with the shared-segment source gather."""
+    return _compile(cube, shared_sources=True)
 
 
 class TestRegistry:
-    def test_three_builtin_backends(self):
+    def test_builtin_backends(self):
         names = available_backends()
-        assert {"numpy", "fused", "model"} <= set(names)
+        assert {"numpy", "fused", "model", "multiprocessing"} <= set(names)
+
+    def test_numba_registered_iff_importable(self):
+        assert ("numba" in available_backends()) == NUMBA_AVAILABLE
 
     def test_lookup_returns_instances(self):
         assert isinstance(get_backend("numpy"), NumpyBackend)
         assert isinstance(get_backend("fused"), FusedBackend)
         assert isinstance(get_backend("model"), ModelBackend)
+        assert isinstance(
+            get_backend("multiprocessing"), MultiprocessingBackend
+        )
 
     def test_instance_passthrough(self):
         be = FusedBackend()
         assert get_backend(be) is be
 
+    def test_multiprocessing_lookup_shares_instance(self):
+        # The pooled backend resolves to one shared instance so its
+        # worker pool really persists across by-name compute() calls.
+        assert get_backend("multiprocessing") is get_backend("multiprocessing")
+        assert get_backend("numpy") is not get_backend("numpy")
+
     def test_unknown_backend_raises(self):
         with pytest.raises(ValueError, match="unknown backend"):
             get_backend("cuda")
 
-    def test_unknown_backend_via_params(self, cube):
-        tc = BarycentricTreecode(CoulombKernel(), _params(backend="nope"))
+    def test_unknown_backend_rejected_at_construction(self):
+        # The bugfix: a bad name must fail when the params are built,
+        # naming the available backends -- not deep inside compute().
+        with pytest.raises(ValueError, match="unknown backend.*available"):
+            _params(backend="nope")
+
+    def test_backend_instance_accepted_by_params(self):
+        params = _params(backend=FusedBackend())
+        assert isinstance(params.backend, FusedBackend)
+
+    @pytest.mark.skipif(NUMBA_AVAILABLE, reason="numba is installed")
+    def test_numba_backend_clean_error_when_absent(self):
+        with pytest.raises(RuntimeError, match="numba is not installed"):
+            NumbaBackend()
         with pytest.raises(ValueError, match="unknown backend"):
-            tc.compute(cube)
+            get_backend("numba")
 
     def test_register_custom_backend(self, cube):
         class EchoBackend(ModelBackend):
@@ -117,12 +168,12 @@ class TestPlanLevelEquivalence:
     @pytest.mark.parametrize("forces", [False, True], ids=["pot", "forces"])
     def test_identical_counters(self, shared_plan, forces):
         devices = {}
-        for name in ("numpy", "fused", "model"):
+        for name in ("numpy", "fused", "model", "multiprocessing"):
             _, _, devices[name] = self._run(
                 get_backend(name), shared_plan, forces=forces
             )
         ref = devices["numpy"].counters
-        for name in ("fused", "model"):
+        for name in ("fused", "model", "multiprocessing"):
             c = devices[name].counters
             assert c.launches == ref.launches, name
             assert c.interactions == ref.interactions, name
@@ -145,6 +196,17 @@ class TestPlanLevelEquivalence:
         assert np.allclose(phi_np, phi_fu, rtol=1e-12, atol=1e-14)
         assert np.allclose(f_np, f_fu, rtol=1e-10, atol=1e-13)
 
+    def test_multiprocessing_matches_fused_bitwise(self, shared_plan):
+        phi_fu, f_fu, _ = self._run(
+            get_backend("fused"), shared_plan, forces=True
+        )
+        phi_mp, f_mp, _ = self._run(
+            get_backend("multiprocessing"), shared_plan, forces=True
+        )
+        # Same per-group fused arithmetic, sharded: bitwise identical.
+        assert np.array_equal(phi_fu, phi_mp)
+        assert np.array_equal(f_fu, f_mp)
+
     def test_model_returns_zeros(self, shared_plan):
         phi, f, _ = self._run(get_backend("model"), shared_plan, forces=True)
         assert np.all(phi == 0.0)
@@ -165,7 +227,7 @@ class TestPlanLevelEquivalence:
         assert not plan.has_numerics
         _, _, dev = self._run(get_backend("model"), plan)
         assert dev.counters.launches == plan.n_segments
-        for name in ("numpy", "fused"):
+        for name in ("numpy", "fused", "multiprocessing"):
             with pytest.raises(ValueError, match="needs a plan"):
                 self._run(get_backend(name), plan)
 
@@ -179,6 +241,226 @@ class TestPlanLevelEquivalence:
         assert busy32 == pytest.approx(0.5 * busy64)
 
 
+class TestSharedSourceGather:
+    """De-duplicated source buffers: smaller plans, identical results."""
+
+    def test_buffers_strictly_smaller_on_shared_workload(
+        self, shared_plan, dedup_plan
+    ):
+        assert not shared_plan.shared_sources
+        assert dedup_plan.shared_sources
+        # Same logical work (launch metadata is layout-independent)...
+        assert dedup_plan.n_source_rows == shared_plan.n_source_rows
+        assert np.array_equal(dedup_plan.seg_ptr, shared_plan.seg_ptr)
+        assert np.array_equal(dedup_plan.group_ptr, shared_plan.group_ptr)
+        # ... strictly fewer physical rows: clusters shared by many
+        # batches are stored once.
+        assert dedup_plan.source_buffer_rows < shared_plan.source_buffer_rows
+        assert (
+            shared_plan.source_buffer_rows == shared_plan.n_source_rows
+        )
+
+    def test_segment_views_identical_across_layouts(
+        self, shared_plan, dedup_plan
+    ):
+        for s in range(0, shared_plan.n_segments, 97):
+            assert np.array_equal(
+                shared_plan.segment_points(s), dedup_plan.segment_points(s)
+            )
+            assert np.array_equal(
+                shared_plan.segment_weights(s), dedup_plan.segment_weights(s)
+            )
+
+    def test_group_sources_match_across_layouts(self, shared_plan, dedup_plan):
+        for g in range(0, shared_plan.n_groups, 5):
+            pts_a, wts_a = shared_plan.group_sources(g)
+            pts_b, wts_b = dedup_plan.group_sources(g)
+            assert np.array_equal(pts_a, pts_b)
+            assert np.array_equal(wts_a, wts_b)
+
+    @pytest.mark.parametrize("name", ["numpy", "fused", "multiprocessing"])
+    def test_results_bitwise_identical_across_layouts(
+        self, shared_plan, dedup_plan, name
+    ):
+        backend = get_backend(name)
+        dev_a, dev_b = GpuDevice(GPU_TITAN_V), GpuDevice(GPU_TITAN_V)
+        phi_a, f_a = backend.execute(
+            shared_plan, CoulombKernel(), dev_a, compute_forces=True
+        )
+        phi_b, f_b = backend.execute(
+            dedup_plan, CoulombKernel(), dev_b, compute_forces=True
+        )
+        assert np.array_equal(phi_a, phi_b)
+        assert np.array_equal(f_a, f_b)
+        assert dev_a.counters.launches == dev_b.counters.launches
+        assert dev_a.counters.interactions == dev_b.counters.interactions
+        assert dev_a.elapsed() == pytest.approx(dev_b.elapsed())
+
+    def test_builder_reuse_skips_regather(self):
+        b = PlanBuilder(4, numerics=True, shared_sources=True)
+        pts = np.arange(6.0).reshape(2, 3)
+        wts = np.array([1.0, 2.0])
+        b.add_group(targets=np.zeros((2, 3)), out_index=np.array([0, 1]))
+        assert not b.has_shared(("direct", 7))
+        b.add_segment("direct", points=pts, weights=wts, share_key=("direct", 7))
+        b.add_group(targets=np.zeros((2, 3)), out_index=np.array([2, 3]))
+        assert b.has_shared(("direct", 7))
+        b.add_segment("direct", share_key=("direct", 7))
+        plan = b.build()
+        assert plan.shared_sources
+        assert plan.n_segments == 2
+        assert plan.n_source_rows == 4          # logical: 2 rows x 2 aliases
+        assert plan.source_buffer_rows == 2     # physical: stored once
+        assert np.array_equal(plan.segment_points(0), plan.segment_points(1))
+
+    def test_builder_requires_arrays_for_new_key(self):
+        b = PlanBuilder(2, numerics=True, shared_sources=True)
+        b.add_group(targets=np.zeros((2, 3)), out_index=np.array([0, 1]))
+        with pytest.raises(ValueError, match="points and weights"):
+            b.add_segment("direct", share_key=("direct", 0))
+
+
+class TestMultiprocessingBackend:
+    def test_pool_sharded_run_matches_fused(self, cube, dedup_plan):
+        # Force real worker shards through the shared-memory shipment.
+        backend = MultiprocessingBackend(n_workers=2, min_parallel_rows=1)
+        try:
+            dev = GpuDevice(GPU_TITAN_V)
+            phi, f = backend.execute(
+                dedup_plan, YukawaKernel(0.5), dev, compute_forces=True
+            )
+            # Pool persistence: a second plan reuses the same workers.
+            dev2 = GpuDevice(GPU_TITAN_V)
+            phi2, _ = backend.execute(dedup_plan, YukawaKernel(0.5), dev2)
+        finally:
+            backend.close()
+        ref_dev = GpuDevice(GPU_TITAN_V)
+        phi_ref, f_ref = get_backend("fused").execute(
+            dedup_plan, YukawaKernel(0.5), ref_dev, compute_forces=True
+        )
+        assert np.array_equal(phi, phi_ref)
+        assert np.array_equal(f, f_ref)
+        assert np.array_equal(phi2, phi_ref)
+        assert dev.counters.launches == ref_dev.counters.launches
+
+    def test_pickle_shipping_fallback(self, shared_plan):
+        backend = MultiprocessingBackend(
+            n_workers=2, use_shared_memory=False, min_parallel_rows=1
+        )
+        try:
+            dev = GpuDevice(GPU_TITAN_V)
+            phi, _ = backend.execute(shared_plan, CoulombKernel(), dev)
+        finally:
+            backend.close()
+        ref = GpuDevice(GPU_TITAN_V)
+        phi_ref, _ = get_backend("fused").execute(
+            shared_plan, CoulombKernel(), ref
+        )
+        assert np.array_equal(phi, phi_ref)
+
+    def test_shards_cover_all_groups_balanced(self, shared_plan):
+        backend = MultiprocessingBackend(n_workers=3)
+        shards = backend._shards(shared_plan)
+        assert shards[0][0] == 0
+        assert shards[-1][1] == shared_plan.n_groups
+        for (_, hi), (lo, _) in zip(shards[:-1], shards[1:]):
+            assert hi == lo
+        assert len(shards) <= 3
+
+    def test_rejects_bad_worker_count(self):
+        with pytest.raises(ValueError, match="n_workers"):
+            MultiprocessingBackend(0)
+
+
+class TestNumbaLoops:
+    """The JIT'd loop bodies, validated un-jitted (no numba needed)."""
+
+    def _loops(self, kernel):
+        return build_group_loops(kernel, jit=lambda f: f)
+
+    @pytest.mark.parametrize("layout", ["duplicated", "shared"])
+    def test_loops_match_numpy_backend(
+        self, shared_plan, dedup_plan, layout
+    ):
+        plan = shared_plan if layout == "duplicated" else dedup_plan
+        kernel = YukawaKernel(0.5)
+        pot, force = self._loops(kernel)
+        phi, f = run_plan_loops(plan, pot, force)
+        dev = GpuDevice(GPU_TITAN_V)
+        phi_ref, f_ref = get_backend("numpy").execute(
+            plan, kernel, dev, compute_forces=True
+        )
+        assert np.allclose(phi, phi_ref, rtol=1e-9, atol=1e-12)
+        assert np.allclose(f, f_ref, rtol=1e-8, atol=1e-11)
+
+    def test_coincident_targets_use_r0_convention(self):
+        # One batch whose target coincides with a source: the loop must
+        # classify the pair through the same noise floor and yield the
+        # kernel's r==0 value (zero for singular kernels).
+        b = PlanBuilder(2, numerics=True)
+        tgt = np.array([[0.25, 0.25, 0.25], [0.75, 0.5, 0.5]])
+        src = np.array([[0.25, 0.25, 0.25], [0.5, 0.5, 0.5]])
+        q = np.array([2.0, 3.0])
+        b.add_group(targets=tgt, out_index=np.array([0, 1]))
+        b.add_segment("direct", points=src, weights=q)
+        plan = b.build()
+        kernel = CoulombKernel()
+        pot, force = self._loops(kernel)
+        phi, f = run_plan_loops(plan, pot, force)
+        dev = GpuDevice(GPU_TITAN_V)
+        phi_ref, f_ref = get_backend("numpy").execute(
+            plan, kernel, dev, compute_forces=True
+        )
+        assert np.allclose(phi, phi_ref, rtol=1e-12, atol=1e-14)
+        assert np.allclose(f, f_ref, rtol=1e-12, atol=1e-14)
+        assert np.isfinite(phi).all() and np.isfinite(f).all()
+
+    def test_unsupported_kernel_clean_error(self):
+        class NoScalars(CoulombKernel):
+            def scalar_functions(self):
+                raise NotImplementedError("nope")
+
+        with pytest.raises(ValueError, match="scalar functions"):
+            self._loops(NoScalars())
+
+
+@needs_numba
+class TestNumbaBackend:
+    """JIT-compiled execution (runs only where numba is installed)."""
+
+    def test_matches_numpy_within_fused_tolerance(self, shared_plan):
+        dev = GpuDevice(GPU_TITAN_V)
+        phi, f = get_backend("numba").execute(
+            shared_plan, YukawaKernel(0.5), dev, compute_forces=True
+        )
+        ref_dev = GpuDevice(GPU_TITAN_V)
+        phi_ref, f_ref = get_backend("numpy").execute(
+            shared_plan, YukawaKernel(0.5), ref_dev, compute_forces=True
+        )
+        assert np.allclose(phi, phi_ref, rtol=1e-9, atol=1e-12)
+        assert np.allclose(f, f_ref, rtol=1e-8, atol=1e-11)
+        assert dev.counters.launches == ref_dev.counters.launches
+        assert dev.counters.interactions == ref_dev.counters.interactions
+        assert dev.elapsed() == pytest.approx(ref_dev.elapsed())
+
+    def test_shared_layout_and_pipeline(self, cube, dedup_plan):
+        dev = GpuDevice(GPU_TITAN_V)
+        phi, _ = get_backend("numba").execute(
+            dedup_plan, CoulombKernel(), dev
+        )
+        ref_dev = GpuDevice(GPU_TITAN_V)
+        phi_ref, _ = get_backend("numpy").execute(
+            dedup_plan, CoulombKernel(), ref_dev
+        )
+        assert np.allclose(phi, phi_ref, rtol=1e-9, atol=1e-12)
+        res = BarycentricTreecode(
+            CoulombKernel(), _params(backend="numba")
+        ).compute(cube)
+        ref = BarycentricTreecode(CoulombKernel(), _params()).compute(cube)
+        assert np.allclose(res.potential, ref.potential, rtol=1e-9, atol=1e-12)
+        assert res.phases.compute == pytest.approx(ref.phases.compute)
+
+
 class TestPipelineEquivalence:
     """End-to-end compute() with each backend on shared workloads."""
 
@@ -186,7 +468,7 @@ class TestPipelineEquivalence:
     def runs(self, cube):
         params = _params(degree=5)
         out = {}
-        for name in ("numpy", "fused", "model"):
+        for name in ("numpy", "fused", "model", "multiprocessing"):
             out[name] = BarycentricTreecode(
                 YukawaKernel(0.5), params.with_(backend=name)
             ).compute(cube, compute_forces=True)
@@ -196,6 +478,9 @@ class TestPipelineEquivalence:
         a, b = runs["numpy"], runs["fused"]
         assert np.allclose(a.potential, b.potential, rtol=1e-12, atol=1e-14)
         assert np.allclose(a.forces, b.forces, rtol=1e-10, atol=1e-13)
+        mp = runs["multiprocessing"]
+        assert np.array_equal(mp.potential, b.potential)
+        assert np.array_equal(mp.forces, b.forces)
         ref = direct_sum(
             cube.positions, cube.positions, cube.charges, YukawaKernel(0.5)
         )
@@ -203,7 +488,7 @@ class TestPipelineEquivalence:
 
     def test_identical_stats_and_phases(self, runs):
         ref = runs["numpy"]
-        for name in ("fused", "model"):
+        for name in ("fused", "model", "multiprocessing"):
             res = runs[name]
             for key in (
                 "launches", "kernel_evaluations", "bytes_h2d", "bytes_d2h",
@@ -225,6 +510,18 @@ class TestPipelineEquivalence:
         ).compute(cube, dry_run=True)
         assert np.all(res.potential == 0.0)
 
+    def test_shared_sources_pipeline_identical(self, cube):
+        params = _params(degree=5)
+        ref = BarycentricTreecode(YukawaKernel(0.5), params).compute(
+            cube, compute_forces=True
+        )
+        shared = BarycentricTreecode(
+            YukawaKernel(0.5), params.with_(shared_sources=True)
+        ).compute(cube, compute_forces=True)
+        assert np.array_equal(ref.potential, shared.potential)
+        assert np.array_equal(ref.forces, shared.forces)
+        assert shared.phases.compute == pytest.approx(ref.phases.compute)
+
     def test_distributed_backend_param(self, cube):
         params = _params()
         base = DistributedBLTC(
@@ -237,6 +534,21 @@ class TestPipelineEquivalence:
             base.potential, fused.potential, rtol=1e-12, atol=1e-14
         )
         assert fused.total_seconds == pytest.approx(base.total_seconds)
+
+    def test_distributed_shared_sources_identical(self, cube):
+        params = _params()
+        base = DistributedBLTC(
+            CoulombKernel(), params, n_ranks=2
+        ).compute(cube)
+        shared = DistributedBLTC(
+            CoulombKernel(),
+            params.with_(shared_sources=True, backend="multiprocessing"),
+            n_ranks=2,
+        ).compute(cube)
+        assert np.allclose(
+            base.potential, shared.potential, rtol=1e-12, atol=1e-14
+        )
+        assert shared.total_seconds == pytest.approx(base.total_seconds)
 
     def test_mixed_precision_fused(self, cube):
         params = _params(degree=5, dtype=np.float32)

@@ -172,3 +172,44 @@ class TestTraverseBatch:
             for c in np.concatenate([lists.approx[b], lists.direct[b]]):
                 covered[tree.node_indices(int(c))] += 1
             assert np.all(covered == 1)
+
+
+class TestCsrDtypes:
+    """csr() dtype/no-copy behaviour (regression for the blanket astype)."""
+
+    def test_dtypes_intp_both_branches(self):
+        from repro.core.interaction_lists import InteractionLists
+
+        empty = InteractionLists()
+        a_ptr, a_ids, d_ptr, d_ids = empty.csr()
+        for arr in (a_ptr, a_ids, d_ptr, d_ids):
+            assert arr.dtype == np.intp
+        p, tree, batches = _setup()
+        params = TreecodeParams(
+            theta=0.7, degree=3, max_leaf_size=60, max_batch_size=60
+        )
+        lists = build_interaction_lists(batches, tree, params)
+        a_ptr, a_ids, d_ptr, d_ids = lists.csr()
+        for arr in (a_ptr, a_ids, d_ptr, d_ids):
+            assert arr.dtype == np.intp
+
+    def test_no_copy_when_already_intp(self, monkeypatch):
+        """astype(np.intp, copy=False) must return the concatenated
+        array itself, not a duplicate."""
+        from repro.core.interaction_lists import InteractionLists
+
+        lists = InteractionLists()
+        lists.approx.append(np.array([1, 2], dtype=np.intp))
+        lists.direct.append(np.array([3], dtype=np.intp))
+        markers = []
+        real_concatenate = np.concatenate
+
+        def spying_concatenate(arrays, *a, **kw):
+            out = real_concatenate(arrays, *a, **kw)
+            markers.append(out)
+            return out
+
+        monkeypatch.setattr(np, "concatenate", spying_concatenate)
+        _, a_ids, _, d_ids = lists.csr()
+        assert any(a_ids is m for m in markers)
+        assert any(d_ids is m for m in markers)

@@ -129,6 +129,58 @@ class TestPotential:
             k.potential(_points(rng, 2), _points(rng, 3), np.zeros(2))
 
 
+class TestMixedDtypePromotion:
+    """The allocated accumulator must promote over ALL three operands.
+
+    Regression test for the bug where ``out`` used
+    ``result_type(targets, charges)`` only: float64 sources with float32
+    targets/charges produced float64 pairwise blocks that were silently
+    downcast on the ``+=``.
+    """
+
+    def test_float64_sources_promote_potential(self, rng):
+        k = CoulombKernel()
+        t32 = _points(rng, 12).astype(np.float32)
+        s64 = _points(rng, 17)
+        q32 = rng.normal(size=17).astype(np.float32)
+        out = k.potential(t32, s64, q32)
+        assert out.dtype == np.float64
+        # The promoted accumulator must carry the float64 pairwise block
+        # unchanged (the bug truncated exactly this product to float32).
+        assert np.array_equal(out, k.pairwise(t32, s64) @ q32)
+
+    def test_float64_sources_promote_force(self, rng):
+        k = CoulombKernel()
+        t64, s64 = _points(rng, 12), _points(rng, 17)
+        q64 = rng.normal(size=17)
+        out = k.force(t64.astype(np.float32), s64, q64.astype(np.float32))
+        assert out.dtype == np.float64
+
+    def test_all_float32_stays_float32(self, rng):
+        k = CoulombKernel()
+        t = _points(rng, 8).astype(np.float32)
+        s = _points(rng, 9).astype(np.float32)
+        q = rng.normal(size=9).astype(np.float32)
+        assert k.potential(t, s, q).dtype == np.float32
+        assert k.force(t, s, q).dtype == np.float32
+
+
+class TestScalarFunctions:
+    """Scalar forms consumed by the numba backend match the array forms."""
+
+    @pytest.mark.parametrize("kernel", ALL_KERNELS, ids=lambda k: k.name)
+    def test_scalar_matches_vectorized(self, kernel, rng):
+        r = np.abs(rng.normal(size=64)) + 0.05
+        eval_r, eval_dr = kernel.scalar_functions()
+        scalar = np.array([eval_r(float(x)) for x in r])
+        assert np.allclose(scalar, kernel.evaluate_r(r), rtol=1e-13)
+        if eval_dr is not None:
+            scalar_dr = np.array([eval_dr(float(x)) for x in r])
+            assert np.allclose(
+                scalar_dr, kernel.evaluate_dr_over_r(r), rtol=1e-13
+            )
+
+
 class TestCostModel:
     def test_coulomb_multiplier_is_one(self):
         assert CoulombKernel().cost_multiplier(0.8) == 1.0
