@@ -21,6 +21,7 @@ Quickstart
 from .config import DEFAULT_PARAMS, TreecodeParams
 from .workloads import (
     ParticleSet,
+    charge_waveform,
     gaussian_clusters,
     plummer_sphere,
     random_cube,
@@ -42,6 +43,7 @@ from .core import (
     Backend,
     BarycentricTreecode,
     ExecutionPlan,
+    PreparedTreecode,
     FusedBackend,
     ModelBackend,
     MultiprocessingBackend,
@@ -55,7 +57,11 @@ from .core import (
     get_backend,
     register_backend,
 )
-from .distributed import DistributedBLTC, DistributedResult
+from .distributed import (
+    DistributedBLTC,
+    DistributedResult,
+    PreparedDistributedBLTC,
+)
 from .partition import rcb_partition
 from .perf import (
     CPU_XEON_X5650,
@@ -79,6 +85,7 @@ __all__ = [
     "plummer_sphere",
     "gaussian_clusters",
     "sphere_surface",
+    "charge_waveform",
     "Kernel",
     "RadialKernel",
     "CoulombKernel",
@@ -90,6 +97,7 @@ __all__ = [
     "get_kernel",
     "register_kernel",
     "BarycentricTreecode",
+    "PreparedTreecode",
     "TreecodeResult",
     "ExecutionPlan",
     "compile_plan",
@@ -103,6 +111,7 @@ __all__ = [
     "get_backend",
     "register_backend",
     "DistributedBLTC",
+    "PreparedDistributedBLTC",
     "DistributedResult",
     "direct_sum",
     "direct_sum_at",

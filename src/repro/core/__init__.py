@@ -31,9 +31,15 @@ from .backends import (
 from .direct import direct_sum, direct_sum_at
 from .mac import mac_accepts, mac_geometric
 from .interaction_lists import InteractionLists, build_interaction_lists
-from .moments import cluster_grid, modified_charges, precompute_moments
+from .moments import (
+    cluster_grid,
+    modified_charges,
+    precompute_moments,
+    prepare_moment_grids,
+    refresh_moments,
+)
 from .plan import ExecutionPlan, PlanBuilder, compile_plan
-from .treecode import BarycentricTreecode, TreecodeResult
+from .treecode import BarycentricTreecode, PreparedTreecode, TreecodeResult
 
 __all__ = [
     "mac_geometric",
@@ -43,6 +49,8 @@ __all__ = [
     "cluster_grid",
     "modified_charges",
     "precompute_moments",
+    "prepare_moment_grids",
+    "refresh_moments",
     "direct_sum",
     "direct_sum_at",
     "ExecutionPlan",
@@ -58,5 +66,6 @@ __all__ = [
     "get_backend",
     "register_backend",
     "BarycentricTreecode",
+    "PreparedTreecode",
     "TreecodeResult",
 ]

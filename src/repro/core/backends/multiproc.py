@@ -19,10 +19,18 @@ Execution model
   their shard, and detach before returning (groups are sharded into at
   most one range per worker, so there is nothing to cache between
   shards -- and detaching keeps unlinked blocks from lingering in the
-  persistent workers after the run).  When shared memory is unavailable
-  the buffers fall back to being pickled into each shard's task: one
-  copy per shard through the executor pipe, trading bandwidth for
-  portability.
+  persistent workers after the run).  The shipment is **cached per
+  plan** for the plan's lifetime: a second ``execute`` of the same plan
+  ships nothing, and after
+  :meth:`~repro.core.plan.ExecutionPlan.refresh_weights` (the
+  prepare/apply session seam) only the ``src_weights`` region of the
+  existing block is rewritten -- detected through the plan's
+  ``weights_version``, never by re-creating the block.  Blocks are
+  unlinked when the plan is garbage-collected or the backend is closed.
+  When shared memory is unavailable the buffers fall back to being
+  pickled into each shard's task: one copy per shard through the
+  executor pipe (re-pickled only when the weights version moves),
+  trading bandwidth for portability.
 * Groups are split into contiguous shards balanced by interaction
   count (``group_size x seg_size`` summed per group), each worker runs
   the same per-group fused accumulation as
@@ -40,6 +48,7 @@ from __future__ import annotations
 import os
 import pickle
 import threading
+import weakref
 from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
@@ -87,6 +96,64 @@ def _pack_shipment(plan):
         layout[field] = (offset, arr.shape, arr.dtype.str)
         offset += arr.nbytes
     return shm, {"shm_name": shm.name, "layout": layout}
+
+
+def _pickle_payload(plan) -> bytes:
+    """The pickle-shipping fallback: one self-contained task payload."""
+    arrays = {
+        f: np.ascontiguousarray(arr) for f, arr in plan_arrays(plan).items()
+    }
+    return pickle.dumps(arrays, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+class _Shipment:
+    """One plan's shipped buffers, cached for the plan's lifetime.
+
+    Either a shared-memory block (``shm``/``spec``) or a pickled
+    payload; ``version`` mirrors the plan's ``weights_version`` at the
+    last (re)ship, so :meth:`refresh` rewrites only the weight region
+    (or re-pickles) when the session refreshed the charges in between.
+    """
+
+    __slots__ = ("shm", "spec", "payload", "version")
+
+    def __init__(self, shm, spec, payload, version: int) -> None:
+        self.shm = shm
+        self.spec = spec
+        self.payload = payload
+        self.version = version
+
+    @classmethod
+    def pack(cls, plan, *, use_shared_memory: bool) -> "_Shipment":
+        shm = spec = payload = None
+        if use_shared_memory:
+            shm, spec = _pack_shipment(plan)
+        if spec is None:
+            payload = _pickle_payload(plan)
+        return cls(shm, spec, payload, plan.weights_version)
+
+    def refresh(self, plan) -> None:
+        """Re-ship only the charge-dependent weight buffer."""
+        if self.shm is not None:
+            offset, shape, dtype = self.spec["layout"]["src_weights"]
+            view = np.ndarray(
+                shape, dtype=np.dtype(dtype), buffer=self.shm.buf[offset:]
+            )
+            view[...] = plan.src_weights
+        else:
+            self.payload = _pickle_payload(plan)
+        self.version = plan.weights_version
+
+    def close(self) -> None:
+        """Release the block (idempotent; safe from a GC finalizer)."""
+        shm, self.shm = self.shm, None
+        if shm is not None:
+            try:
+                shm.close()
+                shm.unlink()
+            except OSError:  # pragma: no cover - already unlinked
+                pass
+        self.payload = None
 
 
 def _attach_shipment(spec):
@@ -174,6 +241,12 @@ class MultiprocessingBackend(Backend):
         # Registry lookups share one instance (share_instance), so pool
         # creation must be race-free under concurrent first computes.
         self._pool_lock = threading.Lock()
+        #: plan -> _Shipment; plans hash by identity and the weak keys
+        #: let a plan's block be unlinked as soon as the plan dies.
+        self._shipments: "weakref.WeakKeyDictionary" = (
+            weakref.WeakKeyDictionary()
+        )
+        self._ship_lock = threading.Lock()
 
     # -- pool lifecycle -------------------------------------------------
     def _ensure_pool(self) -> ProcessPoolExecutor:
@@ -183,11 +256,33 @@ class MultiprocessingBackend(Backend):
             return self._pool
 
     def close(self) -> None:
-        """Shut the worker pool down (idempotent)."""
+        """Shut the pool down and unlink cached shipments (idempotent)."""
         with self._pool_lock:
             pool, self._pool = self._pool, None
         if pool is not None:
             pool.shutdown(wait=True)
+        with self._ship_lock:
+            ships = list(self._shipments.values())
+            self._shipments.clear()
+        for ship in ships:
+            ship.close()
+
+    # -- shipment cache -------------------------------------------------
+    def _get_shipment(self, plan) -> _Shipment:
+        """The plan's cached shipment, weight-refreshed if stale."""
+        with self._ship_lock:
+            ship = self._shipments.get(plan)
+            if ship is None:
+                ship = _Shipment.pack(
+                    plan, use_shared_memory=self.use_shared_memory
+                )
+                self._shipments[plan] = ship
+                # Unlink the block when the plan is collected; the
+                # finalizer holds the shipment, not the plan.
+                weakref.finalize(plan, ship.close)
+            elif ship.version != plan.weights_version:
+                ship.refresh(plan)
+            return ship
 
     def __del__(self):  # pragma: no cover - interpreter teardown
         try:
@@ -271,26 +366,13 @@ class MultiprocessingBackend(Backend):
 
     def _run_sharded(self, plan, kernel, dtype, compute_forces, shards):
         pool = self._ensure_pool()
-        shm = spec = payload = None
-        if self.use_shared_memory:
-            shm, spec = _pack_shipment(plan)
-        if spec is None:
-            arrays = {
-                f: np.ascontiguousarray(arr)
-                for f, arr in plan_arrays(plan).items()
-            }
-            payload = pickle.dumps(arrays, protocol=pickle.HIGHEST_PROTOCOL)
-        try:
-            futures = [
-                pool.submit(
-                    _worker_run,
-                    spec, payload, kernel, dtype, compute_forces,
-                    g_lo, g_hi,
-                )
-                for g_lo, g_hi in shards
-            ]
-            return [f.result() for f in futures]
-        finally:
-            if shm is not None:
-                shm.close()
-                shm.unlink()
+        ship = self._get_shipment(plan)
+        futures = [
+            pool.submit(
+                _worker_run,
+                ship.spec, ship.payload, kernel, dtype, compute_forces,
+                g_lo, g_hi,
+            )
+            for g_lo, g_hi in shards
+        ]
+        return [f.result() for f in futures]

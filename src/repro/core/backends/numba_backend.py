@@ -17,6 +17,16 @@ differences against the BLAS-based backends are pure summation-order
 roundoff, within the tolerance the fused backend meets in the
 equivalence suite.
 
+Parallelism: groups write disjoint output rows (``group_ptr`` slices),
+so the outer group loop is embarrassingly parallel and compiles with
+``numba.njit(parallel=True)`` + ``prange`` -- each group's inner
+accumulation stays serial, so results are **bitwise identical** to the
+serial compile whatever the thread count.  The parallel compile is
+guarded: it is attempted once per process and any compilation/threading
+-layer failure (single-core CI images without a working threading
+backend, exotic platforms) falls back to the serial loops with results
+unchanged.
+
 Availability: the module imports everywhere (the loop bodies are plain
 Python, also runnable un-jitted for testing), but the backend class is
 registered only when ``numba`` is importable
@@ -27,6 +37,7 @@ clean RuntimeError naming the missing dependency.
 from __future__ import annotations
 
 import importlib.util
+import os
 
 import numpy as np
 
@@ -56,12 +67,17 @@ def _kernel_cache_key(kernel):
     return (type(kernel), params), True
 
 
-def _make_loops(eval_r, eval_dr_over_r, r0, jit):
+def _make_loops(eval_r, eval_dr_over_r, r0, jit, prange_fn=range):
     """Build the per-group loops around a kernel's scalar functions.
 
     ``jit`` wraps each function (identity for pure-Python testing,
     ``numba.njit`` in production); the scalar functions are wrapped too
-    so numba can inline them into the compiled loop.
+    so numba can inline them into the compiled loop.  ``prange_fn`` is
+    the outer group iterator: ``range`` for serial loops,
+    ``numba.prange`` when compiling with ``parallel=True`` (numba
+    resolves the closure to its parallel range; groups touch disjoint
+    ``phi``/``force`` rows, so the parallel schedule cannot change a
+    single bit of the result).
     """
     eval_r = jit(eval_r)
     if eval_dr_over_r is not None:
@@ -73,7 +89,7 @@ def _make_loops(eval_r, eval_dr_over_r, r0, jit):
         phi, eps16,
     ):
         n_groups = group_ptr.shape[0] - 1
-        for g in range(n_groups):
+        for g in prange_fn(n_groups):
             t_lo = group_ptr[g]
             t_hi = group_ptr[g + 1]
             m = t_hi - t_lo
@@ -145,7 +161,7 @@ def _make_loops(eval_r, eval_dr_over_r, r0, jit):
             force, eps16,
         ):
             n_groups = group_ptr.shape[0] - 1
-            for g in range(n_groups):
+            for g in prange_fn(n_groups):
                 t_lo = group_ptr[g]
                 t_hi = group_ptr[g + 1]
                 m = t_hi - t_lo
@@ -215,14 +231,18 @@ def _make_loops(eval_r, eval_dr_over_r, r0, jit):
     return jit(potential_loop), jit(force_loop) if force_loop is not None else None
 
 
-def build_group_loops(kernel, jit=None):
+def build_group_loops(kernel, jit=None, *, parallel=False):
     """Resolve (and cache) the compiled loops for ``kernel``.
 
     ``jit=None`` uses ``numba.njit`` (requires numba); pass an identity
     function to obtain the pure-Python loops for testing the algorithm
-    without a compiler.  Returns ``(potential_loop, force_loop_or_None)``.
+    without a compiler.  ``parallel=True`` compiles the outer group
+    loop as a ``prange`` under ``njit(parallel=True)`` (bitwise-equal
+    results; jitted path only -- the pure-Python loops always iterate
+    serially).  Returns ``(potential_loop, force_loop_or_None)``.
     """
     jitted = jit is None
+    prange_fn = range
     if jitted:
         if not NUMBA_AVAILABLE:  # pragma: no cover - exercised via backend
             raise RuntimeError(
@@ -231,10 +251,12 @@ def build_group_loops(kernel, jit=None):
             )
         import numba
 
-        jit = numba.njit(cache=False)
+        jit = numba.njit(cache=False, parallel=bool(parallel))
+        if parallel:
+            prange_fn = numba.prange
     kernel_key, cacheable = _kernel_cache_key(kernel)
     cacheable = cacheable and jitted
-    key = (kernel_key, jitted)
+    key = (kernel_key, jitted, bool(parallel) and jitted)
     if cacheable and key in _LOOP_CACHE:
         return _LOOP_CACHE[key]
     try:
@@ -245,24 +267,37 @@ def build_group_loops(kernel, jit=None):
             "the numba backend needs them to compile its loops"
         ) from exc
     r0 = float(kernel.evaluate_r0()) if hasattr(kernel, "evaluate_r0") else 0.0
-    loops = _make_loops(eval_r, eval_dr, r0, jit)
+    loops = _make_loops(eval_r, eval_dr, r0, jit, prange_fn)
     if cacheable:
         _LOOP_CACHE[key] = loops
     return loops
 
 
 class NumbaBackend(Backend):
-    """JIT-compiled gather+GEMV evaluation of a compiled plan."""
+    """JIT-compiled gather+GEMV evaluation of a compiled plan.
+
+    Parameters
+    ----------
+    parallel : compile the outer group loop as ``prange`` under
+        ``njit(parallel=True)``.  ``None`` (the default) enables it on
+        multi-core hosts and stays serial on single-core ones; either
+        way a failed parallel compile or a broken threading layer falls
+        back to the serial loops transparently (the results are bitwise
+        identical, so the fallback is unobservable except in speed).
+    """
 
     name = "numba"
     needs_numerics = True
 
-    def __init__(self) -> None:
+    def __init__(self, *, parallel: bool | None = None) -> None:
         if not NUMBA_AVAILABLE:
             raise RuntimeError(
                 "numba is not installed; the 'numba' backend is unavailable "
                 "(pip install numba, or select backend='fused')"
             )
+        if parallel is None:
+            parallel = (os.cpu_count() or 1) > 1
+        self.parallel = bool(parallel)
 
     def execute(
         self,
@@ -281,17 +316,32 @@ class NumbaBackend(Backend):
             plan, kernel, device,
             dtype=dtype, compute_forces=compute_forces, bulk=True,
         )
-        potential_loop, force_loop = build_group_loops(kernel)
+        if self.parallel:
+            try:
+                return self._run(plan, kernel, dtype, compute_forces, True)
+            except Exception:
+                # Parallel compilation / threading-layer failure (e.g. a
+                # single-core CI image without a usable backend).  The
+                # serial loops compute the identical bits; if they fail
+                # too, *that* error is the real one and propagates.
+                out = self._run(plan, kernel, dtype, compute_forces, False)
+                self.parallel = False  # don't retry every execute
+                return out
+        return self._run(plan, kernel, dtype, compute_forces, False)
+
+    def _run(self, plan, kernel, dtype, compute_forces, parallel):
+        potential_loop, force_loop = build_group_loops(
+            kernel, parallel=parallel
+        )
         if compute_forces and force_loop is None:
             raise NotImplementedError(
                 f"kernel {kernel.name!r} does not implement gradients"
             )
-        out, forces = run_plan_loops(
+        return run_plan_loops(
             plan, potential_loop,
             force_loop if compute_forces else None,
             dtype=dtype,
         )
-        return out, forces
 
 
 def run_plan_loops(plan, potential_loop, force_loop, *, dtype=np.float64):

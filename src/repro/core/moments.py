@@ -38,6 +38,8 @@ __all__ = [
     "modified_charges",
     "moment_flop_counts",
     "precompute_moments",
+    "prepare_moment_grids",
+    "refresh_moments",
     "ClusterMoments",
 ]
 
@@ -95,6 +97,11 @@ class ClusterMoments:
         self.node_ids: set[int] = set()
         self.grids: dict[int, ChebyshevGrid3D] = {}
         self.qhat: dict[int, np.ndarray] = {}
+        #: Cached per-cluster Lagrange basis matrices ``(lx, ly, lz)``
+        #: (charge-independent; filled by :func:`prepare_moment_grids`
+        #: so :func:`refresh_moments` re-moments without re-evaluating
+        #: the basis).
+        self.basis: dict[int, tuple] = {}
 
     def __contains__(self, node_index: int) -> bool:
         return node_index in self.node_ids
@@ -168,17 +175,109 @@ def precompute_moments(
             moments.grids[node.index] = grid
             moments.qhat[node.index] = qhat
         if device is not None:
-            ops1, ops2 = moment_flop_counts(node.count, params.degree)
-            device.launch(
-                ops1,
-                blocks=node.count,
-                kind="moments-1",
-                flops_per_interaction=8.0,
-            )
-            device.launch(
-                ops2,
-                blocks=n_ip,
-                kind="moments-2",
-                flops_per_interaction=7.0,
-            )
+            _charge_moment_kernels(device, node, params, n_ip)
+    return moments
+
+
+def _charge_moment_kernels(device, node, params, n_ip) -> None:
+    """Charge the paper's two preprocessing kernels for one cluster."""
+    ops1, ops2 = moment_flop_counts(node.count, params.degree)
+    device.launch(
+        ops1,
+        blocks=node.count,
+        kind="moments-1",
+        flops_per_interaction=8.0,
+    )
+    device.launch(
+        ops2,
+        blocks=n_ip,
+        kind="moments-2",
+        flops_per_interaction=7.0,
+    )
+
+
+def prepare_moment_grids(
+    tree: ClusterTree,
+    params: TreecodeParams,
+    *,
+    numerics: bool = True,
+    cache_basis: bool = True,
+) -> ClusterMoments:
+    """The charge-independent half of :func:`precompute_moments`.
+
+    Records the qualifying clusters and builds their Chebyshev grids --
+    plus, with ``cache_basis``, the per-cluster Lagrange basis matrices
+    of eq. 12 evaluated at the cluster's own source coordinates -- but
+    computes no modified charges and charges no device (grids and basis
+    depend only on geometry; the paper's two moment kernels are
+    charge-dependent work charged per :func:`refresh_moments` call).
+    Pair with :func:`refresh_moments` for the prepare/apply session
+    seam; ``numerics=False`` tracks only the qualifying ids, as in the
+    model-only pipeline.
+    """
+    moments = ClusterMoments(params.degree)
+    n_ip = params.n_interpolation_points
+    for node in tree.nodes:
+        if params.size_check and not (n_ip < node.count):
+            continue
+        moments.node_ids.add(node.index)
+        if numerics:
+            grid = cluster_grid(node, params.degree)
+            moments.grids[node.index] = grid
+            if cache_basis:
+                pts = tree.positions[tree.node_indices(node)]
+                moments.basis[node.index] = (
+                    lagrange_basis(pts[:, 0], grid.points_1d[0], grid.weights),
+                    lagrange_basis(pts[:, 1], grid.points_1d[1], grid.weights),
+                    lagrange_basis(pts[:, 2], grid.points_1d[2], grid.weights),
+                )
+    return moments
+
+
+def refresh_moments(
+    moments: ClusterMoments,
+    tree: ClusterTree,
+    charges: np.ndarray,
+    params: TreecodeParams,
+    *,
+    device: Device | None = None,
+    numerics: bool = True,
+) -> ClusterMoments:
+    """Recompute every cluster's modified charges for new ``charges``.
+
+    Re-runs eq. 12 on the grids cached by :func:`prepare_moment_grids`
+    (contracting the cached basis matrices when present -- the same
+    einsum on the same operands, so the resulting ``qhat`` is bitwise
+    identical to a fresh :func:`precompute_moments`), charging
+    ``device`` for the paper's two moment kernels per cluster exactly
+    as the fresh path does: re-momenting is real per-step device work,
+    only the geometry bookkeeping is amortized.  ``numerics=False``
+    charges the kernels without computing values (model-only applies).
+    """
+    charges = np.asarray(charges, dtype=np.float64).ravel()
+    if charges.shape[0] != tree.n_particles:
+        raise ValueError(
+            f"{charges.shape[0]} charges for {tree.n_particles} particles"
+        )
+    n_ip = params.n_interpolation_points
+    for node in tree.nodes:
+        if node.index not in moments.node_ids:
+            continue
+        if numerics:
+            idx = tree.node_indices(node)
+            basis = moments.basis.get(node.index)
+            if basis is None:
+                qhat = modified_charges(
+                    tree.positions[idx], charges[idx],
+                    moments.grids[node.index],
+                )
+            else:
+                lx, ly, lz = basis
+                qhat = np.einsum(
+                    "aj,bj,cj,j->abc", lx, ly, lz, charges[idx],
+                    optimize=True,
+                ).ravel()
+            moments.qhat[node.index] = qhat
+        if device is not None:
+            _charge_moment_kernels(device, node, params, n_ip)
     return moments

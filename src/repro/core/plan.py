@@ -67,6 +67,23 @@ accounting are layout-independent).  Results are bitwise identical: the
 physical rows are exact copies of the same cluster arrays either way.
 Paper-scale runs (10^6+ particles) go through model-only plans, which
 carry no buffers at all.
+
+Geometry vs. weight state
+-------------------------
+Everything above except ``src_weights`` is *geometry*: it depends only on
+the particle positions and the treecode parameters.  The weights (charges
+and modified charges) are the only charge-dependent buffer, and a plan
+whose stored segments carried ``share_key``s records ``weight_slots`` --
+the ``(key, lo, hi)`` physical row range of every stored segment -- so
+:meth:`ExecutionPlan.refresh_weights` can overwrite just that buffer in
+place when the charges change (the prepare/apply session seam).  Each
+refresh bumps ``weights_version``; backends that cache shipped copies of
+the buffers (the multiprocessing backend's shared-memory block) use the
+version to refresh only the weight region instead of re-shipping the
+plan.  ``PlanBuilder(deferred_weights=True)`` compiles a geometry-only
+skeleton up front: segments supply points but no weights, the weight
+buffer is allocated zeroed, and the first ``refresh_weights`` call fills
+it.
 """
 
 from __future__ import annotations
@@ -86,9 +103,18 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = ["ExecutionPlan", "PlanBuilder", "compile_plan"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class ExecutionPlan:
-    """Flat, immutable description of one device's evaluation work."""
+    """Flat description of one device's evaluation work.
+
+    The index arrays and gathered geometry are immutable; the weight
+    buffer is the one piece of charge-dependent state and may be
+    overwritten in place through :meth:`refresh_weights` (never mutate
+    ``src_weights`` directly -- the version counter is what lets
+    caching backends detect the change).  ``eq=False`` keeps plans
+    hashable by identity so backends can key per-plan caches (e.g. the
+    multiprocessing backend's shared-memory shipments) on the object.
+    """
 
     #: Segment-kind vocabulary; ``seg_kind`` indexes into it.
     kind_names: tuple[str, ...]
@@ -114,6 +140,14 @@ class ExecutionPlan:
     #: None for the duplicated layout (where ``seg_ptr`` is the offset
     #: table).  Set by the shared-source gather; segments may alias.
     seg_src_lo: np.ndarray | None = None
+    #: Per *stored* segment ``(share_key, lo, hi)`` physical weight-row
+    #: ranges, or None when some stored segment carried no share key
+    #: (the plan is then not weight-refreshable).  Duplicated layouts
+    #: repeat a key once per physical copy.
+    weight_slots: tuple | None = None
+    #: Bumped by :meth:`refresh_weights`; lets caching backends detect
+    #: stale shipped copies of ``src_weights``.
+    weights_version: int = 0
 
     # -- structure queries ----------------------------------------------
     @property
@@ -210,6 +244,43 @@ class ExecutionPlan:
         )
         return pts, wts
 
+    # -- weight state ---------------------------------------------------
+    @property
+    def refreshable(self) -> bool:
+        """True when :meth:`refresh_weights` can rebuild the weights."""
+        return self.src_weights is not None and self.weight_slots is not None
+
+    def refresh_weights(self, provider) -> None:
+        """Overwrite the weight buffer in place from ``provider``.
+
+        ``provider(share_key)`` must return the 1-D weight rows of the
+        stored segment registered under that key (a cluster's modified
+        charges, a node's particle charges, ...).  Every stored segment
+        is rewritten -- in the duplicated layout a key repeats once per
+        physical copy -- so the buffer afterwards is exactly what a
+        fresh compile with the same values would have gathered.  The
+        geometry (targets, points, index arrays) is untouched; the
+        weights version is bumped so caching backends refresh their
+        shipped copy of this one buffer.
+        """
+        if self.src_weights is None:
+            raise ValueError("model-only plan carries no weight buffers")
+        if self.weight_slots is None:
+            raise ValueError(
+                "plan is not weight-refreshable: a stored segment was "
+                "added without a share_key"
+            )
+        w = self.src_weights
+        for key, lo, hi in self.weight_slots:
+            arr = np.asarray(provider(key), dtype=np.float64).ravel()
+            if arr.shape[0] != hi - lo:
+                raise ValueError(
+                    f"weight provider returned {arr.shape[0]} rows for "
+                    f"segment {key!r} expecting {hi - lo}"
+                )
+            w[lo:hi] = arr
+        object.__setattr__(self, "weights_version", self.weights_version + 1)
+
     def group_kind_runs(self, g: int) -> Iterator[tuple[str, int, int]]:
         """Yield ``(kind, seg_lo, seg_hi)`` runs of equal-kind segments.
 
@@ -259,6 +330,12 @@ class PlanBuilder:
     them through per-segment offsets.  Callers can skip re-gathering a
     cluster's arrays entirely by checking :meth:`has_shared` first --
     a repeated key needs no ``points``/``weights`` at all.
+
+    ``deferred_weights=True`` compiles a geometry-only skeleton: every
+    stored segment supplies ``points`` and a ``share_key`` but no
+    ``weights``; the weight buffer is allocated zeroed at build and the
+    caller fills it through :meth:`ExecutionPlan.refresh_weights`
+    before the first execution (the prepare/apply session seam).
     """
 
     def __init__(
@@ -267,10 +344,12 @@ class PlanBuilder:
         *,
         numerics: bool = True,
         shared_sources: bool = False,
+        deferred_weights: bool = False,
     ) -> None:
         self.out_size = int(out_size)
         self.numerics = bool(numerics)
         self.shared_sources = bool(shared_sources) and self.numerics
+        self.deferred_weights = bool(deferred_weights) and self.numerics
         self._kind_names: list[str] = []
         self._kind_index: dict[str, int] = {}
         self._group_sizes: list[int] = []
@@ -285,6 +364,9 @@ class PlanBuilder:
         self._shared_ranges: dict = {}
         self._seg_src_lo: list[int] = []
         self._phys_rows = 0
+        #: (share_key, lo, hi) per stored segment (weight-refresh map).
+        self._weight_slots: list[tuple] = []
+        self._refreshable = True
 
     # ------------------------------------------------------------------
     def add_group(
@@ -340,17 +422,29 @@ class PlanBuilder:
             if reuse:
                 lo, hi = self._shared_ranges[share_key]
             else:
-                if points is None or weights is None:
+                if points is None or (
+                    weights is None and not self.deferred_weights
+                ):
                     raise ValueError(
                         "numerics plan requires points and weights per segment"
                     )
                 self._src_points.append(points)
-                self._src_weights.append(weights)
+                if not self.deferred_weights:
+                    self._src_weights.append(weights)
                 lo = self._phys_rows
                 hi = lo + int(points.shape[0])
                 self._phys_rows = hi
                 if self.shared_sources and share_key is not None:
                     self._shared_ranges[share_key] = (lo, hi)
+                if share_key is None:
+                    if self.deferred_weights:
+                        raise ValueError(
+                            "deferred-weight segments need a share_key so "
+                            "refresh_weights can locate their rows"
+                        )
+                    self._refreshable = False
+                else:
+                    self._weight_slots.append((share_key, lo, hi))
             self._seg_src_lo.append(lo)
             size = hi - lo
         elif size is None:
@@ -373,13 +467,19 @@ class PlanBuilder:
         seg_ptr = np.zeros(len(self._seg_sizes) + 1, dtype=np.intp)
         np.cumsum(self._seg_sizes, out=seg_ptr[1:])
         targets = out_index = src_points = src_weights = seg_src_lo = None
+        weight_slots = None
         if self.numerics:
             targets = _concat(self._targets, (0, 3), np.float64)
             out_index = _concat(self._out_index, (0,), np.intp)
             src_points = _concat(self._src_points, (0, 3), np.float64)
-            src_weights = _concat(self._src_weights, (0,), np.float64)
+            if self.deferred_weights:
+                src_weights = np.zeros(self._phys_rows, dtype=np.float64)
+            else:
+                src_weights = _concat(self._src_weights, (0,), np.float64)
             if self.shared_sources:
                 seg_src_lo = np.asarray(self._seg_src_lo, dtype=np.intp)
+            if self._refreshable:
+                weight_slots = tuple(self._weight_slots)
         return ExecutionPlan(
             kind_names=tuple(self._kind_names),
             group_ptr=group_ptr,
@@ -392,6 +492,7 @@ class PlanBuilder:
             src_points=src_points,
             src_weights=src_weights,
             seg_src_lo=seg_src_lo,
+            weight_slots=weight_slots,
         )
 
 
@@ -406,11 +507,12 @@ def compile_plan(
     batches: "TargetBatches",
     moments: "ClusterMoments",
     lists: "InteractionLists",
-    charges: np.ndarray,
+    charges: np.ndarray | None,
     params: "TreecodeParams",
     *,
     numerics: bool = True,
     shared_sources: bool = False,
+    deferred_weights: bool = False,
 ) -> ExecutionPlan:
     """Compile the BLTC's (tree, batches, moments, lists) into a plan.
 
@@ -426,12 +528,22 @@ def compile_plan(
     batches reference it (per-segment offsets alias the single copy);
     results are bitwise identical, buffers strictly smaller whenever any
     cluster appears in more than one interaction list.
+
+    ``deferred_weights=True`` compiles the geometry-only skeleton used
+    by :meth:`~repro.core.treecode.BarycentricTreecode.prepare`:
+    ``charges`` may be None, ``moments`` needs only grids, and the
+    weight buffer stays zeroed until
+    :meth:`ExecutionPlan.refresh_weights` fills it (keys are the same
+    ``("approx"|"direct", cluster)`` pairs recorded here).
     """
     n_ip = params.n_interpolation_points
+    deferred = bool(deferred_weights) and numerics
     builder = PlanBuilder(
-        batches.n_targets, numerics=numerics, shared_sources=shared_sources
+        batches.n_targets, numerics=numerics, shared_sources=shared_sources,
+        deferred_weights=deferred,
     )
-    charges = np.asarray(charges, dtype=np.float64).ravel()
+    if charges is not None:
+        charges = np.asarray(charges, dtype=np.float64).ravel()
     approx_ptr, approx_ids, direct_ptr, direct_ids = lists.csr()
     approx_ids = approx_ids.tolist()
     direct_ids = direct_ids.tolist()
@@ -449,7 +561,7 @@ def compile_plan(
                 builder.add_segment(
                     "approx",
                     points=moments.grid(c).points,
-                    weights=moments.charges(c),
+                    weights=None if deferred else moments.charges(c),
                     share_key=key,
                 )
             for c in direct_ids[direct_ptr[b]:direct_ptr[b + 1]]:
@@ -461,7 +573,7 @@ def compile_plan(
                 builder.add_segment(
                     "direct",
                     points=tree.positions[idx],
-                    weights=charges[idx],
+                    weights=None if deferred else charges[idx],
                     share_key=key,
                 )
         else:

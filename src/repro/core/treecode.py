@@ -1,34 +1,46 @@
 """Single-device barycentric Lagrange treecode driver (BLTC algorithm).
 
-Orchestrates the full pipeline of the paper's Sec. 2.4 algorithm on one
-(simulated) device.  Since the execution-plan refactor the pipeline has
-three layers:
+Orchestrates the paper's Sec. 2.4 algorithm on one (simulated) device.
+Since the prepared-session refactor the pipeline is split along the
+charge-dependence boundary:
 
-1. **Structure** [setup/precompute] -- build the source-cluster tree and
-   the target batches, compute modified charges for every cluster (two
-   kernels), and build per-batch interaction lists.  These phases charge
-   the device for the copies and preprocessing kernels exactly as the
-   paper's OpenACC code performs them.
-2. **Planning** -- :func:`repro.core.plan.compile_plan` flattens
-   ``(tree, batches, moments, lists)`` into an
-   :class:`~repro.core.plan.ExecutionPlan`: CSR-style batch->segment
-   index arrays plus pre-gathered target/source buffers, one segment per
-   simulated kernel launch.  No device time is charged here -- the plan
-   is the simulator's internal representation, not algorithmic work.
-3. **Execution** [compute] -- a pluggable backend
-   (:mod:`repro.core.backends`) runs the plan: ``"numpy"`` reproduces
-   the seed's blocked per-batch arithmetic byte-for-byte, ``"fused"``
-   evaluates straight from the shared buffers (faster wall-clock, same
-   counters), and ``"model"`` charges launches without numerics (the old
-   ``dry_run`` path).  All backends charge the device through one code
-   path, so launches, interaction counts, bytes and phase times are
+1. **Structure** [setup, charged once per geometry] --
+   :meth:`BarycentricTreecode.prepare` builds the source-cluster tree,
+   the target batches, per-batch interaction lists and the per-cluster
+   Chebyshev grids, and compiles a geometry-only
+   :class:`~repro.core.plan.ExecutionPlan` skeleton (CSR-style
+   batch->segment index arrays plus pre-gathered target/source
+   coordinate buffers).  The device is charged for the host-side builds
+   and the targets + LET upload exactly as the paper's OpenACC code
+   performs them; none of this work depends on the charges.
+2. **Charge refresh** [precompute, charged per evaluation] --
+   :meth:`PreparedTreecode.apply` ships the (new) charges to the
+   device, re-runs the paper's two modified-charge kernels on the
+   cached cluster grids (:func:`repro.core.moments.refresh_moments`),
+   and overwrites the plan's weight buffer in place
+   (:meth:`~repro.core.plan.ExecutionPlan.refresh_weights`).
+3. **Execution** [compute, charged per evaluation] -- a pluggable
+   backend (:mod:`repro.core.backends`) runs the plan: ``"numpy"``
+   reproduces the seed's blocked per-batch arithmetic byte-for-byte,
+   ``"fused"`` evaluates straight from the shared buffers,
+   ``"multiprocessing"`` shards groups over a worker pool (refreshing
+   only the weight region of its cached shared-memory shipment), and
+   ``"model"`` charges launches without numerics (the old ``dry_run``
+   path).  All backends charge the device through one code path, so
+   launches, interaction counts, bytes and phase times are
    backend-independent.
 
-Select a backend with ``TreecodeParams(backend="fused")``;
-``compute(dry_run=True)`` forces the model backend.  Phase attribution
-follows the paper's setup / precompute / compute definition (Sec. 4).
-The distributed driver in :mod:`repro.distributed` wraps the same
-building blocks with RCB partitioning and locally essential trees.
+:meth:`BarycentricTreecode.compute` is exactly ``prepare()`` followed
+by one ``apply()`` -- byte-identical results, counters and phase times
+to the monolithic pipeline it replaces -- while MD time-stepping and
+BEM-style multi-RHS solves call ``prepare()`` once and ``apply()`` per
+charge vector, amortizing every charge-independent phase.  Select a
+backend with ``TreecodeParams(backend="fused")``;
+``compute(dry_run=True)`` / ``apply(dry_run=True)`` force the model
+backend.  Phase attribution follows the paper's setup / precompute /
+compute definition (Sec. 4).  The distributed driver in
+:mod:`repro.distributed` wraps the same building blocks with RCB
+partitioning and locally essential trees.
 """
 
 from __future__ import annotations
@@ -47,10 +59,10 @@ from ..tree.octree import ClusterTree
 from ..workloads import ParticleSet
 from .backends import Backend, get_backend
 from .interaction_lists import InteractionLists, build_interaction_lists
-from .moments import ClusterMoments, precompute_moments
+from .moments import ClusterMoments, prepare_moment_grids, refresh_moments
 from .plan import ExecutionPlan, compile_plan
 
-__all__ = ["BarycentricTreecode", "TreecodeResult"]
+__all__ = ["BarycentricTreecode", "PreparedTreecode", "TreecodeResult"]
 
 FLOAT_BYTES = 8
 
@@ -129,6 +141,58 @@ class BarycentricTreecode:
         is all zeros.  This lets the timing model run at paper scale
         (10^6-10^9 particles) where Python numerics would be
         prohibitive.
+
+        Implemented as :meth:`prepare` + one
+        :meth:`PreparedTreecode.apply` -- identical results, counters
+        and phase times to the pre-session monolithic pipeline.  Use the
+        two-stage form directly for repeated evaluation on fixed
+        geometry.
+        """
+        # cache_basis=False: a one-shot run uses each cluster's basis
+        # matrices once, so holding them all simultaneously would only
+        # regress peak memory vs. the monolithic pipeline.
+        prepared = self.prepare(
+            sources, targets, dry_run=dry_run, cache_basis=False
+        )
+        result = prepared.apply(
+            sources.charges, compute_forces=compute_forces, dry_run=dry_run
+        )
+        return TreecodeResult(
+            potential=result.potential,
+            phases=prepared.phases + result.phases,
+            wall_seconds=prepared.wall_seconds + result.wall_seconds,
+            stats=result.stats,
+            forces=result.forces,
+        )
+
+    # ------------------------------------------------------------------
+    def prepare(
+        self,
+        sources: ParticleSet,
+        targets: np.ndarray | ParticleSet | None = None,
+        *,
+        dry_run: bool = False,
+        cache_basis: bool = True,
+    ) -> "PreparedTreecode":
+        """Capture all charge-independent state for repeated evaluation.
+
+        Builds the source tree, the target batches, the interaction
+        lists, the per-cluster Chebyshev grids (with cached Lagrange
+        basis matrices) and the geometry-only execution-plan skeleton,
+        charging the device for the setup phase once.  The returned
+        :class:`PreparedTreecode` evaluates any number of charge
+        vectors on this geometry via
+        :meth:`PreparedTreecode.apply`; the initial
+        ``sources.charges`` are *not* baked in.
+
+        ``dry_run=True`` prepares a model-only session (structure-only
+        plan, no coordinate gathering): every ``apply`` then runs the
+        timing model at paper scale.
+
+        ``cache_basis=False`` skips caching the per-cluster Lagrange
+        basis matrices: applies then re-evaluate the basis per step
+        (bitwise-identical, ~3(n+1)N fewer resident floats).  Sessions
+        keep the cache by default; one-shot ``compute()`` turns it off.
         """
         params = self.params
         backend = get_backend("model" if dry_run else params.backend)
@@ -162,20 +226,13 @@ class BarycentricTreecode:
             )
             phases.setup += device.take_phase()
 
-            # -- precompute: HtD source copy, moment kernels, DtH moments
-            device.upload(sources.nbytes(), label="source data")
-            moments = precompute_moments(
-                tree,
-                sources.charges,
-                params,
-                device=device,
-                numerics=backend.needs_numerics,
+            # -- charge-independent moment state: qualifying clusters,
+            # Chebyshev grids, cached basis matrices (no device time --
+            # the paper's moment kernels are charged per apply()).
+            moments = prepare_moment_grids(
+                tree, params, numerics=backend.needs_numerics,
+                cache_basis=cache_basis,
             )
-            moments_bytes = (
-                moments.n_clusters * params.n_interpolation_points * FLOAT_BYTES
-            )
-            device.download(moments_bytes, label="modified charges")
-            phases.precompute += device.take_phase()
 
             # -- setup: interaction lists + HtD of targets and LET data
             lists = build_interaction_lists(batches, tree, params)
@@ -186,34 +243,28 @@ class BarycentricTreecode:
             )
             phases.setup += device.take_phase()
 
-            # -- plan: flatten lists into backend-ready arrays (host-side
-            # representation of work already charged above; no device time)
+            # -- plan: geometry-only skeleton (host-side representation
+            # of work already charged above; no device time).  The
+            # weight buffer stays zeroed until the first apply().
             plan = compile_plan(
-                tree, batches, moments, lists, sources.charges, params,
+                tree, batches, moments, lists, None, params,
                 numerics=backend.needs_numerics,
                 shared_sources=params.shared_sources,
+                deferred_weights=True,
             )
 
-            # -- compute: backend executes the plan + DtH potentials
-            potential, forces = backend.execute(
-                plan,
-                self.kernel,
-                device,
-                dtype=params.dtype,
-                compute_forces=compute_forces,
-            )
-            device.download(potential.nbytes, label="potentials")
-            if forces is not None:
-                device.download(forces.nbytes, label="forces")
-            phases.compute += device.take_phase()
-
-        stats = self._stats(tree, batches, lists, moments, device)
-        return TreecodeResult(
-            potential=potential,
+        return PreparedTreecode(
+            driver=self,
+            backend=backend,
+            device=device,
+            tree=tree,
+            batches=batches,
+            moments=moments,
+            lists=lists,
+            plan=plan,
+            source_nbytes=sources.nbytes(),
             phases=phases,
             wall_seconds=watch.elapsed,
-            stats=stats,
-            forces=forces,
         )
 
     # ------------------------------------------------------------------
@@ -226,17 +277,19 @@ class BarycentricTreecode:
         Union over batches of directly-summed clusters' particle data
         (3 coordinates + charge each) plus approximated clusters' modified
         charges.  This is exactly what a rank's LET holds (Sec. 3.1).
+        The unique-node accounting is vectorized (``np.unique`` over the
+        concatenated lists against the tree's cached count vector); the
+        totals are integers, so the value matches the old per-entry
+        Python set loops exactly.
         """
-        direct_nodes: set[int] = set()
-        approx_nodes: set[int] = set()
-        for d in lists.direct:
-            direct_nodes.update(int(c) for c in d)
-        for a in lists.approx:
-            approx_nodes.update(int(c) for c in a)
-        direct_particles = sum(tree.nodes[c].count for c in direct_nodes)
+        _, approx_ids, _, direct_ids = lists.csr()
+        direct_particles = int(
+            tree.node_counts[np.unique(direct_ids)].sum()
+        )
+        n_approx_nodes = int(np.unique(approx_ids).size)
         return (
             direct_particles * 4 * FLOAT_BYTES
-            + len(approx_nodes) * params.n_interpolation_points * FLOAT_BYTES
+            + n_approx_nodes * params.n_interpolation_points * FLOAT_BYTES
         )
 
     def _stats(
@@ -268,3 +321,165 @@ class BarycentricTreecode:
             "by_kind": {k: tuple(v) for k, v in c.by_kind.items()},
             "busy_by_kind": dict(c.busy_by_kind),
         }
+
+
+class PreparedTreecode:
+    """A treecode session with fixed geometry and refreshable charges.
+
+    Produced by :meth:`BarycentricTreecode.prepare`; holds the tree,
+    batches, interaction lists, cluster grids, the geometry-only
+    execution plan and the session's simulated device.  Each
+    :meth:`apply` evaluates one charge vector: the setup phase was
+    charged once at prepare time, so an apply charges only the charge
+    upload, the moment kernels and the compute phase.  Device counters
+    accumulate over the session (the first apply therefore reports
+    exactly the numbers of a monolithic ``compute()``); per-apply cost
+    is in the returned ``phases``.
+
+    Attributes of interest: ``phases`` (the setup cost charged at
+    prepare), ``n_applies``, and the captured ``tree`` / ``batches`` /
+    ``lists`` / ``plan``.
+    """
+
+    def __init__(
+        self,
+        *,
+        driver: BarycentricTreecode,
+        backend: Backend,
+        device: Device,
+        tree: ClusterTree,
+        batches: TargetBatches,
+        moments: ClusterMoments,
+        lists: InteractionLists,
+        plan: ExecutionPlan,
+        source_nbytes: int,
+        phases: PhaseTimes,
+        wall_seconds: float,
+    ) -> None:
+        self.driver = driver
+        self.backend = backend
+        self.device = device
+        self.tree = tree
+        self.batches = batches
+        self.moments = moments
+        self.lists = lists
+        self.plan = plan
+        #: Setup-phase cost charged once at prepare time.
+        self.phases = phases
+        self.wall_seconds = wall_seconds
+        self.n_applies = 0
+        self._source_nbytes = int(source_nbytes)
+
+    @property
+    def kernel(self) -> Kernel:
+        return self.driver.kernel
+
+    @property
+    def params(self) -> TreecodeParams:
+        return self.driver.params
+
+    @property
+    def n_sources(self) -> int:
+        return self.tree.n_particles
+
+    @property
+    def n_targets(self) -> int:
+        return self.batches.n_targets
+
+    # ------------------------------------------------------------------
+    def apply(
+        self,
+        charges: np.ndarray,
+        *,
+        compute_forces: bool = False,
+        dry_run: bool = False,
+    ) -> TreecodeResult:
+        """Evaluate the prepared geometry for one charge vector.
+
+        Uploads the charges (the first apply ships the full source data
+        exactly as the monolithic pipeline's precompute phase does;
+        later applies re-ship only the charge vector), recomputes the
+        modified charges on the cached cluster grids, refreshes the
+        plan's weight buffer in place, and executes through the
+        session's backend.  ``phases.setup`` is always zero here -- the
+        geometry work was charged at prepare time.
+
+        ``dry_run=True`` runs this apply through the model backend
+        (launch accounting only, zero potentials) regardless of the
+        session backend; the moment kernels and uploads are still
+        charged, so the timing model sees a faithful step.
+        """
+        params = self.params
+        charges = np.asarray(charges, dtype=np.float64).ravel()
+        if charges.shape[0] != self.tree.n_particles:
+            raise ValueError(
+                f"{charges.shape[0]} charges for "
+                f"{self.tree.n_particles} particles"
+            )
+        backend = get_backend("model") if dry_run else self.backend
+        numerics = self.plan.has_numerics and backend.needs_numerics
+        device = self.device
+        phases = PhaseTimes()
+        watch = Stopwatch()
+
+        with watch:
+            # -- precompute: HtD charges, moment kernels, DtH moments.
+            if self.n_applies == 0:
+                device.upload(self._source_nbytes, label="source data")
+            else:
+                device.upload(charges.nbytes, label="charges")
+            refresh_moments(
+                self.moments, self.tree, charges, params,
+                device=device, numerics=numerics,
+            )
+            moments_bytes = (
+                self.moments.n_clusters
+                * params.n_interpolation_points
+                * FLOAT_BYTES
+            )
+            device.download(moments_bytes, label="modified charges")
+            phases.precompute += device.take_phase()
+
+            # -- refresh the plan's weight buffer in place (host-side
+            # representation; no device time, as at compile).
+            if numerics:
+                self.plan.refresh_weights(self._weight_provider(charges))
+
+            # -- compute: backend executes the plan + DtH potentials
+            potential, forces = backend.execute(
+                self.plan,
+                self.kernel,
+                device,
+                dtype=params.dtype,
+                compute_forces=compute_forces,
+            )
+            device.download(potential.nbytes, label="potentials")
+            if forces is not None:
+                device.download(forces.nbytes, label="forces")
+            phases.compute += device.take_phase()
+
+        self.n_applies += 1
+        stats = self.driver._stats(
+            self.tree, self.batches, self.lists, self.moments, device
+        )
+        stats["n_applies"] = self.n_applies
+        return TreecodeResult(
+            potential=potential,
+            phases=phases,
+            wall_seconds=watch.elapsed,
+            stats=stats,
+            forces=forces,
+        )
+
+    def _weight_provider(self, charges: np.ndarray):
+        """Map a plan weight-slot key to its refreshed weight rows."""
+        moments = self.moments
+        tree = self.tree
+
+        def provider(key):
+            kind, c = key
+            if kind == "approx":
+                return moments.charges(c)
+            return charges[tree.node_indices(c)]
+
+        return provider

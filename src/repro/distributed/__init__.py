@@ -9,11 +9,16 @@ the remote clusters those lists reference.
 """
 
 from .letree import LocallyEssentialTree, RemoteTreeAdapter
-from .driver import DistributedBLTC, DistributedResult
+from .driver import (
+    DistributedBLTC,
+    DistributedResult,
+    PreparedDistributedBLTC,
+)
 
 __all__ = [
     "RemoteTreeAdapter",
     "LocallyEssentialTree",
     "DistributedBLTC",
+    "PreparedDistributedBLTC",
     "DistributedResult",
 ]

@@ -38,7 +38,11 @@ import numpy as np
 from ..config import DEFAULT_PARAMS, TreecodeParams
 from ..core.backends import get_backend
 from ..core.interaction_lists import build_interaction_lists
-from ..core.moments import precompute_moments
+from ..core.moments import (
+    precompute_moments,
+    prepare_moment_grids,
+    refresh_moments,
+)
 from ..core.plan import PlanBuilder
 from ..gpu.device import make_device
 from ..kernels.base import Kernel
@@ -50,9 +54,9 @@ from ..perf.timer import PhaseTimes, Stopwatch
 from ..tree.batches import TargetBatches
 from ..tree.octree import ClusterTree
 from ..workloads import ParticleSet
-from .letree import build_let
+from .letree import build_let, build_let_geometry, refresh_let_charges
 
-__all__ = ["DistributedBLTC", "DistributedResult"]
+__all__ = ["DistributedBLTC", "PreparedDistributedBLTC", "DistributedResult"]
 
 FLOAT_BYTES = 8
 
@@ -333,6 +337,146 @@ class DistributedBLTC:
         )
 
     # ------------------------------------------------------------------
+    def prepare(
+        self,
+        particles: ParticleSet,
+        *,
+        dry_run: bool = False,
+    ) -> "PreparedDistributedBLTC":
+        """Capture the charge-independent distributed state once.
+
+        Runs the RCB partition, the per-rank tree/batch builds, the
+        charge-independent LET half (remote tree arrays, interaction
+        lists, direct-cluster *positions* -- no charges or moments move)
+        and compiles each rank's geometry-only plan skeleton.  The
+        returned session evaluates any number of charge vectors on this
+        decomposition via :meth:`PreparedDistributedBLTC.apply`,
+        re-shipping only the charge-dependent payload per step.
+
+        ``dry_run=True`` prepares a model-only session (every apply runs
+        the timing model; structure-only plans, no coordinate gathers).
+        """
+        params = self.params
+        backend = get_backend("model" if dry_run else params.backend)
+        numerics = backend.needs_numerics
+        n = particles.n
+        if n < self.n_ranks:
+            raise ValueError(
+                f"{n} particles cannot be split over {self.n_ranks} ranks"
+            )
+        watch = Stopwatch()
+        with watch:
+            comm = SimComm(self.n_ranks, comm_model=self.comm_model)
+            labels = rcb_partition(
+                particles.positions, self.n_ranks, axis_policy=self.axis_policy
+            )
+            rank_idx = [
+                np.nonzero(labels == r)[0] for r in range(self.n_ranks)
+            ]
+            devices = [
+                make_device(self.machine, async_streams=self.async_streams)
+                for _ in range(self.n_ranks)
+            ]
+            phases = [PhaseTimes() for _ in range(self.n_ranks)]
+            split = [
+                {"setup_local": 0.0, "let_setup": 0.0}
+                for _ in range(self.n_ranks)
+            ]
+            trees: list[ClusterTree] = []
+            batch_sets: list[TargetBatches] = []
+            moment_sets = []
+
+            # -- phase A: local trees and batches (setup) ---------------
+            for r in range(self.n_ranks):
+                local = particles.subset(rank_idx[r])
+                tree = ClusterTree(
+                    local.positions,
+                    params.max_leaf_size,
+                    aspect_ratio_splitting=params.aspect_ratio_splitting,
+                    shrink_to_fit=params.shrink_to_fit,
+                )
+                batches = TargetBatches(
+                    local.positions,
+                    params.max_batch_size,
+                    aspect_ratio_splitting=params.aspect_ratio_splitting,
+                    shrink_to_fit=params.shrink_to_fit,
+                )
+                dev = devices[r]
+                dev.host_work(local.n * 2 * (tree.max_level + 1))
+                dt = dev.take_phase()
+                phases[r].setup += dt
+                split[r]["setup_local"] += dt
+                trees.append(tree)
+                batch_sets.append(batches)
+                # Charge-independent moment state (grids + cached basis;
+                # the moment kernels themselves are charged per apply).
+                moment_sets.append(
+                    prepare_moment_grids(tree, params, numerics=numerics)
+                )
+
+            # -- expose the geometry windows ----------------------------
+            for r in range(self.n_ranks):
+                tree = trees[r]
+                local = particles.subset(rank_idx[r])
+                handle = comm.rank_handle(r)
+                handle.create_window("tree", tree.tree_array())
+                handle.create_window("srcpos", local.positions[tree.perm])
+
+            # -- phase C (geometry half): remote trees, lists, positions
+            lets = []
+            local_lists = []
+            for r in range(self.n_ranks):
+                dev = devices[r]
+                handle = comm.rank_handle(r)
+                comm_before = float(comm.clocks[r])
+                let, mac_evals = build_let_geometry(
+                    handle, batch_sets[r], params, numerics=numerics
+                )
+                comm_delta = float(comm.clocks[r]) - comm_before
+                lists = build_interaction_lists(
+                    batch_sets[r], trees[r], params
+                )
+                dev.host_work((mac_evals + lists.mac_evals) * 4)
+                dev.comm_wait(comm_delta)
+                dev.upload(
+                    let.nbytes_geometry()
+                    + particles.subset(rank_idx[r]).positions.nbytes,
+                    label="targets + LET geometry",
+                )
+                dt = dev.take_phase()
+                phases[r].setup += dt
+                split[r]["let_setup"] += dt
+                lets.append(let)
+                local_lists.append(lists)
+
+            # -- geometry-only plan skeletons (host-side; no device time)
+            plans = [
+                self._compile_rank_plan(
+                    trees[r], batch_sets[r], moment_sets[r],
+                    local_lists[r], lets[r], None,
+                    numerics=numerics, deferred_weights=True,
+                )
+                for r in range(self.n_ranks)
+            ]
+
+        return PreparedDistributedBLTC(
+            driver=self,
+            backend=backend,
+            comm=comm,
+            devices=devices,
+            rank_idx=rank_idx,
+            trees=trees,
+            batch_sets=batch_sets,
+            moment_sets=moment_sets,
+            local_lists=local_lists,
+            lets=lets,
+            plans=plans,
+            phases=phases,
+            split=split,
+            wall_seconds=watch.elapsed,
+        )
+
+    # ------------------------------------------------------------------
     def _compile_rank_plan(
         self,
         tree: ClusterTree,
@@ -340,9 +484,10 @@ class DistributedBLTC:
         moments,
         local_lists,
         let,
-        charges: np.ndarray,
+        charges: np.ndarray | None,
         *,
         numerics: bool = True,
+        deferred_weights: bool = False,
     ):
         """Compile one rank's merged (local + LET) work into a plan.
 
@@ -355,15 +500,21 @@ class DistributedBLTC:
         With ``params.shared_sources`` every (local or remote) cluster's
         rows are stored once per rank plan however many batches list it;
         share keys carry the owning rank so distinct ranks' clusters
-        never collide.
+        never collide -- and double as the weight-refresh keys of the
+        prepared session, which compiles with ``deferred_weights=True``
+        (geometry only; ``charges`` may be None and the LET may hold
+        positions without charge payloads yet).
         """
-        charges = np.asarray(charges, dtype=np.float64).ravel()
+        deferred = bool(deferred_weights) and numerics
+        if charges is not None:
+            charges = np.asarray(charges, dtype=np.float64).ravel()
         n_ip = self.params.n_interpolation_points
         remote_ranks = sorted(let.lists)
         builder = PlanBuilder(
             batches.n_targets,
             numerics=numerics,
             shared_sources=self.params.shared_sources,
+            deferred_weights=deferred,
         )
         for b in range(len(batches)):
             if numerics:
@@ -380,7 +531,7 @@ class DistributedBLTC:
                     builder.add_segment(
                         "approx",
                         points=moments.grid(c).points,
-                        weights=moments.charges(c),
+                        weights=None if deferred else moments.charges(c),
                         share_key=key,
                     )
                 for s in remote_ranks:
@@ -392,7 +543,8 @@ class DistributedBLTC:
                             continue
                         grid, qhat = let.approx_data[s][c]
                         builder.add_segment(
-                            "approx", points=grid.points, weights=qhat,
+                            "approx", points=grid.points,
+                            weights=None if deferred else qhat,
                             share_key=key,
                         )
                 for c in local_lists.direct[b]:
@@ -405,7 +557,7 @@ class DistributedBLTC:
                     builder.add_segment(
                         "direct",
                         points=tree.positions[idx],
-                        weights=charges[idx],
+                        weights=None if deferred else charges[idx],
                         share_key=key,
                     )
                 for s in remote_ranks:
@@ -417,7 +569,9 @@ class DistributedBLTC:
                             continue
                         pos, q = let.direct_data[s][c]
                         builder.add_segment(
-                            "direct", points=pos, weights=q, share_key=key
+                            "direct", points=pos,
+                            weights=None if deferred else q,
+                            share_key=key,
                         )
             else:
                 builder.add_group(size=batches.batch(b).count)
@@ -471,3 +625,223 @@ class DistributedBLTC:
             "per_rank": per_rank,
             "total_rma_bytes": sum(s.bytes_remote for s in comm.stats),
         }
+
+
+class PreparedDistributedBLTC:
+    """A distributed session with fixed decomposition, refreshable charges.
+
+    Produced by :meth:`DistributedBLTC.prepare`.  The RCB partition,
+    per-rank trees/batches, interaction lists, LET geometry (remote tree
+    arrays + direct-cluster positions) and geometry-only rank plans are
+    all cached; each :meth:`apply` evaluates one global charge vector,
+    re-shipping only the charge-dependent payload: the local charge
+    upload, the moment kernels on the cached grids, the RMA gets of
+    remote charges and modified charges, and the compute phase.  Rank
+    devices and the communicator persist across applies (counters and
+    RMA statistics accumulate; the first apply therefore reports exactly
+    the numbers of a monolithic ``compute()``); per-apply cost is in the
+    returned ``rank_phases``, whose setup component is always zero.
+    """
+
+    def __init__(
+        self,
+        *,
+        driver: DistributedBLTC,
+        backend,
+        comm: SimComm,
+        devices,
+        rank_idx,
+        trees,
+        batch_sets,
+        moment_sets,
+        local_lists,
+        lets,
+        plans,
+        phases,
+        split,
+        wall_seconds: float,
+    ) -> None:
+        self.driver = driver
+        self.backend = backend
+        self.comm = comm
+        self.devices = devices
+        self.rank_idx = rank_idx
+        self.trees = trees
+        self.batch_sets = batch_sets
+        self.moment_sets = moment_sets
+        self.local_lists = local_lists
+        self.lets = lets
+        self.plans = plans
+        #: Per-rank setup-phase cost charged once at prepare time.
+        self.phases = phases
+        self.split = split
+        self.wall_seconds = wall_seconds
+        self.n_applies = 0
+        self._n = int(sum(len(idx) for idx in rank_idx))
+
+    @property
+    def n_ranks(self) -> int:
+        return self.driver.n_ranks
+
+    # ------------------------------------------------------------------
+    def apply(
+        self,
+        charges: np.ndarray,
+        *,
+        compute_forces: bool = False,
+        dry_run: bool = False,
+    ) -> DistributedResult:
+        """Evaluate the prepared decomposition for one charge vector.
+
+        Per rank: upload the local charges (the first apply ships the
+        full local particle data, as the monolithic precompute does),
+        re-run the moment kernels on the cached grids, re-expose the
+        charge windows, get the LET's remote charges/modified charges
+        (the only RMA traffic of an apply), refresh the rank plan's
+        weight buffer in place, and execute through the session backend.
+        With ``overlap_comm`` the re-ship communication hides behind the
+        rank's own precompute, mirroring the monolithic driver's
+        treatment of LET communication.  The returned result's phases
+        carry no setup time -- that was charged at prepare -- so
+        ``total_seconds`` reduces to the precompute/compute barrier of
+        this apply alone.
+        """
+        driver = self.driver
+        params = driver.params
+        charges = np.asarray(charges, dtype=np.float64).ravel()
+        if charges.shape[0] != self._n:
+            raise ValueError(
+                f"{charges.shape[0]} charges for {self._n} particles"
+            )
+        backend = get_backend("model") if dry_run else self.backend
+        numerics = (
+            backend.needs_numerics
+            and all(p.has_numerics for p in self.plans)
+        )
+        comm = self.comm
+        n_ranks = self.n_ranks
+        watch = Stopwatch()
+        with watch:
+            phases = [PhaseTimes() for _ in range(n_ranks)]
+            local_qs = [charges[self.rank_idx[r]] for r in range(n_ranks)]
+
+            # -- precompute: charge upload + moment kernels per rank ----
+            for r in range(n_ranks):
+                dev = self.devices[r]
+                local_q = local_qs[r]
+                if self.n_applies == 0:
+                    dev.upload(
+                        local_q.nbytes * 4, label="source data"
+                    )
+                else:
+                    dev.upload(local_q.nbytes, label="charges")
+                refresh_moments(
+                    self.moment_sets[r], self.trees[r], local_q, params,
+                    device=dev, numerics=numerics,
+                )
+                mbytes = (
+                    self.moment_sets[r].n_clusters
+                    * params.n_interpolation_points
+                    * FLOAT_BYTES
+                )
+                dev.download(mbytes, label="modified charges")
+                phases[r].precompute += dev.take_phase()
+
+            # -- re-expose the charge-dependent windows -----------------
+            for r in range(n_ranks):
+                handle = comm.rank_handle(r)
+                handle.refresh_window(
+                    "srcq", local_qs[r][self.trees[r].perm]
+                )
+                handle.refresh_window(
+                    "moments",
+                    self.moment_sets[r].packed(len(self.trees[r])),
+                )
+
+            # -- charge re-ship + plan refresh + compute ----------------
+            potential = np.zeros(self._n, dtype=np.float64)
+            forces = (
+                np.zeros((self._n, 3), dtype=np.float64)
+                if compute_forces
+                else None
+            )
+            comm_totals = []
+            for r in range(n_ranks):
+                dev = self.devices[r]
+                handle = comm.rank_handle(r)
+                let = self.lets[r]
+                comm_before = float(comm.clocks[r])
+                refresh_let_charges(handle, let)
+                comm_delta = float(comm.clocks[r]) - comm_before
+                dev.comm_wait(comm_delta)
+                dev.upload(let.nbytes_charges(), label="LET charges")
+                dt = dev.take_phase()
+                if driver.overlap_comm:
+                    # Hide the re-ship behind this rank's own precompute
+                    # (the monolithic driver's Sec. 5 treatment of LET
+                    # communication).
+                    hidden = min(comm_delta, phases[r].precompute)
+                    dt = max(dt - hidden, 0.0)
+                phases[r].precompute += dt
+
+                if numerics:
+                    self.plans[r].refresh_weights(
+                        self._weight_provider(r, local_qs[r])
+                    )
+                phi_local, f_local = backend.execute(
+                    self.plans[r],
+                    driver.kernel,
+                    dev,
+                    dtype=params.dtype,
+                    compute_forces=compute_forces,
+                )
+                dev.download(phi_local.nbytes, label="potentials")
+                if f_local is not None:
+                    dev.download(f_local.nbytes, label="forces")
+                phases[r].compute += dev.take_phase()
+                potential[self.rank_idx[r]] = phi_local
+                if forces is not None:
+                    forces[self.rank_idx[r]] = f_local
+                comm_totals.append(float(comm.clocks[r]))
+
+            stats = driver._stats(
+                comm, self.trees, self.batch_sets, self.local_lists,
+                self.lets, self.devices,
+            )
+            # Per-apply there is no setup half: total_seconds reduces to
+            # max(precompute) + max(compute).  The prepare-time split is
+            # kept alongside for whole-session accounting.
+            stats["phase_split"] = [
+                {"setup_local": 0.0, "let_setup": 0.0}
+                for _ in range(n_ranks)
+            ]
+            stats["prepare_split"] = [dict(s) for s in self.split]
+            stats["n_applies"] = self.n_applies + 1
+
+        self.n_applies += 1
+        return DistributedResult(
+            potential=potential,
+            rank_phases=phases,
+            comm_seconds=comm_totals,
+            wall_seconds=watch.elapsed,
+            stats=stats,
+            forces=forces,
+        )
+
+    def _weight_provider(self, r: int, local_q: np.ndarray):
+        """Rank ``r``'s weight-slot key -> refreshed weight rows."""
+        moments = self.moment_sets[r]
+        tree = self.trees[r]
+        let = self.lets[r]
+
+        def provider(key):
+            kind, s, c = key
+            if kind == "approx":
+                if s == -1:
+                    return moments.charges(c)
+                return let.approx_data[s][c][1]
+            if s == -1:
+                return local_q[tree.node_indices(c)]
+            return let.direct_data[s][c][1]
+
+        return provider

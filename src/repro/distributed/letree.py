@@ -29,7 +29,13 @@ from ..mpi.comm import RankHandle
 from ..tree.batches import TargetBatches
 from ..tree.octree import ClusterTree
 
-__all__ = ["RemoteTreeAdapter", "LocallyEssentialTree", "build_let"]
+__all__ = [
+    "RemoteTreeAdapter",
+    "LocallyEssentialTree",
+    "build_let",
+    "build_let_geometry",
+    "refresh_let_charges",
+]
 
 # Field offsets in the packed tree array (ClusterTree.tree_array layout).
 _CENTER = slice(0, 3)
@@ -106,13 +112,20 @@ class LocallyEssentialTree:
     #: lists[s] -- InteractionLists of local batches vs remote rank s.
     lists: dict[int, InteractionLists] = field(default_factory=dict)
     #: direct_data[s][node] = (positions, charges) for remote node.
+    #: ``charges`` is None between a geometry-only build and the first
+    #: :func:`refresh_let_charges`.
     direct_data: dict[int, dict[int, tuple[np.ndarray, np.ndarray]]] = field(
         default_factory=dict
     )
-    #: approx_data[s][node] = (grid, modified_charges) for remote node.
+    #: approx_data[s][node] = (grid, modified_charges) for remote node;
+    #: ``modified_charges`` is None until the first charge refresh.
     approx_data: dict[int, dict[int, tuple[ChebyshevGrid3D, np.ndarray]]] = field(
         default_factory=dict
     )
+    #: direct_slices[s][node] -- the owner-side particle slice of each
+    #: direct cluster, retained so charge refreshes re-get exactly the
+    #: referenced rows without re-fetching the remote tree array.
+    direct_slices: dict[int, dict[int, slice]] = field(default_factory=dict)
 
     def n_remote_clusters(self) -> int:
         return sum(len(d) for d in self.approx_data.values()) + sum(
@@ -121,13 +134,27 @@ class LocallyEssentialTree:
 
     def nbytes(self) -> int:
         """Bytes of remote payload held in the LET."""
+        return self.nbytes_geometry() + self.nbytes_charges()
+
+    def nbytes_geometry(self) -> int:
+        """Charge-independent payload bytes (direct-cluster positions)."""
         total = 0
         for per_rank in self.direct_data.values():
-            for pos, q in per_rank.values():
-                total += pos.nbytes + q.nbytes
+            for pos, _ in per_rank.values():
+                total += pos.nbytes
+        return total
+
+    def nbytes_charges(self) -> int:
+        """Charge-dependent payload bytes (charges + modified charges)."""
+        total = 0
+        for per_rank in self.direct_data.values():
+            for _, q in per_rank.values():
+                if q is not None:
+                    total += q.nbytes
         for per_rank in self.approx_data.values():
             for _, qhat in per_rank.values():
-                total += qhat.nbytes
+                if qhat is not None:
+                    total += qhat.nbytes
         return total
 
 
@@ -145,7 +172,43 @@ def build_let(
 
     Returns ``(let, mac_evals)`` where ``mac_evals`` counts the host-side
     traversal work (for the setup-phase cost model).  Communication costs
-    are charged to the origin's clock by the communicator.
+    are charged to the origin's clock by the communicator.  Composed of
+    the geometry half (:func:`build_let_geometry`) plus one charge
+    re-ship (:func:`refresh_let_charges`): the per-get costs are
+    additive, so the composition charges exactly the bytes and ops of
+    the original interleaved construction.
+    """
+    let, mac_evals = build_let_geometry(
+        handle, batches, params,
+        tree_window=tree_window, pos_window=pos_window,
+    )
+    refresh_let_charges(
+        handle, let,
+        charge_window=charge_window, moments_window=moments_window,
+    )
+    return let, mac_evals
+
+
+def build_let_geometry(
+    handle: RankHandle,
+    batches: TargetBatches,
+    params: TreecodeParams,
+    *,
+    tree_window: str = "tree",
+    pos_window: str = "srcpos",
+    numerics: bool = True,
+) -> tuple[LocallyEssentialTree, int]:
+    """The charge-independent half of LET construction.
+
+    Gets each remote rank's packed tree array, traverses it to build
+    the per-remote interaction lists, fetches the *positions* of every
+    directly-summed remote cluster, and reconstructs approximated
+    clusters' Chebyshev grids from their boxes (``numerics=False``
+    skips the grid objects, as in the model-only pipeline).  No charge
+    or moment data moves; the retained ``direct_slices`` let
+    :func:`refresh_let_charges` re-ship exactly the referenced rows per
+    charge vector -- the prepare/apply session's amortization of the
+    remote-tree traversal and position traffic.
     """
     let = LocallyEssentialTree()
     mac_evals = 0
@@ -164,7 +227,7 @@ def build_let(
         lists.mac_evals = mac_evals
         let.lists[s] = lists
 
-        # Step 2: get exactly the referenced remote data.
+        # Step 2 (geometry part): referenced remote positions + grids.
         direct_nodes = sorted(
             {int(c) for d in lists.direct for c in d}
         )
@@ -172,17 +235,47 @@ def build_let(
             {int(c) for a in lists.approx for c in a}
         )
         dd: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        slices: dict[int, slice] = {}
         for c in direct_nodes:
             sl = remote.particle_slice(c)
-            pos = handle.get(s, pos_window, sl)
-            q = handle.get(s, charge_window, sl)
-            dd[c] = (pos, q)
+            slices[c] = sl
+            dd[c] = (handle.get(s, pos_window, sl), None)
         ad: dict[int, tuple[ChebyshevGrid3D, np.ndarray]] = {}
         for c in approx_nodes:
-            lo, hi = remote.box(c)
-            grid = ChebyshevGrid3D.for_box(lo, hi, params.degree)
-            qhat = handle.get(s, moments_window, c)
-            ad[c] = (grid, qhat)
+            grid = None
+            if numerics:
+                lo, hi = remote.box(c)
+                grid = ChebyshevGrid3D.for_box(lo, hi, params.degree)
+            ad[c] = (grid, None)
         let.direct_data[s] = dd
         let.approx_data[s] = ad
+        let.direct_slices[s] = slices
     return let, mac_evals
+
+
+def refresh_let_charges(
+    handle: RankHandle,
+    let: LocallyEssentialTree,
+    *,
+    charge_window: str = "srcq",
+    moments_window: str = "moments",
+) -> None:
+    """Re-ship the LET's charge-dependent payload (and nothing else).
+
+    Gets the charges of every directly-summed remote cluster (the
+    slices recorded at geometry build) and the modified charges of
+    every approximated remote cluster from the owners' refreshed
+    windows, updating the LET in place.  Per charge vector this is the
+    only remote traffic a prepared rank needs -- the tree arrays,
+    interaction lists and positions stay cached.
+    """
+    for s in sorted(let.lists):
+        slices = let.direct_slices[s]
+        dd = let.direct_data[s]
+        for c in sorted(dd):
+            pos, _ = dd[c]
+            dd[c] = (pos, handle.get(s, charge_window, slices[c]))
+        ad = let.approx_data[s]
+        for c in sorted(ad):
+            grid, _ = ad[c]
+            ad[c] = (grid, handle.get(s, moments_window, c))

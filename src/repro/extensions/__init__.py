@@ -14,7 +14,12 @@
   authors' BLDTT follow-up), combining source moments with target grids.
 """
 
-from .cluster_particle import ClusterParticleTreecode
-from .cluster_cluster import DualTreeTreecode
+from .cluster_particle import ClusterParticleTreecode, PreparedClusterParticle
+from .cluster_cluster import DualTreeTreecode, PreparedDualTree
 
-__all__ = ["ClusterParticleTreecode", "DualTreeTreecode"]
+__all__ = [
+    "ClusterParticleTreecode",
+    "PreparedClusterParticle",
+    "DualTreeTreecode",
+    "PreparedDualTree",
+]

@@ -1,0 +1,73 @@
+"""Shared helpers of the Sec. 5 extension schemes.
+
+Both the cluster-particle and the dual-tree treecodes end with the same
+downward step: each target cluster's accumulated grid potentials are
+interpolated to its own particles with the barycentric basis, one
+simulated "interpolate" launch per cluster.  Target normalization and
+that pass live here once so the two schemes cannot drift apart.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..interpolation.barycentric import lagrange_basis
+from ..workloads import ParticleSet
+
+__all__ = ["target_positions", "downward_basis", "downward_pass"]
+
+
+def target_positions(sources, targets) -> np.ndarray:
+    """Resolve the ``targets`` argument of a scheme's compute/prepare."""
+    if targets is None:
+        return sources.positions
+    if isinstance(targets, ParticleSet):
+        return targets.positions
+    return np.atleast_2d(np.asarray(targets, dtype=np.float64))
+
+
+def downward_basis(tree, grids, target_pos) -> dict:
+    """Per-cluster Lagrange basis ``(lx, ly, lz)`` of the downward pass.
+
+    Charge-independent: prepared sessions cache the result and reuse it
+    every apply.
+    """
+    basis = {}
+    for c, grid in grids.items():
+        pts = target_pos[tree.node_indices(c)]
+        basis[c] = (
+            lagrange_basis(pts[:, 0], grid.points_1d[0], grid.weights),
+            lagrange_basis(pts[:, 1], grid.points_1d[1], grid.weights),
+            lagrange_basis(pts[:, 2], grid.points_1d[2], grid.weights),
+        )
+    return basis
+
+
+def downward_pass(
+    params, tree, grids, grid_slot, basis, out_flat, out, device,
+    *, numerics: bool = True,
+) -> None:
+    """Interpolate accumulated grid potentials to the targets.
+
+    ``phi(x) += sum_k L_k(x) psi_k`` per cluster, charging one
+    "interpolate" launch each; ``numerics=False`` (model-only mode)
+    charges the launches without evaluating them, as everywhere else in
+    the timing model.
+    """
+    n_ip = params.n_interpolation_points
+    np1 = params.degree + 1
+    for c in grids:
+        idx = tree.node_indices(c)
+        if numerics:
+            lx, ly, lz = basis[c]
+            row = grid_slot[c]
+            cube = out_flat[row:row + n_ip].reshape(np1, np1, np1)
+            out[idx] += np.einsum(
+                "abc,aj,bj,cj->j", cube, lx, ly, lz, optimize=True
+            )
+        device.launch(
+            float(n_ip) * idx.shape[0],
+            blocks=idx.shape[0],
+            kind="interpolate",
+            flops_per_interaction=7.0,
+        )

@@ -29,6 +29,13 @@ target block (a target cluster's Chebyshev grid for cc/cp pairs, a
 target node's particles for pc/direct pairs), one segment per
 contributing source block -- and executed by the backend named in
 ``params.backend``, sharing the launch-charging path with the BLTC.
+
+Geometry vs. charges: the trees, traversal classification, group
+structure, source-cluster Chebyshev grids and downward-interpolation
+basis all depend only on positions.  :meth:`DualTreeTreecode.prepare`
+captures them once; :meth:`PreparedDualTree.apply` re-moments the
+source clusters on the cached grids and rewrites the plan's weight
+buffer in place per charge vector.
 """
 
 from __future__ import annotations
@@ -38,26 +45,43 @@ import numpy as np
 from ..config import DEFAULT_PARAMS, TreecodeParams
 from ..core.backends import get_backend
 from ..core.mac import mac_geometric
-from ..core.moments import precompute_moments
+from ..core.moments import (
+    precompute_moments,
+    prepare_moment_grids,
+    refresh_moments,
+)
 from ..core.plan import PlanBuilder
 from ..core.treecode import TreecodeResult
 from ..gpu.device import make_device
-from ..interpolation.barycentric import lagrange_basis
 from ..interpolation.grid import ChebyshevGrid3D
 from ..kernels.base import Kernel
 from ..perf.machine import GPU_TITAN_V, MachineSpec
 from ..perf.timer import PhaseTimes, Stopwatch
 from ..tree.octree import ClusterTree
 from ..workloads import ParticleSet
+from ._downward import downward_basis, downward_pass, target_positions
 
-__all__ = ["DualTreeTreecode"]
+__all__ = ["DualTreeTreecode", "PreparedDualTree"]
+
+
+class _DTGeometry:
+    """Charge-independent state of one dual-tree evaluation."""
+
+    __slots__ = (
+        "s_tree", "t_tree", "cc_pairs", "pc_pairs", "cp_pairs",
+        "direct_pairs", "mac_evals", "t_grids", "grid_groups",
+        "node_groups", "group_keys", "group_segs", "grid_slot",
+        "n_targets", "target_pos", "source_pos",
+    )
 
 
 class DualTreeTreecode:
     """Barycentric cluster-cluster treecode (dual tree traversal).
 
     ``max_leaf_size`` caps the source tree, ``max_batch_size`` the target
-    tree (mirroring the BLTC's NL/NB roles).
+    tree (mirroring the BLTC's NL/NB roles).  ``compute`` evaluates one
+    charge vector end-to-end; ``prepare``/``apply`` split the pipeline
+    along the charge-dependence boundary for repeated evaluation.
     """
 
     def __init__(
@@ -74,6 +98,219 @@ class DualTreeTreecode:
         self.async_streams = bool(async_streams)
 
     # ------------------------------------------------------------------
+    # Geometry: trees, dual traversal, receiving-group structure
+    # ------------------------------------------------------------------
+    def _build_trees(self, source_pos, target_pos) -> _DTGeometry:
+        params = self.params
+        g = _DTGeometry()
+        g.source_pos = source_pos
+        g.target_pos = target_pos
+        g.n_targets = target_pos.shape[0]
+        g.s_tree = ClusterTree(
+            source_pos,
+            params.max_leaf_size,
+            aspect_ratio_splitting=params.aspect_ratio_splitting,
+            shrink_to_fit=params.shrink_to_fit,
+        )
+        g.t_tree = ClusterTree(
+            target_pos,
+            params.max_batch_size,
+            aspect_ratio_splitting=params.aspect_ratio_splitting,
+            shrink_to_fit=params.shrink_to_fit,
+        )
+        return g
+
+    def _traverse(self, g: _DTGeometry) -> None:
+        """Dual traversal -> the four classified pair lists."""
+        params = self.params
+        n_ip = params.n_interpolation_points
+        g.cc_pairs = []
+        g.pc_pairs = []
+        g.cp_pairs = []
+        g.direct_pairs = []
+        g.mac_evals = 0
+        stack = [(0, 0)]
+        while stack:
+            ti, si = stack.pop()
+            t_nd = g.t_tree.nodes[ti]
+            s_nd = g.s_tree.nodes[si]
+            dist = float(np.linalg.norm(t_nd.center - s_nd.center))
+            g.mac_evals += 1
+            if mac_geometric(t_nd.radius, s_nd.radius, dist, params.theta):
+                s_ok = (not params.size_check) or n_ip < s_nd.count
+                t_ok = (not params.size_check) or n_ip < t_nd.count
+                if s_ok and t_ok:
+                    g.cc_pairs.append((ti, si))
+                elif s_ok:
+                    g.pc_pairs.append((ti, si))
+                elif t_ok:
+                    g.cp_pairs.append((ti, si))
+                else:
+                    g.direct_pairs.append((ti, si))
+                continue
+            t_leaf = t_nd.is_leaf
+            s_leaf = s_nd.is_leaf
+            if t_leaf and s_leaf:
+                g.direct_pairs.append((ti, si))
+            elif s_leaf or (not t_leaf and t_nd.radius >= s_nd.radius):
+                stack.extend((c, si) for c in t_nd.children)
+            else:
+                stack.extend((ti, c) for c in s_nd.children)
+
+    def _build_groups(self, g: _DTGeometry) -> None:
+        """Group the four pair classes by receiving target block.
+
+        Grid groups (cluster Chebyshev grids, fed by cc and cp pairs)
+        accumulate into psi rows appended after the particle outputs;
+        particle groups (target nodes, fed by pc and direct pairs)
+        accumulate straight into the potentials.  The four passes append
+        in a fixed order, so each group's segments are kind-contiguous
+        by construction.  Segments reference their source block by key
+        (``("moments", si)`` or ``("particles", si)``) -- the shared
+        gather's dedup key and the prepared session's weight-refresh
+        key.
+        """
+        params = self.params
+        n_ip = params.n_interpolation_points
+        g.t_grids = {}
+        g.grid_groups = {}
+        g.node_groups = {}
+        g.group_keys = []
+        g.group_segs = []
+
+        def grid_group(ti: int) -> int:
+            grp = g.grid_groups.get(ti)
+            if grp is None:
+                nd = g.t_tree.nodes[ti]
+                g.t_grids[ti] = ChebyshevGrid3D.for_box(
+                    nd.box.lo, nd.box.hi, params.degree
+                )
+                grp = len(g.group_keys)
+                g.grid_groups[ti] = grp
+                g.group_keys.append(("grid", ti))
+                g.group_segs.append([])
+            return grp
+
+        def node_group(ti: int) -> int:
+            grp = g.node_groups.get(ti)
+            if grp is None:
+                grp = len(g.group_keys)
+                g.node_groups[ti] = grp
+                g.group_keys.append(("node", ti))
+                g.group_segs.append([])
+            return grp
+
+        for ti, si in g.cc_pairs:
+            g.group_segs[grid_group(ti)].append(
+                ("cluster-cluster", ("moments", si), n_ip)
+            )
+        for ti, si in g.pc_pairs:
+            g.group_segs[node_group(ti)].append(
+                ("particle-cluster", ("moments", si), n_ip)
+            )
+        for ti, si in g.cp_pairs:
+            g.group_segs[grid_group(ti)].append(
+                ("cluster-particle", ("particles", si),
+                 g.s_tree.nodes[si].count)
+            )
+        for ti, si in g.direct_pairs:
+            g.group_segs[node_group(ti)].append(
+                ("direct", ("particles", si), g.s_tree.nodes[si].count)
+            )
+
+    def _compile_plan(
+        self,
+        g: _DTGeometry,
+        moments,
+        charges: np.ndarray | None,
+        *,
+        numerics: bool,
+        deferred: bool = False,
+    ):
+        """Compile the four pair classes into one execution plan."""
+        params = self.params
+        n_ip = params.n_interpolation_points
+        builder = PlanBuilder(
+            g.n_targets + n_ip * len(g.t_grids),
+            numerics=numerics,
+            shared_sources=params.shared_sources,
+            deferred_weights=deferred and numerics,
+        )
+        g.grid_slot = {}
+        next_row = g.n_targets
+        for grp, (key, ti) in enumerate(g.group_keys):
+            if key == "grid":
+                rows = np.arange(next_row, next_row + n_ip, dtype=np.intp)
+                g.grid_slot[ti] = next_row
+                next_row += n_ip
+                if numerics:
+                    builder.add_group(
+                        targets=g.t_grids[ti].points, out_index=rows
+                    )
+                else:
+                    builder.add_group(size=n_ip)
+            else:
+                if numerics:
+                    idx = g.t_tree.node_indices(ti)
+                    builder.add_group(
+                        targets=g.target_pos[idx], out_index=idx
+                    )
+                else:
+                    builder.add_group(size=g.t_tree.nodes[ti].count)
+            for kind, skey, size in g.group_segs[grp]:
+                if not numerics:
+                    builder.add_segment(kind, size=size)
+                    continue
+                if builder.has_shared(skey):
+                    builder.add_segment(kind, share_key=skey)
+                    continue
+                what, si = skey
+                if what == "moments":
+                    pts = moments.grid(si).points
+                    wts = None if deferred else moments.charges(si)
+                else:
+                    s_idx = g.s_tree.node_indices(si)
+                    pts = g.source_pos[s_idx]
+                    wts = None if deferred else charges[s_idx]
+                builder.add_segment(
+                    kind, points=pts, weights=wts, share_key=skey
+                )
+        return builder.build()
+
+    def _downward_basis(self, g: _DTGeometry) -> dict:
+        return downward_basis(g.t_tree, g.t_grids, g.target_pos)
+
+    def _downward_pass(
+        self, g, basis, out_flat, out, device, *, numerics: bool = True
+    ) -> None:
+        downward_pass(
+            self.params, g.t_tree, g.t_grids, g.grid_slot, basis,
+            out_flat, out, device, numerics=numerics,
+        )
+
+    def _stats(self, g: _DTGeometry, n_sources: int, device) -> dict:
+        c = device.counters
+        return {
+            "kernel": self.kernel.name,
+            "machine": self.machine.name,
+            "scheme": "cluster-cluster (dual tree traversal)",
+            "n_sources": n_sources,
+            "n_targets": g.n_targets,
+            "n_source_nodes": len(g.s_tree),
+            "n_target_nodes": len(g.t_tree),
+            "n_cc_pairs": len(g.cc_pairs),
+            "n_pc_pairs": len(g.pc_pairs),
+            "n_cp_pairs": len(g.cp_pairs),
+            "n_direct_pairs": len(g.direct_pairs),
+            "mac_evals": g.mac_evals,
+            "launches": c.launches,
+            "kernel_evaluations": c.interactions,
+            "by_kind": {k: tuple(v) for k, v in c.by_kind.items()},
+            "busy_by_kind": dict(c.busy_by_kind),
+        }
+
+
+    # ------------------------------------------------------------------
     def compute(
         self,
         sources: ParticleSet,
@@ -81,254 +318,207 @@ class DualTreeTreecode:
     ) -> TreecodeResult:
         """Potential at every target due to all sources."""
         params = self.params
-        if targets is None:
-            target_pos = sources.positions
-        elif isinstance(targets, ParticleSet):
-            target_pos = targets.positions
-        else:
-            target_pos = np.atleast_2d(np.asarray(targets, dtype=np.float64))
-        kernel = self.kernel
+        target_pos = target_positions(sources, targets)
         backend = get_backend(params.backend)
         device = make_device(self.machine, async_streams=self.async_streams)
-        n_ip = params.n_interpolation_points
         phases = PhaseTimes()
         watch = Stopwatch()
 
         with watch:
             # -- setup: both trees ---------------------------------------
-            s_tree = ClusterTree(
-                sources.positions,
-                params.max_leaf_size,
-                aspect_ratio_splitting=params.aspect_ratio_splitting,
-                shrink_to_fit=params.shrink_to_fit,
-            )
-            t_tree = ClusterTree(
-                target_pos,
-                params.max_batch_size,
-                aspect_ratio_splitting=params.aspect_ratio_splitting,
-                shrink_to_fit=params.shrink_to_fit,
-            )
+            g = self._build_trees(sources.positions, target_pos)
             device.host_work(
-                sources.n * (s_tree.max_level + 1)
-                + target_pos.shape[0] * (t_tree.max_level + 1)
+                sources.n * (g.s_tree.max_level + 1)
+                + target_pos.shape[0] * (g.t_tree.max_level + 1)
             )
             phases.setup += device.take_phase()
 
             # -- precompute: source-side modified charges ----------------
             device.upload(sources.nbytes() + target_pos.nbytes)
             moments = precompute_moments(
-                s_tree, sources.charges, params, device=device,
+                g.s_tree, sources.charges, params, device=device,
                 numerics=backend.needs_numerics,
             )
             phases.precompute += device.take_phase()
 
             # -- setup: dual traversal -> classified pair lists ----------
-            cc_pairs: list[tuple[int, int]] = []
-            pc_pairs: list[tuple[int, int]] = []
-            cp_pairs: list[tuple[int, int]] = []
-            direct_pairs: list[tuple[int, int]] = []
-            mac_evals = 0
-            stack = [(0, 0)]
-            while stack:
-                ti, si = stack.pop()
-                t_nd = t_tree.nodes[ti]
-                s_nd = s_tree.nodes[si]
-                dist = float(np.linalg.norm(t_nd.center - s_nd.center))
-                mac_evals += 1
-                if mac_geometric(t_nd.radius, s_nd.radius, dist, params.theta):
-                    s_ok = (not params.size_check) or n_ip < s_nd.count
-                    t_ok = (not params.size_check) or n_ip < t_nd.count
-                    if s_ok and t_ok:
-                        cc_pairs.append((ti, si))
-                    elif s_ok:
-                        pc_pairs.append((ti, si))
-                    elif t_ok:
-                        cp_pairs.append((ti, si))
-                    else:
-                        direct_pairs.append((ti, si))
-                    continue
-                t_leaf = t_nd.is_leaf
-                s_leaf = s_nd.is_leaf
-                if t_leaf and s_leaf:
-                    direct_pairs.append((ti, si))
-                elif s_leaf or (not t_leaf and t_nd.radius >= s_nd.radius):
-                    stack.extend((c, si) for c in t_nd.children)
-                else:
-                    stack.extend((ti, c) for c in s_nd.children)
-            device.host_work(mac_evals * 4)
+            self._traverse(g)
+            device.host_work(g.mac_evals * 4)
             phases.setup += device.take_phase()
 
-            # -- plan: group the four pair classes by receiving target
-            # block.  Grid groups (cluster Chebyshev grids, fed by cc and
-            # cp pairs) accumulate into psi rows appended after the
-            # particle outputs; particle groups (target nodes, fed by pc
-            # and direct pairs) accumulate straight into the potentials.
-            n_targets = target_pos.shape[0]
-            numerics = backend.needs_numerics
-            t_grids: dict[int, ChebyshevGrid3D] = {}
-            grid_groups: dict[int, int] = {}
-            node_groups: dict[int, int] = {}
-            #: per group: ("grid" | "node", target node index).
-            group_keys: list[tuple[str, int]] = []
-            #: per group: list of (kind, source points | None, source
-            #: weights | None, source size).  The four pair-class passes
-            #: below append in a fixed order, so each group's segments
-            #: are kind-contiguous by construction.  Model-only backends
-            #: gather no arrays, only sizes.
-            group_segs: list[list] = []
-
-            def grid_group(ti: int) -> int:
-                g = grid_groups.get(ti)
-                if g is None:
-                    nd = t_tree.nodes[ti]
-                    t_grids[ti] = ChebyshevGrid3D.for_box(
-                        nd.box.lo, nd.box.hi, params.degree
-                    )
-                    g = len(group_keys)
-                    grid_groups[ti] = g
-                    group_keys.append(("grid", ti))
-                    group_segs.append([])
-                return g
-
-            def node_group(ti: int) -> int:
-                g = node_groups.get(ti)
-                if g is None:
-                    g = len(group_keys)
-                    node_groups[ti] = g
-                    group_keys.append(("node", ti))
-                    group_segs.append([])
-                return g
-
-            # Segments reference their source cluster by key (the grid
-            # form and the particle form are distinct rows); the gather
-            # itself is deferred to plan-build time, where the shared
-            # layout performs it once per key however many target groups
-            # list the cluster.
-            def _moment_rows(si):
-                return lambda: (moments.grid(si).points, moments.charges(si))
-
-            def _particle_rows(si):
-                def gather():
-                    s_idx = s_tree.node_indices(si)
-                    return sources.positions[s_idx], sources.charges[s_idx]
-
-                return gather
-
-            for ti, si in cc_pairs:
-                group_segs[grid_group(ti)].append(
-                    ("cluster-cluster", ("moments", si),
-                     _moment_rows(si) if numerics else None, n_ip)
-                )
-            for ti, si in pc_pairs:
-                group_segs[node_group(ti)].append(
-                    ("particle-cluster", ("moments", si),
-                     _moment_rows(si) if numerics else None, n_ip)
-                )
-            for ti, si in cp_pairs:
-                group_segs[grid_group(ti)].append(
-                    ("cluster-particle", ("particles", si),
-                     _particle_rows(si) if numerics else None,
-                     s_tree.nodes[si].count)
-                )
-            for ti, si in direct_pairs:
-                group_segs[node_group(ti)].append(
-                    ("direct", ("particles", si),
-                     _particle_rows(si) if numerics else None,
-                     s_tree.nodes[si].count)
-                )
-
-            builder = PlanBuilder(
-                n_targets + n_ip * len(t_grids),
-                numerics=numerics,
-                shared_sources=params.shared_sources,
+            # -- plan + compute: backend evaluates the plan --------------
+            self._build_groups(g)
+            plan = self._compile_plan(
+                g, moments, sources.charges,
+                numerics=backend.needs_numerics,
             )
-            grid_slot: dict[int, int] = {}
-            next_row = n_targets
-            for g, (key, ti) in enumerate(group_keys):
-                if key == "grid":
-                    rows = np.arange(next_row, next_row + n_ip, dtype=np.intp)
-                    grid_slot[ti] = next_row
-                    next_row += n_ip
-                    if numerics:
-                        builder.add_group(
-                            targets=t_grids[ti].points, out_index=rows
-                        )
-                    else:
-                        builder.add_group(size=n_ip)
-                else:
-                    if numerics:
-                        idx = t_tree.node_indices(ti)
-                        builder.add_group(
-                            targets=target_pos[idx], out_index=idx
-                        )
-                    else:
-                        builder.add_group(size=t_tree.nodes[ti].count)
-                for kind, key, gather, size in group_segs[g]:
-                    if not numerics:
-                        builder.add_segment(kind, size=size)
-                    elif builder.has_shared(key):
-                        builder.add_segment(kind, share_key=key)
-                    else:
-                        pts, q = gather()
-                        builder.add_segment(
-                            kind, points=pts, weights=q, share_key=key
-                        )
-            plan = builder.build()
-
-            # -- compute: backend evaluates the plan ---------------------
             out_flat, _ = backend.execute(
-                plan, kernel, device, dtype=params.dtype
+                plan, self.kernel, device, dtype=params.dtype
             )
             phases.compute += device.take_phase()
-            out = out_flat[:n_targets].copy()
-            psi = {
-                ti: out_flat[row:row + n_ip]
-                for ti, row in grid_slot.items()
-            }
+            out = out_flat[:g.n_targets].copy()
 
             # -- compute: downward interpolation of grid potentials ------
-            np1 = params.degree + 1
-            for ti, grid in t_grids.items():
-                idx = t_tree.node_indices(ti)
-                pts = target_pos[idx]
-                lx = lagrange_basis(pts[:, 0], grid.points_1d[0], grid.weights)
-                ly = lagrange_basis(pts[:, 1], grid.points_1d[1], grid.weights)
-                lz = lagrange_basis(pts[:, 2], grid.points_1d[2], grid.weights)
-                cube = psi[ti].reshape(np1, np1, np1)
-                out[idx] += np.einsum(
-                    "abc,aj,bj,cj->j", cube, lx, ly, lz, optimize=True
-                )
-                device.launch(
-                    float(n_ip) * idx.shape[0],
-                    blocks=idx.shape[0],
-                    kind="interpolate",
-                    flops_per_interaction=7.0,
-                )
+            numerics = backend.needs_numerics
+            basis = self._downward_basis(g) if numerics else {}
+            self._downward_pass(
+                g, basis, out_flat, out, device, numerics=numerics
+            )
             device.download(out.nbytes)
             phases.compute += device.take_phase()
 
-        c = device.counters
-        stats = {
-            "kernel": kernel.name,
-            "machine": self.machine.name,
-            "scheme": "cluster-cluster (dual tree traversal)",
-            "n_sources": sources.n,
-            "n_targets": target_pos.shape[0],
-            "n_source_nodes": len(s_tree),
-            "n_target_nodes": len(t_tree),
-            "n_cc_pairs": len(cc_pairs),
-            "n_pc_pairs": len(pc_pairs),
-            "n_cp_pairs": len(cp_pairs),
-            "n_direct_pairs": len(direct_pairs),
-            "mac_evals": mac_evals,
-            "launches": c.launches,
-            "kernel_evaluations": c.interactions,
-            "by_kind": {k: tuple(v) for k, v in c.by_kind.items()},
-            "busy_by_kind": dict(c.busy_by_kind),
-        }
+        return TreecodeResult(
+            potential=out,
+            phases=phases,
+            wall_seconds=watch.elapsed,
+            stats=self._stats(g, sources.n, device),
+        )
+
+    # ------------------------------------------------------------------
+    def prepare(
+        self,
+        sources: ParticleSet,
+        targets: np.ndarray | ParticleSet | None = None,
+    ) -> "PreparedDualTree":
+        """Capture the charge-independent state for repeated evaluation.
+
+        Builds both trees, runs the dual traversal, caches the source
+        clusters' Chebyshev grids (with Lagrange basis), the receiving
+        groups, the geometry-only plan skeleton and the downward
+        interpolation basis; setup is charged here once.  Each
+        :meth:`PreparedDualTree.apply` then charges the charge upload,
+        the moment kernels and the compute phase.
+        """
+        params = self.params
+        backend = get_backend(params.backend)
+        target_pos = target_positions(sources, targets)
+        device = make_device(self.machine, async_streams=self.async_streams)
+        phases = PhaseTimes()
+        watch = Stopwatch()
+
+        with watch:
+            g = self._build_trees(sources.positions, target_pos)
+            device.host_work(
+                sources.n * (g.s_tree.max_level + 1)
+                + target_pos.shape[0] * (g.t_tree.max_level + 1)
+            )
+            phases.setup += device.take_phase()
+
+            # Geometry upload (positions only; charges travel per apply)
+            # + traversal.
+            device.upload(sources.positions.nbytes + target_pos.nbytes)
+            self._traverse(g)
+            device.host_work(g.mac_evals * 4)
+            phases.setup += device.take_phase()
+
+            moments = prepare_moment_grids(
+                g.s_tree, params, numerics=backend.needs_numerics
+            )
+            self._build_groups(g)
+            plan = self._compile_plan(
+                g, moments, None,
+                numerics=backend.needs_numerics, deferred=True,
+            )
+            basis = (
+                self._downward_basis(g) if backend.needs_numerics else {}
+            )
+
+        return PreparedDualTree(
+            driver=self,
+            backend=backend,
+            device=device,
+            geometry=g,
+            moments=moments,
+            plan=plan,
+            basis=basis,
+            n_sources=sources.n,
+            phases=phases,
+            wall_seconds=watch.elapsed,
+        )
+
+
+class PreparedDualTree:
+    """A dual-tree session with fixed geometry (see ``prepare``)."""
+
+    def __init__(
+        self, *, driver, backend, device, geometry, moments, plan, basis,
+        n_sources, phases, wall_seconds,
+    ) -> None:
+        self.driver = driver
+        self.backend = backend
+        self.device = device
+        self.geometry = geometry
+        self.moments = moments
+        self.plan = plan
+        self.basis = basis
+        self.n_sources = n_sources
+        #: Setup-phase cost charged once at prepare time.
+        self.phases = phases
+        self.wall_seconds = wall_seconds
+        self.n_applies = 0
+
+    def apply(self, charges: np.ndarray) -> TreecodeResult:
+        """Evaluate the prepared geometry for one source-charge vector.
+
+        Re-moments the source clusters on the cached grids (the moment
+        kernels are charged per apply, as in the monolithic pipeline),
+        rewrites the plan's weight buffer in place and runs the
+        accumulation + downward interpolation; no setup time is
+        charged.
+        """
+        driver = self.driver
+        params = driver.params
+        g = self.geometry
+        charges = np.asarray(charges, dtype=np.float64).ravel()
+        if charges.shape[0] != self.n_sources:
+            raise ValueError(
+                f"{charges.shape[0]} charges for {self.n_sources} sources"
+            )
+        device = self.device
+        numerics = self.plan.has_numerics
+        phases = PhaseTimes()
+        watch = Stopwatch()
+
+        with watch:
+            device.upload(charges.nbytes, label="charges")
+            refresh_moments(
+                self.moments, g.s_tree, charges, params,
+                device=device, numerics=numerics,
+            )
+            phases.precompute += device.take_phase()
+
+            if numerics:
+                self.plan.refresh_weights(self._weight_provider(charges))
+            out_flat, _ = self.backend.execute(
+                self.plan, driver.kernel, device, dtype=params.dtype
+            )
+            phases.compute += device.take_phase()
+            out = out_flat[:g.n_targets].copy()
+
+            driver._downward_pass(
+                g, self.basis, out_flat, out, device, numerics=numerics
+            )
+            device.download(out.nbytes)
+            phases.compute += device.take_phase()
+
+        self.n_applies += 1
+        stats = driver._stats(g, self.n_sources, device)
+        stats["n_applies"] = self.n_applies
         return TreecodeResult(
             potential=out,
             phases=phases,
             wall_seconds=watch.elapsed,
             stats=stats,
         )
+
+    def _weight_provider(self, charges: np.ndarray):
+        moments = self.moments
+        s_tree = self.geometry.s_tree
+
+        def provider(key):
+            what, si = key
+            if what == "moments":
+                return moments.charges(si)
+            return charges[s_tree.node_indices(si)]
+
+        return provider

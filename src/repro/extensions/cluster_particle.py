@@ -31,6 +31,14 @@ GPU-friendly:
 Cluster-particle is advantageous when there are many more targets than
 sources (Boateng & Krasny, ref. [32]); the ablation benchmark exercises
 exactly that regime.
+
+Every piece of the scheme except the source charges is geometry:
+:meth:`ClusterParticleTreecode.prepare` captures the trees, traversal
+lists, receiving-group structure, plan skeleton and the downward
+interpolation basis once, and
+:meth:`PreparedClusterParticle.apply` re-evaluates for new charges by
+refreshing the plan's weight buffer in place (a source batch's weights
+are just its charges -- this scheme has no moment stage).
 """
 
 from __future__ import annotations
@@ -40,10 +48,9 @@ import numpy as np
 from ..config import DEFAULT_PARAMS, TreecodeParams
 from ..core.backends import get_backend
 from ..core.interaction_lists import LocalTreeAdapter, traverse_batch
-from ..core.plan import PlanBuilder
 from ..core.treecode import TreecodeResult
+from ..core.plan import PlanBuilder
 from ..gpu.device import make_device
-from ..interpolation.barycentric import lagrange_basis
 from ..interpolation.grid import ChebyshevGrid3D
 from ..kernels.base import Kernel
 from ..perf.machine import GPU_TITAN_V, MachineSpec
@@ -51,15 +58,27 @@ from ..perf.timer import PhaseTimes, Stopwatch
 from ..tree.batches import TargetBatches
 from ..tree.octree import ClusterTree
 from ..workloads import ParticleSet
+from ._downward import downward_basis, downward_pass, target_positions
 
-__all__ = ["ClusterParticleTreecode"]
+__all__ = ["ClusterParticleTreecode", "PreparedClusterParticle"]
+
+
+class _CPGeometry:
+    """Charge-independent state of one cluster-particle evaluation."""
+
+    __slots__ = (
+        "tree", "batches", "lists", "mac_evals", "grids",
+        "group_keys", "group_batches", "grid_groups", "direct_groups",
+        "grid_slot", "n_targets", "target_pos",
+    )
 
 
 class ClusterParticleTreecode:
     """Kernel-independent barycentric cluster-particle treecode.
 
     API mirrors :class:`~repro.core.treecode.BarycentricTreecode`:
-    ``compute(sources, targets)`` returns a :class:`TreecodeResult`.
+    ``compute(sources, targets)`` returns a :class:`TreecodeResult`, and
+    ``prepare(sources, targets)`` opens a charge-refreshable session.
     ``max_leaf_size`` caps *target* clusters; ``max_batch_size`` caps
     *source* batches.
     """
@@ -78,6 +97,176 @@ class ClusterParticleTreecode:
         self.async_streams = bool(async_streams)
 
     # ------------------------------------------------------------------
+    # Geometry: traversal + receiving-group structure (charge-free)
+    # ------------------------------------------------------------------
+    def _build_geometry(
+        self, source_pos: np.ndarray, target_pos: np.ndarray
+    ) -> _CPGeometry:
+        """Trees, traversal lists and receiving groups; no device events."""
+        params = self.params
+        g = _CPGeometry()
+        g.target_pos = target_pos
+        g.n_targets = target_pos.shape[0]
+        g.tree = ClusterTree(
+            target_pos,
+            params.max_leaf_size,
+            aspect_ratio_splitting=params.aspect_ratio_splitting,
+            shrink_to_fit=params.shrink_to_fit,
+        )
+        g.batches = TargetBatches(
+            source_pos,
+            params.max_batch_size,
+            aspect_ratio_splitting=params.aspect_ratio_splitting,
+            shrink_to_fit=params.shrink_to_fit,
+        )
+        adapter = LocalTreeAdapter(g.tree)
+        g.lists = []
+        g.mac_evals = 0
+        for b in range(len(g.batches)):
+            node = g.batches.batch(b)
+            approx, direct, evals = traverse_batch(
+                node.center, node.radius, adapter, params
+            )
+            g.lists.append((approx, direct))
+            g.mac_evals += evals
+
+        # Group the accepted pairs by receiving target block.
+        # Approximated target clusters receive on their Chebyshev grids
+        # (output rows beyond n_targets); failed leaf pairs receive on
+        # the leaf's own particles.
+        g.grids = {}
+        g.grid_groups = {}
+        g.direct_groups = {}
+        g.group_keys = []
+        g.group_batches = []
+        for b, (approx, direct) in enumerate(g.lists):
+            for c in approx:
+                grp = g.grid_groups.get(c)
+                if grp is None:
+                    nd = g.tree.nodes[c]
+                    g.grids[c] = ChebyshevGrid3D.for_box(
+                        nd.box.lo, nd.box.hi, params.degree
+                    )
+                    grp = len(g.group_keys)
+                    g.grid_groups[c] = grp
+                    g.group_keys.append(("approx", c))
+                    g.group_batches.append([])
+                g.group_batches[grp].append(b)
+            for c in direct:
+                grp = g.direct_groups.get(c)
+                if grp is None:
+                    grp = len(g.group_keys)
+                    g.direct_groups[c] = grp
+                    g.group_keys.append(("direct", c))
+                    g.group_batches.append([])
+                g.group_batches[grp].append(b)
+        return g
+
+    def _compile_plan(
+        self,
+        g: _CPGeometry,
+        charges: np.ndarray | None,
+        *,
+        numerics: bool,
+        deferred: bool = False,
+    ):
+        """Compile the accumulation plan over the receiving groups.
+
+        The share key of every segment is its source-batch index (the
+        same rows serve approx and direct receivers), which doubles as
+        the weight-refresh key of a prepared session; ``deferred``
+        compiles the geometry-only skeleton.
+        """
+        params = self.params
+        n_ip = params.n_interpolation_points
+        grid_rows = n_ip * len(g.grids)
+        builder = PlanBuilder(
+            g.n_targets + grid_rows,
+            numerics=numerics,
+            shared_sources=params.shared_sources,
+            deferred_weights=deferred and numerics,
+        )
+        src_points_cache: dict[int, np.ndarray] = {}
+        g.grid_slot = {}
+        next_row = g.n_targets
+        for grp, (kind, c) in enumerate(g.group_keys):
+            if kind == "approx":
+                rows = np.arange(next_row, next_row + n_ip, dtype=np.intp)
+                g.grid_slot[c] = next_row
+                next_row += n_ip
+                if numerics:
+                    builder.add_group(
+                        targets=g.grids[c].points, out_index=rows
+                    )
+                else:
+                    builder.add_group(size=n_ip)
+            else:
+                idx = g.tree.node_indices(c)
+                if numerics:
+                    builder.add_group(
+                        targets=g.target_pos[idx], out_index=idx
+                    )
+                else:
+                    builder.add_group(size=idx.shape[0])
+            for b in g.group_batches[grp]:
+                if not numerics:
+                    builder.add_segment(kind, size=g.batches.batch(b).count)
+                elif builder.has_shared(b):
+                    builder.add_segment(kind, share_key=b)
+                else:
+                    pts = src_points_cache.get(b)
+                    if pts is None:
+                        pts = g.batches.batch_points(b)
+                        src_points_cache[b] = pts
+                    wts = (
+                        None
+                        if deferred
+                        else charges[g.batches.batch_indices(b)]
+                    )
+                    builder.add_segment(
+                        kind, points=pts, weights=wts, share_key=b
+                    )
+        return builder.build()
+
+    def _downward_basis(self, g: _CPGeometry) -> dict:
+        return downward_basis(g.tree, g.grids, g.target_pos)
+
+    def _downward_pass(
+        self, g, basis, out_flat, out, device, *, numerics: bool = True
+    ) -> None:
+        downward_pass(
+            self.params, g.tree, g.grids, g.grid_slot, basis,
+            out_flat, out, device, numerics=numerics,
+        )
+
+    def _stats(self, g: _CPGeometry, n_sources: int, device) -> dict:
+        n_approx = sum(
+            len(g.group_batches[grp]) for grp in g.grid_groups.values()
+        )
+        n_direct = sum(
+            len(g.group_batches[grp]) for grp in g.direct_groups.values()
+        )
+        c = device.counters
+        return {
+            "kernel": self.kernel.name,
+            "machine": self.machine.name,
+            "scheme": "cluster-particle",
+            "n_sources": n_sources,
+            "n_targets": g.n_targets,
+            "n_tree_nodes": len(g.tree),
+            "n_batches": len(g.batches),
+            "n_approx_interactions": n_approx,
+            "n_direct_interactions": n_direct,
+            "n_clusters_with_grid": len(g.grids),
+            "mac_evals": g.mac_evals,
+            "launches": c.launches,
+            "kernel_evaluations": c.interactions,
+            "by_kind": {k: tuple(v) for k, v in c.by_kind.items()},
+            "busy_by_kind": dict(c.busy_by_kind),
+        }
+
+
+    # ------------------------------------------------------------------
     def compute(
         self,
         sources: ParticleSet,
@@ -86,202 +275,169 @@ class ClusterParticleTreecode:
         """Potential at every target due to all sources."""
         params = self.params
         backend = get_backend(params.backend)
-        if targets is None:
-            target_pos = sources.positions
-        elif isinstance(targets, ParticleSet):
-            target_pos = targets.positions
-        else:
-            target_pos = np.atleast_2d(np.asarray(targets, dtype=np.float64))
+        target_pos = target_positions(sources, targets)
         device = make_device(self.machine, async_streams=self.async_streams)
         phases = PhaseTimes()
         watch = Stopwatch()
-        kernel = self.kernel
-        n_ip = params.n_interpolation_points
-        n_targets = target_pos.shape[0]
 
         with watch:
             # -- setup: TARGET cluster tree + SOURCE batches -------------
-            tree = ClusterTree(
-                target_pos,
-                params.max_leaf_size,
-                aspect_ratio_splitting=params.aspect_ratio_splitting,
-                shrink_to_fit=params.shrink_to_fit,
-            )
-            batches = TargetBatches(
-                sources.positions,
-                params.max_batch_size,
-                aspect_ratio_splitting=params.aspect_ratio_splitting,
-                shrink_to_fit=params.shrink_to_fit,
-            )
-            adapter = LocalTreeAdapter(tree)
+            g = self._build_geometry(sources.positions, target_pos)
             device.host_work(
-                n_targets * (tree.max_level + 1)
-                + sources.n * (batches.max_level + 1)
+                g.n_targets * (g.tree.max_level + 1)
+                + sources.n * (g.batches.max_level + 1)
             )
             phases.setup += device.take_phase()
 
             # -- setup: traversal (source batch vs target tree) ---------
             device.upload(sources.nbytes() + target_pos.nbytes)
-            lists = []
-            mac_evals = 0
-            for b in range(len(batches)):
-                node = batches.batch(b)
-                approx, direct, evals = traverse_batch(
-                    node.center, node.radius, adapter, params
-                )
-                lists.append((approx, direct))
-                mac_evals += evals
-            device.host_work(mac_evals * 4)
+            device.host_work(g.mac_evals * 4)
             phases.setup += device.take_phase()
 
-            # -- plan: group the accepted pairs by receiving target block.
-            # Approximated target clusters receive on their Chebyshev
-            # grids (output rows beyond n_targets, split off below);
-            # failed leaf pairs receive on the leaf's own particles.
-            grids: dict[int, ChebyshevGrid3D] = {}
-            grid_groups: dict[int, int] = {}
-            direct_groups: dict[int, int] = {}
-            #: per group: ("approx", cluster) or ("direct", cluster).
-            group_keys: list[tuple[str, int]] = []
-            group_batches: list[list[int]] = []
-            src_cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
-
-            def batch_sources(b: int) -> tuple[np.ndarray, np.ndarray]:
-                cached = src_cache.get(b)
-                if cached is None:
-                    cached = (
-                        batches.batch_points(b),
-                        sources.charges[batches.batch_indices(b)],
-                    )
-                    src_cache[b] = cached
-                return cached
-
-            for b, (approx, direct) in enumerate(lists):
-                for c in approx:
-                    g = grid_groups.get(c)
-                    if g is None:
-                        nd = tree.nodes[c]
-                        grids[c] = ChebyshevGrid3D.for_box(
-                            nd.box.lo, nd.box.hi, params.degree
-                        )
-                        g = len(group_keys)
-                        grid_groups[c] = g
-                        group_keys.append(("approx", c))
-                        group_batches.append([])
-                    group_batches[g].append(b)
-                for c in direct:
-                    g = direct_groups.get(c)
-                    if g is None:
-                        g = len(group_keys)
-                        direct_groups[c] = g
-                        group_keys.append(("direct", c))
-                        group_batches.append([])
-                    group_batches[g].append(b)
-
-            grid_rows = n_ip * len(grids)
-            builder = PlanBuilder(
-                n_targets + grid_rows,
-                numerics=backend.needs_numerics,
-                shared_sources=params.shared_sources,
+            # -- plan + compute: backend runs the accumulation plan ------
+            plan = self._compile_plan(
+                g, sources.charges, numerics=backend.needs_numerics
             )
-            grid_slot: dict[int, int] = {}
-            next_row = n_targets
-            for g, (kind, c) in enumerate(group_keys):
-                if kind == "approx":
-                    rows = np.arange(next_row, next_row + n_ip, dtype=np.intp)
-                    grid_slot[c] = next_row
-                    next_row += n_ip
-                    if backend.needs_numerics:
-                        builder.add_group(
-                            targets=grids[c].points, out_index=rows
-                        )
-                    else:
-                        builder.add_group(size=n_ip)
-                else:
-                    idx = tree.node_indices(c)
-                    if backend.needs_numerics:
-                        builder.add_group(
-                            targets=target_pos[idx], out_index=idx
-                        )
-                    else:
-                        builder.add_group(size=idx.shape[0])
-                for b in group_batches[g]:
-                    if backend.needs_numerics:
-                        # A source batch feeds every receiving group; the
-                        # shared layout stores its rows once (the key is
-                        # the batch -- the same rows serve both kinds).
-                        if builder.has_shared(b):
-                            builder.add_segment(kind, share_key=b)
-                        else:
-                            pts, q = batch_sources(b)
-                            builder.add_segment(
-                                kind, points=pts, weights=q, share_key=b
-                            )
-                    else:
-                        builder.add_segment(
-                            kind, size=batches.batch(b).count
-                        )
-            plan = builder.build()
-
-            # -- compute: backend runs the accumulation plan -------------
             out_flat, _ = backend.execute(
-                plan, kernel, device, dtype=params.dtype
+                plan, self.kernel, device, dtype=params.dtype
             )
             phases.compute += device.take_phase()
-            out = out_flat[:n_targets].copy()
-            psi = {
-                c: out_flat[row:row + n_ip]
-                for c, row in grid_slot.items()
-            }
-            n_approx = sum(
-                len(group_batches[g]) for g in grid_groups.values()
-            )
-            n_direct = sum(
-                len(group_batches[g]) for g in direct_groups.values()
-            )
+            out = out_flat[:g.n_targets].copy()
 
             # -- compute: downward barycentric interpolation -------------
-            # Each cluster's grid potentials interpolate to its own
-            # targets: phi(x) += sum_k L_k(x) psi_k (the transpose of the
-            # BLTC's modified-charge contraction).
-            for c, grid in grids.items():
-                idx = tree.node_indices(c)
-                pts = target_pos[idx]
-                lx = lagrange_basis(pts[:, 0], grid.points_1d[0], grid.weights)
-                ly = lagrange_basis(pts[:, 1], grid.points_1d[1], grid.weights)
-                lz = lagrange_basis(pts[:, 2], grid.points_1d[2], grid.weights)
-                np1 = params.degree + 1
-                cube = psi[c].reshape(np1, np1, np1)
-                out[idx] += np.einsum(
-                    "abc,aj,bj,cj->j", cube, lx, ly, lz, optimize=True
-                )
-                device.launch(
-                    float(n_ip) * idx.shape[0],
-                    blocks=idx.shape[0],
-                    kind="interpolate",
-                    flops_per_interaction=7.0,
-                )
+            numerics = backend.needs_numerics
+            basis = self._downward_basis(g) if numerics else {}
+            self._downward_pass(
+                g, basis, out_flat, out, device, numerics=numerics
+            )
             device.download(out.nbytes)
             phases.compute += device.take_phase()
 
-        c = device.counters
-        stats = {
-            "kernel": kernel.name,
-            "machine": self.machine.name,
-            "scheme": "cluster-particle",
-            "n_sources": sources.n,
-            "n_targets": n_targets,
-            "n_tree_nodes": len(tree),
-            "n_batches": len(batches),
-            "n_approx_interactions": n_approx,
-            "n_direct_interactions": n_direct,
-            "n_clusters_with_grid": len(grids),
-            "mac_evals": mac_evals,
-            "launches": c.launches,
-            "kernel_evaluations": c.interactions,
-            "by_kind": {k: tuple(v) for k, v in c.by_kind.items()},
-            "busy_by_kind": dict(c.busy_by_kind),
-        }
+        return TreecodeResult(
+            potential=out,
+            phases=phases,
+            wall_seconds=watch.elapsed,
+            stats=self._stats(g, sources.n, device),
+        )
+
+    # ------------------------------------------------------------------
+    def prepare(
+        self,
+        sources: ParticleSet,
+        targets: np.ndarray | ParticleSet | None = None,
+    ) -> "PreparedClusterParticle":
+        """Capture the charge-independent state for repeated evaluation.
+
+        Ships the positions, runs the traversal, compiles the
+        geometry-only plan skeleton and caches the downward
+        interpolation basis; the setup phase is charged here once.
+        Each :meth:`PreparedClusterParticle.apply` then costs only the
+        charge upload, the accumulation launches and the downward pass.
+        """
+        params = self.params
+        backend = get_backend(params.backend)
+        device = make_device(self.machine, async_streams=self.async_streams)
+        target_pos = target_positions(sources, targets)
+        phases = PhaseTimes()
+        watch = Stopwatch()
+
+        with watch:
+            g = self._build_geometry(sources.positions, target_pos)
+            device.host_work(
+                g.n_targets * (g.tree.max_level + 1)
+                + sources.n * (g.batches.max_level + 1)
+            )
+            phases.setup += device.take_phase()
+
+            # Geometry upload: source/target positions only; charges
+            # travel per apply.
+            device.upload(sources.positions.nbytes + target_pos.nbytes)
+            device.host_work(g.mac_evals * 4)
+            phases.setup += device.take_phase()
+
+            plan = self._compile_plan(
+                g, None, numerics=backend.needs_numerics, deferred=True
+            )
+            basis = (
+                self._downward_basis(g) if backend.needs_numerics else {}
+            )
+
+        return PreparedClusterParticle(
+            driver=self,
+            backend=backend,
+            device=device,
+            geometry=g,
+            plan=plan,
+            basis=basis,
+            n_sources=sources.n,
+            phases=phases,
+            wall_seconds=watch.elapsed,
+        )
+
+
+class PreparedClusterParticle:
+    """A cluster-particle session with fixed geometry (see ``prepare``)."""
+
+    def __init__(
+        self, *, driver, backend, device, geometry, plan, basis,
+        n_sources, phases, wall_seconds,
+    ) -> None:
+        self.driver = driver
+        self.backend = backend
+        self.device = device
+        self.geometry = geometry
+        self.plan = plan
+        self.basis = basis
+        self.n_sources = n_sources
+        #: Setup-phase cost charged once at prepare time.
+        self.phases = phases
+        self.wall_seconds = wall_seconds
+        self.n_applies = 0
+
+    def apply(self, charges: np.ndarray) -> TreecodeResult:
+        """Evaluate the prepared geometry for one source-charge vector.
+
+        Uploads the charges, rewrites the plan's weight buffer in place
+        (a segment's weights are its source batch's charges) and runs
+        the accumulation + downward interpolation; no setup time is
+        charged.
+        """
+        driver = self.driver
+        params = driver.params
+        g = self.geometry
+        charges = np.asarray(charges, dtype=np.float64).ravel()
+        if charges.shape[0] != self.n_sources:
+            raise ValueError(
+                f"{charges.shape[0]} charges for {self.n_sources} sources"
+            )
+        device = self.device
+        phases = PhaseTimes()
+        watch = Stopwatch()
+        numerics = self.plan.has_numerics
+
+        with watch:
+            device.upload(charges.nbytes, label="charges")
+            phases.precompute += device.take_phase()
+
+            if numerics:
+                self.plan.refresh_weights(
+                    lambda b: charges[g.batches.batch_indices(b)]
+                )
+            out_flat, _ = self.backend.execute(
+                self.plan, driver.kernel, device, dtype=params.dtype
+            )
+            phases.compute += device.take_phase()
+            out = out_flat[:g.n_targets].copy()
+
+            driver._downward_pass(
+                g, self.basis, out_flat, out, device, numerics=numerics
+            )
+            device.download(out.nbytes)
+            phases.compute += device.take_phase()
+
+        self.n_applies += 1
+        stats = driver._stats(g, self.n_sources, device)
+        stats["n_applies"] = self.n_applies
         return TreecodeResult(
             potential=out,
             phases=phases,

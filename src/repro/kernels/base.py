@@ -56,6 +56,11 @@ class Kernel(abc.ABC):
     #: True when G diverges as x -> y (Coulomb/Yukawa); singular kernels
     #: have their self-interaction zeroed.
     singular_at_origin: bool = True
+    #: True when the kernel provides :meth:`pairwise_fused` /
+    #: :meth:`pairwise_gradient_fused` -- the temporary-free r^2
+    #: accumulation used by the fused evaluation path.  The reference
+    #: (byte-stable) :meth:`pairwise` is never affected.
+    supports_fused_pairwise: bool = False
 
     @abc.abstractmethod
     def pairwise(self, targets: np.ndarray, sources: np.ndarray) -> np.ndarray:
@@ -65,6 +70,30 @@ class Kernel(abc.ABC):
         kernels.  ``targets`` is ``(M, 3)`` and ``sources`` is ``(K, 3)``.
         """
 
+    def pairwise_fused(
+        self, targets: np.ndarray, sources: np.ndarray
+    ) -> np.ndarray:
+        """Temporary-free variant of :meth:`pairwise` (fused path only).
+
+        Same contract as :meth:`pairwise`; implementations may reorder
+        the distance arithmetic to avoid intermediate matrices, so
+        values agree with the reference to floating-point roundoff
+        rather than bitwise.  Only kernels advertising
+        ``supports_fused_pairwise`` implement it; everything else keeps
+        the reference primitive on every path.
+        """
+        raise NotImplementedError(
+            f"kernel {self.name!r} has no fused pairwise primitive"
+        )
+
+    def pairwise_gradient_fused(
+        self, targets: np.ndarray, sources: np.ndarray
+    ) -> np.ndarray:
+        """Fused-path variant of :meth:`pairwise_gradient`."""
+        raise NotImplementedError(
+            f"kernel {self.name!r} has no fused pairwise primitive"
+        )
+
     def potential(
         self,
         targets: np.ndarray,
@@ -73,11 +102,16 @@ class Kernel(abc.ABC):
         *,
         block_elements: int = DEFAULT_BLOCK_ELEMENTS,
         out: np.ndarray | None = None,
+        fused: bool = False,
     ) -> np.ndarray:
         """Accumulate ``phi_i = sum_j G(x_i, y_j) q_j`` blockwise.
 
         The matrix is never materialised beyond ``block_elements`` entries,
         so arbitrarily large target/source sets can be processed.
+        ``fused=True`` evaluates each block through
+        :meth:`pairwise_fused` when the kernel provides it (roundoff-
+        level differences, fewer elementwise passes); the default keeps
+        the byte-stable reference arithmetic.
         """
         targets = np.atleast_2d(targets)
         sources = np.atleast_2d(sources)
@@ -90,9 +124,14 @@ class Kernel(abc.ABC):
             out = np.zeros(m, dtype=np.result_type(targets, sources, charges))
         if k == 0 or m == 0:
             return out
+        pairwise = (
+            self.pairwise_fused
+            if fused and self.supports_fused_pairwise
+            else self.pairwise
+        )
         rows_per_block = max(1, block_elements // max(k, 1))
         for lo, hi in chunk_ranges(m, rows_per_block):
-            out[lo:hi] += self.pairwise(targets[lo:hi], sources) @ charges
+            out[lo:hi] += pairwise(targets[lo:hi], sources) @ charges
         return out
 
     def pairwise_gradient(
@@ -118,11 +157,14 @@ class Kernel(abc.ABC):
         *,
         block_elements: int = DEFAULT_BLOCK_ELEMENTS,
         out: np.ndarray | None = None,
+        fused: bool = False,
     ) -> np.ndarray:
         """Accumulate ``F_i = -sum_j grad_x G(x_i, y_j) q_j`` blockwise.
 
         The negative gradient of the potential -- the force per unit
-        target charge/mass.
+        target charge/mass.  ``fused=True`` routes each block through
+        :meth:`pairwise_gradient_fused` when available, as in
+        :meth:`potential`.
         """
         targets = np.atleast_2d(targets)
         sources = np.atleast_2d(sources)
@@ -134,9 +176,14 @@ class Kernel(abc.ABC):
             out = np.zeros((m, 3), dtype=np.result_type(targets, sources, charges))
         if k == 0 or m == 0:
             return out
+        gradient = (
+            self.pairwise_gradient_fused
+            if fused and self.supports_fused_pairwise
+            else self.pairwise_gradient
+        )
         rows_per_block = max(1, block_elements // max(3 * k, 1))
         for lo, hi in chunk_ranges(m, rows_per_block):
-            grad = self.pairwise_gradient(targets[lo:hi], sources)
+            grad = gradient(targets[lo:hi], sources)
             out[lo:hi] -= np.einsum("mkd,k->md", grad, charges)
         return out
 
@@ -175,6 +222,8 @@ class RadialKernel(Kernel):
     this class handles pairwise distance computation and the ``r == 0``
     (self-interaction / removable) entries.
     """
+
+    supports_fused_pairwise = True
 
     @abc.abstractmethod
     def evaluate_r(self, r: np.ndarray) -> np.ndarray:
@@ -222,6 +271,27 @@ class RadialKernel(Kernel):
         # square root runs in place on the owned r2 buffer -- bitwise the
         # same values, several fewer O(M K) passes.
         r2, zero_idx = self._pairwise_r2(targets, sources)
+        return self._finish_pairwise(r2, zero_idx)
+
+    def pairwise_fused(
+        self, targets: np.ndarray, sources: np.ndarray
+    ) -> np.ndarray:
+        """:meth:`pairwise` on the temporary-free r^2 accumulation.
+
+        One (M, K) buffer total: the GEMM output is accumulated into in
+        place (the -2 factor is folded into the (K, 3) source block
+        before the product).  Values differ from the reference only by
+        the summation order of the three r^2 terms -- roundoff at the
+        noise-floor scale -- and the coincidence classification uses the
+        identical floor, so self-interactions resolve the same way.
+        """
+        targets = np.atleast_2d(targets)
+        sources = np.atleast_2d(sources)
+        r2, zero_idx = self._pairwise_r2_fused(targets, sources)
+        return self._finish_pairwise(r2, zero_idx)
+
+    def _finish_pairwise(self, r2, zero_idx) -> np.ndarray:
+        """sqrt + kernel + sparse coincidence patch on an owned r2."""
         if zero_idx[0].size:
             r2[zero_idx] = 1.0
         np.sqrt(r2, out=r2)
@@ -242,6 +312,27 @@ class RadialKernel(Kernel):
         noise_floor = 16.0 * np.finfo(r2.dtype).eps * max(scale, 1e-300)
         return r2, np.nonzero(r2 <= noise_floor)
 
+    def _pairwise_r2_fused(
+        self, targets: np.ndarray, sources: np.ndarray
+    ) -> tuple[np.ndarray, tuple[np.ndarray, ...]]:
+        """:meth:`_pairwise_r2` without the O(M K) temporaries.
+
+        The reference allocates three (M, K) arrays (broadcast sum, GEMM
+        output, scaled GEMM); here the GEMM result *is* the r2 buffer --
+        ``targets @ (-2 sources)^T`` -- and the squared norms are added
+        in place, so exactly one (M, K) array is ever live and only two
+        elementwise passes follow the GEMM.  Same noise-floor
+        coincidence rule on the same scale.
+        """
+        t2 = np.einsum("md,md->m", targets, targets)
+        s2 = np.einsum("kd,kd->k", sources, sources)
+        r2 = targets @ (sources * -2.0).T
+        r2 += t2[:, None]
+        r2 += s2[None, :]
+        scale = float(t2.max(initial=0.0) + s2.max(initial=0.0))
+        noise_floor = 16.0 * np.finfo(r2.dtype).eps * max(scale, 1e-300)
+        return r2, np.nonzero(r2 <= noise_floor)
+
     def pairwise_gradient(
         self, targets: np.ndarray, sources: np.ndarray
     ) -> np.ndarray:
@@ -254,6 +345,18 @@ class RadialKernel(Kernel):
         targets = np.atleast_2d(targets)
         sources = np.atleast_2d(sources)
         r2, zero_idx = self._pairwise_r2(targets, sources)
+        return self._finish_gradient(targets, sources, r2, zero_idx)
+
+    def pairwise_gradient_fused(
+        self, targets: np.ndarray, sources: np.ndarray
+    ) -> np.ndarray:
+        """:meth:`pairwise_gradient` on the fused r^2 accumulation."""
+        targets = np.atleast_2d(targets)
+        sources = np.atleast_2d(sources)
+        r2, zero_idx = self._pairwise_r2_fused(targets, sources)
+        return self._finish_gradient(targets, sources, r2, zero_idx)
+
+    def _finish_gradient(self, targets, sources, r2, zero_idx) -> np.ndarray:
         if zero_idx[0].size:
             r2[zero_idx] = 1.0
         np.sqrt(r2, out=r2)

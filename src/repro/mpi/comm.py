@@ -69,6 +69,20 @@ class SimComm:
         self._windows[key] = win
         return win
 
+    def refresh_window(self, owner: int, name: str, array: np.ndarray) -> Window:
+        """Replace (or create) window ``name`` on ``owner`` with new data.
+
+        Models freeing and re-exposing a window between access epochs --
+        the prepare/apply session re-ships refreshed charge buffers this
+        way.  Unlike :meth:`create_window` it does not reject an
+        existing name; reads race with nothing because rank programs
+        execute sequentially between epochs.
+        """
+        self._check_rank(owner)
+        win = Window(owner, name, array)
+        self._windows[(owner, name)] = win
+        return win
+
     def window(self, owner: int, name: str) -> Window:
         try:
             return self._windows[(owner, name)]
@@ -153,6 +167,9 @@ class RankHandle:
 
     def create_window(self, name: str, array: np.ndarray) -> Window:
         return self.comm.create_window(self.rank, name, array)
+
+    def refresh_window(self, name: str, array: np.ndarray) -> Window:
+        return self.comm.refresh_window(self.rank, name, array)
 
     def get(self, owner: int, name: str, index=None) -> np.ndarray:
         return self.comm.get(self.rank, owner, name, index)

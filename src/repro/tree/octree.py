@@ -97,6 +97,7 @@ class ClusterTree:
         self.shrink_to_fit = bool(shrink_to_fit)
         self.perm = np.arange(positions.shape[0], dtype=np.intp)
         self.nodes: list[TreeNode] = []
+        self._node_counts: np.ndarray | None = None
         self._build()
 
     # ------------------------------------------------------------------
@@ -191,6 +192,18 @@ class ClusterTree:
     @property
     def max_level(self) -> int:
         return max(nd.level for nd in self.nodes)
+
+    @property
+    def node_counts(self) -> np.ndarray:
+        """(n_nodes,) particle count per node (cached; vectorized users
+        index this instead of walking ``nodes[i].count`` in Python)."""
+        if self._node_counts is None:
+            self._node_counts = np.fromiter(
+                (nd.end - nd.start for nd in self.nodes),
+                dtype=np.intp,
+                count=len(self.nodes),
+            )
+        return self._node_counts
 
     def leaves(self) -> list[TreeNode]:
         """All leaf nodes, in node-index order."""

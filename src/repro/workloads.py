@@ -24,6 +24,7 @@ __all__ = [
     "plummer_sphere",
     "gaussian_clusters",
     "sphere_surface",
+    "charge_waveform",
 ]
 
 
@@ -131,6 +132,40 @@ def gaussian_clusters(
     pos = centers[which] + rng.normal(0.0, spread, size=(n, 3))
     q = rng.uniform(-1.0, 1.0, size=n)
     return ParticleSet(pos, q)
+
+
+def charge_waveform(
+    base: ParticleSet,
+    steps: int,
+    *,
+    amplitude: float = 0.25,
+    seed=None,
+):
+    """Yield ``steps`` charge vectors for repeated evaluation on fixed geometry.
+
+    The MD-like scenario the prepare/apply session API targets: particle
+    *positions* persist across evaluations while the *charges* change
+    every step -- fluctuating partial charges in a polarizable force
+    field, or the successive right-hand sides of a BEM solve.  Each step
+    modulates the base charges with a per-particle sinusoid,
+
+        q_i(t) = q_i (1 + amplitude sin(omega_i t + phi_i)),
+
+    with random frequencies/phases drawn from ``seed`` -- smooth in t
+    (like real charge dynamics), different every step, and
+    deterministic.  Step 0 yields the base charges unchanged when every
+    phase is zero; in general all steps differ.
+    """
+    if steps < 1:
+        raise ValueError(f"steps must be >= 1, got {steps}")
+    if amplitude < 0.0:
+        raise ValueError(f"amplitude must be >= 0, got {amplitude}")
+    rng = default_rng(seed)
+    n = base.n
+    omega = rng.uniform(0.5, 2.0, size=n)
+    phi = rng.uniform(0.0, 2.0 * np.pi, size=n)
+    for t in range(steps):
+        yield base.charges * (1.0 + amplitude * np.sin(omega * t + phi))
 
 
 def sphere_surface(n: int, *, seed=None, radius: float = 1.0) -> ParticleSet:

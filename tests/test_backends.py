@@ -3,10 +3,14 @@
 The contract of :mod:`repro.core.backends`: on the same compiled plan,
 every backend records identical device counters (launches, interactions,
 bytes, per-kind breakdown), the numpy / fused / multiprocessing (and,
-when installed, numba) backends return bitwise-close potentials *and
-forces*, and the model backend returns zeros while charging the same
-simulated time.  The de-duplicated (shared-segment) source layout must
-reproduce the duplicated layout bitwise on every executing backend.
+when installed, numba) backends return roundoff-close potentials *and
+forces* (the fused-family arithmetic evaluates the temporary-free
+``pairwise_fused`` r^2 accumulation, so it matches the blocked
+reference to the same tolerance as the numba loops, not bitwise), the
+multiprocessing backend matches fused *bitwise* (shared per-group
+arithmetic), and the model backend returns zeros while charging the
+same simulated time.  The de-duplicated (shared-segment) source layout
+must reproduce the duplicated layout bitwise on every executing backend.
 """
 
 import numpy as np
@@ -186,15 +190,18 @@ class TestPlanLevelEquivalence:
                 devices["numpy"].elapsed()
             ), name
 
-    def test_numpy_fused_bitwise_close(self, shared_plan):
+    def test_numpy_fused_roundoff_close(self, shared_plan):
+        # The fused path evaluates the temporary-free pairwise_fused r^2
+        # accumulation: same tolerance as the numba loops (which use the
+        # same expanded form), not bitwise vs the blocked reference.
         phi_np, f_np, _ = self._run(
             get_backend("numpy"), shared_plan, forces=True
         )
         phi_fu, f_fu, _ = self._run(
             get_backend("fused"), shared_plan, forces=True
         )
-        assert np.allclose(phi_np, phi_fu, rtol=1e-12, atol=1e-14)
-        assert np.allclose(f_np, f_fu, rtol=1e-10, atol=1e-13)
+        assert np.allclose(phi_np, phi_fu, rtol=1e-9, atol=1e-12)
+        assert np.allclose(f_np, f_fu, rtol=1e-8, atol=1e-11)
 
     def test_multiprocessing_matches_fused_bitwise(self, shared_plan):
         phi_fu, f_fu, _ = self._run(
@@ -443,6 +450,22 @@ class TestNumbaBackend:
         assert dev.counters.interactions == ref_dev.counters.interactions
         assert dev.elapsed() == pytest.approx(ref_dev.elapsed())
 
+    def test_parallel_prange_bitwise_equal_serial(self, shared_plan):
+        # prange over groups writes disjoint output rows, so the thread
+        # schedule cannot change a bit of the result.
+        serial = NumbaBackend(parallel=False)
+        par = NumbaBackend(parallel=True)
+        dev_s, dev_p = GpuDevice(GPU_TITAN_V), GpuDevice(GPU_TITAN_V)
+        phi_s, f_s = serial.execute(
+            shared_plan, YukawaKernel(0.5), dev_s, compute_forces=True
+        )
+        phi_p, f_p = par.execute(
+            shared_plan, YukawaKernel(0.5), dev_p, compute_forces=True
+        )
+        assert np.array_equal(phi_s, phi_p)
+        assert np.array_equal(f_s, f_p)
+        assert dev_s.counters.launches == dev_p.counters.launches
+
     def test_shared_layout_and_pipeline(self, cube, dedup_plan):
         dev = GpuDevice(GPU_TITAN_V)
         phi, _ = get_backend("numba").execute(
@@ -476,8 +499,8 @@ class TestPipelineEquivalence:
 
     def test_potentials_and_forces_close(self, runs, cube):
         a, b = runs["numpy"], runs["fused"]
-        assert np.allclose(a.potential, b.potential, rtol=1e-12, atol=1e-14)
-        assert np.allclose(a.forces, b.forces, rtol=1e-10, atol=1e-13)
+        assert np.allclose(a.potential, b.potential, rtol=1e-9, atol=1e-12)
+        assert np.allclose(a.forces, b.forces, rtol=1e-8, atol=1e-11)
         mp = runs["multiprocessing"]
         assert np.array_equal(mp.potential, b.potential)
         assert np.array_equal(mp.forces, b.forces)
@@ -531,7 +554,7 @@ class TestPipelineEquivalence:
             CoulombKernel(), params.with_(backend="fused"), n_ranks=2
         ).compute(cube)
         assert np.allclose(
-            base.potential, fused.potential, rtol=1e-12, atol=1e-14
+            base.potential, fused.potential, rtol=1e-9, atol=1e-12
         )
         assert fused.total_seconds == pytest.approx(base.total_seconds)
 
@@ -546,7 +569,7 @@ class TestPipelineEquivalence:
             n_ranks=2,
         ).compute(cube)
         assert np.allclose(
-            base.potential, shared.potential, rtol=1e-12, atol=1e-14
+            base.potential, shared.potential, rtol=1e-9, atol=1e-12
         )
         assert shared.total_seconds == pytest.approx(base.total_seconds)
 

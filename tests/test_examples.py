@@ -52,3 +52,7 @@ class TestExamples:
     def test_dynamics(self):
         out = _run("nbody_dynamics.py", "800", "6")
         assert "conserve energy" in out
+
+    def test_repeated_evaluation(self):
+        out = _run("repeated_evaluation.py", "2000", "4")
+        assert "bitwise-identical" in out
