@@ -13,6 +13,7 @@ Environment knobs:
   default ``quick`` trims sweep points, not scales).
 """
 
+import json
 import os
 import sys
 
@@ -50,3 +51,20 @@ def write_result(results_dir: str, name: str, text: str) -> None:
     print()
     print(text)
     print(f"[written to {path}]")
+
+
+def write_json(results_dir: str, name: str, payload) -> None:
+    """Persist a machine-readable result (``BENCH_*.json``).
+
+    The JSON sibling of :func:`write_result`: one file per benchmark
+    holding a ``{"scale": ..., "rows": [...]}`` document whose rows
+    carry at least regime / backend / wall-clock seconds / speedup, so
+    the perf trajectory can be diffed across PRs without re-parsing the
+    rendered tables.
+    """
+    path = os.path.join(results_dir, name)
+    document = {"scale": bench_scale(), "rows": payload}
+    with open(path, "w") as fh:
+        json.dump(document, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"[json written to {path}]")

@@ -9,6 +9,12 @@ benchmark compiles one plan per regime and times each backend on it:
   interleaved with the numerics (the pre-refactor hot path);
 * ``fused``  -- zero-copy evaluation from the shared pre-gathered
   buffers plus vectorized (bulk) launch charging;
+* ``batched`` -- shape-bucketed stacked evaluation (uniform far-field
+  runs collapse into a few large batched GEMMs, ragged work falls back
+  to the fused per-group path).  On these self-target regimes roughly
+  half the interactions are ragged near field, so the column tracks
+  ``fused``; the far-field regimes where bucketing dominates live in
+  ``test_batched_backend.py``;
 * ``multiprocessing`` -- the fused per-group arithmetic sharded over a
   persistent worker pool (one worker per CPU; on a single-core host it
   evaluates inline, so the column then tracks ``fused``);
@@ -32,7 +38,7 @@ import time
 import numpy as np
 import pytest
 
-from conftest import write_result
+from conftest import write_json, write_result
 from repro import CoulombKernel, TreecodeParams, get_backend, random_cube
 from repro.analysis import format_table
 from repro.core.backends.numba_backend import NUMBA_AVAILABLE
@@ -51,7 +57,7 @@ REGIMES = [
     ("small + forces", 15_000, 0.8, 2, 60, True),
 ]
 
-BACKENDS = ("numpy", "fused", "multiprocessing") + (
+BACKENDS = ("numpy", "fused", "batched", "multiprocessing") + (
     ("numba",) if NUMBA_AVAILABLE else ()
 ) + ("model",)
 ROUNDS = 3
@@ -115,6 +121,7 @@ def fusion_sweep():
                     "segments": plan.n_segments,
                     "seconds": seconds,
                     "speedup": seconds["numpy"] / seconds["fused"],
+                    "batched_vs_fused": seconds["fused"] / seconds["batched"],
                     "model_x": seconds["numpy"] / seconds["model"],
                     "rows_dup": plan.source_buffer_rows,
                     "rows_shared": shared_plan.source_buffer_rows,
@@ -132,7 +139,10 @@ def test_fusion_regenerate(benchmark, fusion_sweep, results_dir):
     headers = (
         ["regime", "N", "n", "NB", "segments"]
         + [f"{name} (s)" for name in BACKENDS]
-        + ["fused speedup", "model speedup", "shared-rows shrink"]
+        + [
+            "fused speedup", "batched vs fused", "model speedup",
+            "shared-rows shrink",
+        ]
     )
     table = [
         [
@@ -141,6 +151,7 @@ def test_fusion_regenerate(benchmark, fusion_sweep, results_dir):
         + [f"{r['seconds'][name]:.3f}" for name in BACKENDS]
         + [
             f"{r['speedup']:.2f}x",
+            f"{r['batched_vs_fused']:.2f}x",
             f"{r['model_x']:.0f}x",
             f"{r['rows_dup'] / max(r['rows_shared'], 1):.1f}x",
         ]
@@ -152,12 +163,35 @@ def test_fusion_regenerate(benchmark, fusion_sweep, results_dir):
         title=(
             "Backend ablation -- wall-clock of one compiled plan "
             "(min of 3 rounds; numpy = seed per-batch semantics, fused = "
-            "pre-gathered buffers + bulk launch charging, multiprocessing "
-            "= fused arithmetic sharded over a process pool; shared-rows "
-            "shrink = duplicated/deduplicated source-buffer rows)"
+            "pre-gathered buffers + bulk launch charging, batched = "
+            "shape-bucketed stacked GEMMs with fused fallback, "
+            "multiprocessing = fused arithmetic sharded over a process "
+            "pool; shared-rows shrink = duplicated/deduplicated "
+            "source-buffer rows)"
         ),
     )
     write_result(results_dir, "ablation_backend_fusion.txt", text)
+    write_json(
+        results_dir,
+        "BENCH_backend_fusion.json",
+        [
+            {
+                "regime": r["regime"],
+                "n": r["n"],
+                "degree": r["degree"],
+                "batch": r["batch"],
+                "segments": r["segments"],
+                "seconds": {k: round(v, 6) for k, v in r["seconds"].items()},
+                "fused_speedup_vs_numpy": round(r["speedup"], 4),
+                "batched_speedup_vs_fused": round(r["batched_vs_fused"], 4),
+                "model_speedup_vs_numpy": round(r["model_x"], 4),
+                "shared_rows_shrink": round(
+                    r["rows_dup"] / max(r["rows_shared"], 1), 4
+                ),
+            }
+            for r in rows
+        ],
+    )
 
 
 def test_fused_wins_overhead_bound_regime(fusion_sweep):
@@ -171,6 +205,15 @@ def test_fused_never_substantially_slower(fusion_sweep):
     rows, _ = fusion_sweep
     for r in rows:
         assert r["speedup"] > 0.75, r
+
+
+def test_batched_tracks_fused_on_mixed_regimes(fusion_sweep):
+    """Self-target plans are ~half ragged near field: batched must stay
+    in fused's neighbourhood here (its wins live in the far-field
+    regimes of test_batched_backend.py)."""
+    rows, _ = fusion_sweep
+    for r in rows:
+        assert r["batched_vs_fused"] > 0.6, r
 
 
 def test_model_backend_orders_of_magnitude_faster(fusion_sweep):

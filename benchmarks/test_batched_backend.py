@@ -1,0 +1,194 @@
+"""Batched-backend ablation: shape-bucketed GEMMs on far-field plans.
+
+The standard far-field regime evaluates a target cloud displaced from
+the source cube (BEM-style disjoint targets), so the MAC accepts nearly
+every (batch, cluster) pair and the compiled plan is almost entirely
+uniform ``(p+1)^3``-row approximation segments -- exactly the workload
+conf_ipps_VaughnWK20 batches into large uniform kernel launches.  The
+fused backend walks those thousands of identically shaped segments one
+Python-loop group at a time; the batched backend collapses each shape
+bucket into a few large stacked GEMMs.  The acceptance bar for the
+batched execution layout is **>= 2x over fused on the standard
+far-field regime** (single core, float64); the mixed self-target
+regimes, where roughly half the work is ragged near field, live in
+``test_backend_fusion.py`` and there the batched column only has to
+track fused.
+
+Scales: the default ``quick`` runs the full regimes; ``smoke`` (CI)
+shrinks N but keeps every assertion.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from conftest import bench_scale, write_json, write_result
+from repro import CoulombKernel, TreecodeParams, get_backend, random_cube
+from repro.analysis import format_table
+from repro.core.interaction_lists import build_interaction_lists
+from repro.core.moments import precompute_moments
+from repro.core.plan import compile_plan
+from repro.gpu.device import GpuDevice
+from repro.perf.machine import GPU_TITAN_V
+from repro.tree.batches import TargetBatches
+from repro.tree.octree import ClusterTree
+
+SMOKE = bench_scale() == "smoke"
+
+#: (label, n, theta, degree, NB=NL, target x-shift, compute_forces,
+#:  min speedup asserted).  shift 2.5 fully separates the [-1,1]^3
+#: clouds (pure far field, the acceptance regime); 2.2 leaves a
+#: near-field sliver exercising the ragged fallback alongside the
+#: buckets.  The deep (degree-3) regime is flop-bound rather than
+#: overhead-bound -- its margin is structurally small (~1.0-1.6x
+#: observed, shrinking with N), so it is reported but not bounded.
+REGIMES = [
+    ("far-field", 8_000 if SMOKE else 40_000, 0.8, 2, 50, 2.5, False, 2.0),
+    ("far-field deep", 6_000 if SMOKE else 30_000, 0.8, 3, 100, 2.5, False,
+     None),
+    ("near-far mix", 6_000 if SMOKE else 30_000, 0.8, 2, 60, 2.2, False,
+     1.2),
+    ("far-field forces", 4_000 if SMOKE else 15_000, 0.8, 2, 60, 2.5, True,
+     1.2),
+]
+ROUNDS = 3
+BACKENDS = ("fused", "batched")
+
+
+def _compiled_plan(n, theta, degree, leaf, shift):
+    sources = random_cube(n, seed=900)
+    targets = random_cube(n, seed=901).positions + np.array([shift, 0.0, 0.0])
+    params = TreecodeParams(
+        theta=theta, degree=degree, max_leaf_size=leaf, max_batch_size=leaf
+    )
+    tree = ClusterTree(sources.positions, leaf)
+    batches = TargetBatches(targets, leaf)
+    moments = precompute_moments(tree, sources.charges, params)
+    lists = build_interaction_lists(batches, tree, params)
+    return compile_plan(
+        tree, batches, moments, lists, sources.charges, params, batched=True
+    )
+
+
+def _time_backend(backend, plan, *, forces):
+    kernel = CoulombKernel()
+    best = float("inf")
+    result = None
+    for _ in range(ROUNDS):
+        device = GpuDevice(GPU_TITAN_V)
+        t0 = time.perf_counter()
+        result = backend.execute(plan, kernel, device, compute_forces=forces)
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+@pytest.fixture(scope="module")
+def batched_sweep():
+    rows = []
+    checks = []
+    for label, n, theta, degree, leaf, shift, forces, min_speedup in REGIMES:
+        plan = _compiled_plan(n, theta, degree, leaf, shift)
+        layout = plan.batched_layout
+        seconds = {}
+        outputs = {}
+        for name in BACKENDS:
+            seconds[name], outputs[name] = _time_backend(
+                get_backend(name), plan, forces=forces
+            )
+        checks.append((label, outputs))
+        rows.append(
+            {
+                "regime": label,
+                "n": n,
+                "degree": degree,
+                "batch": leaf,
+                "forces": forces,
+                "groups": plan.n_groups,
+                "buckets": len(layout.buckets),
+                "ragged_runs": int(layout.ragged_runs.shape[0]),
+                "batched_fraction": (
+                    layout.batched_interactions() / plan.interactions_total()
+                ),
+                "seconds": seconds,
+                "speedup": seconds["fused"] / seconds["batched"],
+                "min_speedup": min_speedup,
+            }
+        )
+    return rows, checks
+
+
+def test_batched_regenerate(benchmark, batched_sweep, results_dir):
+    rows, _ = benchmark.pedantic(lambda: batched_sweep, rounds=1, iterations=1)
+    headers = [
+        "regime", "N", "n", "NB", "groups", "buckets", "ragged",
+        "batched frac", "fused (s)", "batched (s)", "speedup",
+    ]
+    table = [
+        [
+            r["regime"], r["n"], r["degree"], r["batch"], r["groups"],
+            r["buckets"], r["ragged_runs"], f"{r['batched_fraction']:.2f}",
+            f"{r['seconds']['fused']:.3f}", f"{r['seconds']['batched']:.3f}",
+            f"{r['speedup']:.2f}x",
+        ]
+        for r in rows
+    ]
+    text = format_table(
+        headers,
+        table,
+        title=(
+            "Batched-backend ablation -- far-field plans, wall-clock of "
+            "one compiled plan (min of 3 rounds; fused = per-group "
+            "Python loop over pre-gathered buffers, batched = "
+            "shape-bucketed stacked GEMMs with fused fallback for "
+            "ragged runs)"
+        ),
+    )
+    write_result(results_dir, "ablation_batched_backend.txt", text)
+    write_json(
+        results_dir,
+        "BENCH_batched_backend.json",
+        [
+            {
+                "regime": r["regime"],
+                "n": r["n"],
+                "degree": r["degree"],
+                "batch": r["batch"],
+                "forces": r["forces"],
+                "groups": r["groups"],
+                "buckets": r["buckets"],
+                "ragged_runs": r["ragged_runs"],
+                "batched_fraction": round(r["batched_fraction"], 4),
+                "seconds": {k: round(v, 6) for k, v in r["seconds"].items()},
+                "batched_speedup_vs_fused": round(r["speedup"], 4),
+            }
+            for r in rows
+        ],
+    )
+
+
+def test_batched_2x_on_far_field_regime(batched_sweep):
+    """The acceptance bar: >= 2x over fused on the far-field regime."""
+    rows, _ = batched_sweep
+    far = next(r for r in rows if r["regime"] == "far-field")
+    assert far["batched_fraction"] > 0.9, far
+    assert far["speedup"] >= 2.0, far
+
+
+def test_batched_meets_per_regime_bounds(batched_sweep):
+    """Every bounded regime must come out ahead of fused by its margin."""
+    rows, _ = batched_sweep
+    for r in rows:
+        if r["min_speedup"] is not None:
+            assert r["speedup"] >= r["min_speedup"], r
+
+
+def test_batched_results_match_fused(batched_sweep):
+    """The timing comparison is only meaningful if results agree."""
+    rows, checks = batched_sweep
+    for label, outputs in checks:
+        phi_f, f_f = outputs["fused"]
+        phi_b, f_b = outputs["batched"]
+        assert np.allclose(phi_f, phi_b, rtol=1e-8, atol=1e-10), label
+        if f_f is not None:
+            assert np.allclose(f_f, f_b, rtol=1e-7, atol=1e-8), label

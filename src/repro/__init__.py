@@ -44,6 +44,7 @@ from .core import (
     BarycentricTreecode,
     ExecutionPlan,
     PreparedTreecode,
+    BatchedBackend,
     FusedBackend,
     ModelBackend,
     MultiprocessingBackend,
@@ -103,6 +104,7 @@ __all__ = [
     "compile_plan",
     "Backend",
     "NumpyBackend",
+    "BatchedBackend",
     "FusedBackend",
     "MultiprocessingBackend",
     "NumbaBackend",

@@ -64,7 +64,9 @@ class TreecodeParams:
     shrink_to_fit: bool = True
     #: Evaluation backend executing the compiled plan: ``"numpy"`` (the
     #: reference blocked semantics), ``"fused"`` (pre-gathered buffers, no
-    #: per-batch concatenation -- faster, same counters),
+    #: per-batch concatenation -- faster, same counters), ``"batched"``
+    #: (shape-bucketed stacked GEMMs over the uniform far field, fused
+    #: fallback for ragged work -- the fastest serial path),
     #: ``"multiprocessing"`` (plan groups sharded over a persistent worker
     #: pool), ``"numba"`` (JIT-compiled per-group loops; registered only
     #: when numba is installed) or ``"model"`` (launch accounting only).
@@ -80,6 +82,14 @@ class TreecodeParams:
     #: buffers on shared workloads).  Off by default to keep the seed's
     #: duplicated, fully-contiguous layout on the reference path.
     shared_sources: bool = False
+    #: Compile plans with the shape-bucketed batched execution layout
+    #: attached (identically shaped far-field segment runs grouped into
+    #: dense index buckets; see :mod:`repro.core.plan`).  The
+    #: ``"batched"`` backend builds the layout lazily when absent, so
+    #: this knob only moves the (geometry-only) build into the compile /
+    #: prepare phase; it changes no results.  Off by default: other
+    #: backends never read the layout.
+    batched: bool = False
 
     def __post_init__(self) -> None:
         if not (0.0 < self.theta <= 1.0):

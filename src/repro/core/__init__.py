@@ -19,6 +19,7 @@
 
 from .backends import (
     Backend,
+    BatchedBackend,
     FusedBackend,
     ModelBackend,
     MultiprocessingBackend,
@@ -58,6 +59,7 @@ __all__ = [
     "compile_plan",
     "Backend",
     "NumpyBackend",
+    "BatchedBackend",
     "FusedBackend",
     "MultiprocessingBackend",
     "NumbaBackend",

@@ -10,6 +10,10 @@ backends:
 * :class:`FusedBackend` (``"fused"``) -- evaluates from the shared
   pre-gathered buffers with no per-batch concatenation or copies;
   bitwise-close results, measurably faster wall-clock.
+* :class:`BatchedBackend` (``"batched"``) -- shape-bucketed stacked
+  evaluation: uniform far-field groups collapse into a few large
+  batched GEMMs (no per-group Python loop), ragged work falls back to
+  the fused per-group path inside the same execute.
 * :class:`MultiprocessingBackend` (``"multiprocessing"``) -- shards the
   plan's groups across a persistent worker pool, shipping the flat
   buffers through POSIX shared memory; the paper's outer (multi-rank)
@@ -34,6 +38,7 @@ from .base import (
     charge_segment_launches,
     launch_cost_multiplier,
 )
+from .batched import BatchedBackend
 from .fused import FusedBackend
 from .model import ModelBackend
 from .multiproc import MultiprocessingBackend
@@ -44,6 +49,7 @@ __all__ = [
     "Backend",
     "NumpyBackend",
     "FusedBackend",
+    "BatchedBackend",
     "MultiprocessingBackend",
     "NumbaBackend",
     "ModelBackend",
@@ -105,6 +111,7 @@ def get_backend(name: str | Backend) -> Backend:
 
 register_backend(NumpyBackend)
 register_backend(FusedBackend)
+register_backend(BatchedBackend)
 register_backend(ModelBackend)
 register_backend(MultiprocessingBackend)
 if NUMBA_AVAILABLE:

@@ -1,0 +1,142 @@
+"""Shape-bucketed batched evaluation shared across backends.
+
+The numerics of the batched backend, kept free-standing (plain arrays +
+:class:`~repro.core.plan.BatchedBucket` objects in, accumulations out)
+so the same functions run in-process for :class:`~.batched.BatchedBackend`
+and are usable inside multiprocessing shards: a pool worker holding the
+flat buffers and a pickled bucket calls :func:`eval_bucket` exactly as
+the parent would.
+
+Per bucket the evaluation is a handful of stacked array passes -- one
+batched GEMM for the r^2 cross term, elementwise kernel passes over the
+``(G, m, k)`` stack, one batched GEMV against the bucket's weight matrix
+-- followed by a single fancy-indexed scatter of the valid rows.  No
+per-group Python iteration, no per-group target-block materialization.
+Buckets are chunked along the entry axis so the live ``(g, m, k)`` stack
+stays bounded (the same role :data:`~repro.kernels.base.DEFAULT_BLOCK_ELEMENTS`
+plays in the blocked direct sum); chunk boundaries depend only on the
+bucket shape, so repeated executions are bitwise identical.
+
+Ragged runs (unequal segment sizes, sub-minimum buckets) are evaluated
+by :func:`eval_ragged_runs` through the same per-group fused arithmetic
+as :mod:`.groupeval`, one kernel accumulation per run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...util import chunk_ranges
+from .groupeval import run_source_slices
+
+__all__ = ["BUCKET_BLOCK_ELEMENTS", "eval_bucket", "eval_ragged_runs"]
+
+#: Cap on the number of (g, m, k) stack elements live per bucket chunk.
+BUCKET_BLOCK_ELEMENTS = 4_000_000
+
+
+def eval_bucket(
+    bucket,
+    targets: np.ndarray,
+    src_points: np.ndarray,
+    kernel,
+    dtype,
+    compute_forces: bool,
+    out: np.ndarray,
+    forces: np.ndarray | None,
+    *,
+    block_elements: int = BUCKET_BLOCK_ELEMENTS,
+) -> None:
+    """Evaluate one bucket and accumulate into ``out`` (and ``forces``).
+
+    ``targets`` / ``src_points`` are the plan's (pre-cast) coordinate
+    buffers; the bucket gathers and caches its stacks from them.  The
+    weight matrix is the bucket's own (refreshed in place by
+    ``ExecutionPlan.refresh_weights``), cast per call for mixed
+    precision.  The scatter uses the bucket's precomputed valid
+    positions, so padded rows are computed but never accumulated.
+    """
+    tgt, src = bucket.stacks(targets, src_points, dtype)
+    w = bucket.weights
+    if w.dtype != tgt.dtype:
+        w = w.astype(tgt.dtype)
+    n, m_max, _ = tgt.shape
+    k = src.shape[1]
+    phi = np.empty((n, m_max), dtype=tgt.dtype)
+    f_stack = (
+        np.empty((n, m_max, 3), dtype=tgt.dtype) if compute_forces else None
+    )
+    per_entry = m_max * max(k, 1) * (2 if compute_forces else 1)
+    chunk = max(1, block_elements // per_entry)
+    for lo, hi in chunk_ranges(n, chunk):
+        mat = kernel.pairwise_batched(tgt[lo:hi], src[lo:hi])
+        phi[lo:hi] = np.matmul(mat, w[lo:hi, :, None])[..., 0]
+        if f_stack is not None:
+            f_stack[lo:hi] = kernel.force_batched(
+                tgt[lo:hi], src[lo:hi], w[lo:hi]
+            )
+    vals = phi.reshape(-1)
+    if bucket.scatter_pos is not None:
+        vals = vals[bucket.scatter_pos]
+    out[bucket.out_slots] += vals
+    if forces is not None and f_stack is not None:
+        f_vals = f_stack.reshape(-1, 3)
+        if bucket.scatter_pos is not None:
+            f_vals = f_vals[bucket.scatter_pos]
+        forces[bucket.out_slots] += f_vals
+
+
+def eval_ragged_runs(
+    arrays: dict,
+    runs: np.ndarray,
+    kernel,
+    dtype,
+    compute_forces: bool,
+    out: np.ndarray,
+    forces: np.ndarray | None,
+) -> None:
+    """Per-group fallback for the runs the bucketing could not batch.
+
+    Same fused per-group arithmetic as :func:`.groupeval.eval_group_range`
+    (one blocked kernel accumulation per run, float64 opts into the
+    temporary-free r^2 primitive), but scoped to explicit segment runs so
+    a group whose approximation half went through a bucket is not
+    double-counted.  Pass pre-cast ``targets``/``src_points`` in
+    ``arrays`` to keep the per-run casts zero-copy.
+    """
+    if runs.size == 0:
+        return
+    fused = np.dtype(dtype) == np.float64
+    group_ptr = arrays["group_ptr"]
+    out_index = arrays["out_index"]
+    targets = arrays["targets"]
+    src_all = np.ascontiguousarray(arrays["src_points"], dtype=dtype)
+    q_all = np.ascontiguousarray(arrays["src_weights"], dtype=dtype)
+    for g, s_lo, s_hi in runs:
+        t_lo, t_hi = int(group_ptr[g]), int(group_ptr[g + 1])
+        m = t_hi - t_lo
+        if m == 0:
+            continue
+        slices = [
+            (lo, hi)
+            for lo, hi in run_source_slices(arrays, int(s_lo), int(s_hi))
+            if hi > lo
+        ]
+        contiguous = len(slices) == 1 or all(
+            slices[i][1] == slices[i + 1][0] for i in range(len(slices) - 1)
+        )
+        if not slices:
+            continue
+        if contiguous:
+            lo, hi = slices[0][0], slices[-1][1]
+            src, q = src_all[lo:hi], q_all[lo:hi]
+        else:
+            src = np.concatenate([src_all[lo:hi] for lo, hi in slices], axis=0)
+            q = np.concatenate([q_all[lo:hi] for lo, hi in slices])
+        if src.shape[0] == 0:
+            continue
+        tgt = np.ascontiguousarray(targets[t_lo:t_hi], dtype=dtype)
+        idx = out_index[t_lo:t_hi]
+        out[idx] += kernel.potential(tgt, src, q, fused=fused)
+        if forces is not None:
+            forces[idx] += kernel.force(tgt, src, q, fused=fused)

@@ -54,9 +54,14 @@ class FusedBackend(Backend):
             if compute_forces
             else None
         )
+        # cast_geometry: mixed-precision sessions then cast targets and
+        # points once per plan instead of re-running
+        # np.ascontiguousarray on every apply (the per-group casts
+        # inside eval_group_range become zero-copy views); float64
+        # passes the stored buffers straight through.
         t_lo, t_hi, phi, f_rows = eval_group_range(
-            plan_arrays(plan), kernel, dtype, compute_forces,
-            0, plan.n_groups,
+            plan_arrays(plan, cast_geometry=dtype), kernel, dtype,
+            compute_forces, 0, plan.n_groups,
         )
         idx = plan.out_index[t_lo:t_hi]
         out[idx] += phi

@@ -13,7 +13,12 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["PLAN_ARRAY_FIELDS", "plan_arrays", "eval_group_range"]
+__all__ = [
+    "PLAN_ARRAY_FIELDS",
+    "plan_arrays",
+    "run_source_slices",
+    "eval_group_range",
+]
 
 #: The ExecutionPlan fields a group evaluation needs (``seg_src_lo`` is
 #: absent for the duplicated source-buffer layout).
@@ -29,19 +34,36 @@ PLAN_ARRAY_FIELDS = (
 )
 
 
-def plan_arrays(plan) -> dict:
-    """The plan's non-None flat arrays keyed by field name."""
-    return {
+def plan_arrays(plan, *, cast_geometry=None) -> dict:
+    """The plan's non-None flat arrays keyed by field name.
+
+    ``cast_geometry`` swaps in the plan's dtype-keyed cast caches for
+    the geometry-constant buffers (targets / source points), so
+    mixed-precision executions cast once per plan instead of per call;
+    the in-process backends pass their evaluation dtype here.  Leave it
+    None when shipping buffers elsewhere (the multiprocessing
+    shipment): workers cast their own shard slices, which is
+    elementwise-identical.
+    """
+    arrays = {
         f: getattr(plan, f)
         for f in PLAN_ARRAY_FIELDS
         if getattr(plan, f) is not None
     }
+    if cast_geometry is not None:
+        arrays["targets"] = plan.targets_as(cast_geometry)
+        arrays["src_points"] = plan.src_points_as(cast_geometry)
+    return arrays
 
 
-def _group_source_slices(arrays, g):
-    """Physical (lo, hi) source row ranges of group ``g``, in order."""
-    s_lo = int(arrays["seg_group_ptr"][g])
-    s_hi = int(arrays["seg_group_ptr"][g + 1])
+def run_source_slices(arrays, s_lo: int, s_hi: int):
+    """Physical (lo, hi) source row ranges of segments ``[s_lo, s_hi)``.
+
+    One contiguous span in the duplicated layout (``seg_ptr`` doubles as
+    the physical offset table); one range per segment in the shared
+    layout (aliases may scatter).  Shared by the per-group evaluation
+    here and the batched backend's ragged fallback.
+    """
     seg_ptr = arrays["seg_ptr"]
     seg_src_lo = arrays.get("seg_src_lo")
     if seg_src_lo is None:
@@ -51,6 +73,14 @@ def _group_source_slices(arrays, g):
         lo = int(seg_src_lo[s])
         out.append((lo, lo + int(seg_ptr[s + 1] - seg_ptr[s])))
     return out
+
+
+def _group_source_slices(arrays, g):
+    """Physical (lo, hi) source row ranges of group ``g``, in order."""
+    seg_group_ptr = arrays["seg_group_ptr"]
+    return run_source_slices(
+        arrays, int(seg_group_ptr[g]), int(seg_group_ptr[g + 1])
+    )
 
 
 def eval_group_range(arrays, kernel, dtype, compute_forces, g_lo, g_hi):

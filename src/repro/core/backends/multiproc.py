@@ -31,9 +31,17 @@ Execution model
   pickled into each shard's task: one copy per shard through the
   executor pipe (re-pickled only when the weights version moves),
   trading bandwidth for portability.
-* Groups are split into contiguous shards balanced by interaction
-  count (``group_size x seg_size`` summed per group), each worker runs
-  the same per-group fused accumulation as
+* Groups are split into contiguous shards balanced by *estimated
+  per-group cost*.  The first split uses the modeled interaction count
+  (``group_size x seg_size`` summed per group); each sharded run then
+  feeds the workers' measured shard wall times back into a per-group
+  EWMA rate multiplier, so repeated executions of the same plan (a
+  prepared session stepping charges) converge onto the machine's actual
+  cost profile instead of the model's.  Shard boundaries never affect
+  values: every target row is written by exactly one shard
+  (``out_index`` is injective over groups), and the per-shard casts are
+  elementwise, so any split produces bitwise-identical output.  Each
+  worker runs the same per-group fused accumulation as
   :class:`~repro.core.backends.fused.FusedBackend` (bitwise-identical
   results), and the parent scatters each shard's rows through
   ``out_index``.
@@ -48,6 +56,7 @@ from __future__ import annotations
 import os
 import pickle
 import threading
+import time
 import weakref
 from concurrent.futures import ProcessPoolExecutor
 
@@ -61,6 +70,22 @@ __all__ = ["MultiprocessingBackend"]
 #: Below this many logical source rows the pool overhead dwarfs the
 #: work; the backend computes inline (same arithmetic, same results).
 MIN_PARALLEL_ROWS = 8_192
+
+
+class _PlanCost:
+    """Per-plan shard-cost state: modeled cost + learned rate multipliers.
+
+    ``modeled`` is the interaction-count cost per group (fixed geometry);
+    ``rate`` starts at one everywhere and is nudged by
+    :meth:`MultiprocessingBackend._observe_shard_times` toward the
+    measured relative cost, so the product is the adaptive estimate.
+    """
+
+    __slots__ = ("modeled", "rate")
+
+    def __init__(self, modeled: np.ndarray, rate: np.ndarray) -> None:
+        self.modeled = modeled
+        self.rate = rate
 
 
 # ----------------------------------------------------------------------
@@ -180,20 +205,27 @@ def _worker_run(spec, payload, kernel, dtype, compute_forces, g_lo, g_hi):
 
     The shard arithmetic is :func:`.groupeval.eval_group_range` -- the
     same function FusedBackend runs in-process, so results are bitwise
-    identical by construction.
+    identical by construction.  The evaluation wall time (attach /
+    unpickle overhead excluded -- it is per-shard-constant, not
+    per-group) is appended to the result tuple so the parent's adaptive
+    shard sizing learns the measured per-group cost.
     """
     if spec is None:
         arrays = pickle.loads(payload)
-        return eval_group_range(
+        t0 = time.perf_counter()
+        result = eval_group_range(
             arrays, kernel, dtype, compute_forces, g_lo, g_hi
         )
+        return result + (time.perf_counter() - t0,)
     shm, arrays = _attach_shipment(spec)
     try:
         # The returned phi/force blocks are freshly allocated; only the
         # transient per-shard views reference the mapping.
-        return eval_group_range(
+        t0 = time.perf_counter()
+        result = eval_group_range(
             arrays, kernel, dtype, compute_forces, g_lo, g_hi
         )
+        return result + (time.perf_counter() - t0,)
     finally:
         del arrays
         try:
@@ -217,6 +249,11 @@ class MultiprocessingBackend(Backend):
     use_shared_memory : ship plan buffers through one POSIX SHM block
         (the default); ``False`` pickles them into each shard's task,
         which is slower but exercises the portable path.
+    adaptive_shards : refine the shard split from measured shard wall
+        times (per-plan EWMA over the modeled per-group cost; the
+        default).  ``False`` keeps the purely modeled
+        interaction-count split.
+    shard_ewma_alpha : weight of the newest observation in the EWMA.
     """
 
     name = "multiprocessing"
@@ -231,12 +268,24 @@ class MultiprocessingBackend(Backend):
         *,
         use_shared_memory: bool = True,
         min_parallel_rows: int = MIN_PARALLEL_ROWS,
+        adaptive_shards: bool = True,
+        shard_ewma_alpha: float = 0.5,
     ) -> None:
         if n_workers is not None and n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        if not (0.0 < shard_ewma_alpha <= 1.0):
+            raise ValueError(
+                f"shard_ewma_alpha must lie in (0, 1], got {shard_ewma_alpha}"
+            )
         self.n_workers = int(n_workers or (os.cpu_count() or 1))
         self.use_shared_memory = bool(use_shared_memory)
         self.min_parallel_rows = int(min_parallel_rows)
+        self.adaptive_shards = bool(adaptive_shards)
+        self.shard_ewma_alpha = float(shard_ewma_alpha)
+        #: plan -> _PlanCost (modeled per-group cost + learned rates).
+        self._cost_state: "weakref.WeakKeyDictionary" = (
+            weakref.WeakKeyDictionary()
+        )
         self._pool: ProcessPoolExecutor | None = None
         # Registry lookups share one instance (share_instance), so pool
         # creation must be race-free under concurrent first computes.
@@ -291,20 +340,59 @@ class MultiprocessingBackend(Backend):
             pass
 
     # -- sharding -------------------------------------------------------
+    def _plan_cost(self, plan) -> "_PlanCost":
+        """The plan's cached cost state (modeled cost + learned rates)."""
+        state = self._cost_state.get(plan)
+        if state is None:
+            seg_sizes = np.diff(plan.seg_ptr).astype(np.float64)
+            blocks = np.repeat(
+                np.diff(plan.group_ptr), np.diff(plan.seg_group_ptr)
+            ).astype(np.float64)
+            per_seg = seg_sizes * blocks
+            cum_seg = np.concatenate(([0.0], np.cumsum(per_seg)))
+            modeled = cum_seg[plan.seg_group_ptr[1:]] - cum_seg[
+                plan.seg_group_ptr[:-1]
+            ]
+            state = _PlanCost(modeled, np.ones(plan.n_groups))
+            self._cost_state[plan] = state
+        return state
+
+    def _observe_shard_times(self, plan, shards, seconds) -> None:
+        """Fold measured shard wall times into the per-group EWMA rates.
+
+        Each shard's observed seconds-per-modeled-interaction, normalized
+        over this run's shards (only relative cost matters for the
+        split), nudges the rate of every group it covered; the next
+        :meth:`_shards` call balances ``modeled x rate`` instead of the
+        bare model.  The fallback is structural: with no observations the
+        rates are all one and the split is exactly the modeled
+        interaction-count split.
+        """
+        state = self._plan_cost(plan)
+        work = np.array(
+            [float(state.modeled[lo:hi].sum()) for lo, hi in shards]
+        )
+        secs = np.asarray(seconds, dtype=np.float64)
+        ok = (work > 0.0) & (secs > 0.0)
+        if ok.sum() < 2:
+            return
+        rates = secs[ok] / work[ok]
+        rates /= rates.mean()
+        a = self.shard_ewma_alpha
+        for (lo, hi), r in zip(
+            (s for s, use in zip(shards, ok) if use), rates
+        ):
+            state.rate[lo:hi] = (1.0 - a) * state.rate[lo:hi] + a * r
+
     def _shards(self, plan) -> list[tuple[int, int]]:
-        """Contiguous group ranges with roughly equal interaction work."""
+        """Contiguous group ranges with roughly equal estimated cost."""
         n_shards = min(self.n_workers, plan.n_groups)
         if n_shards <= 1:
             return [(0, plan.n_groups)]
-        seg_sizes = np.diff(plan.seg_ptr).astype(np.float64)
-        blocks = np.repeat(
-            np.diff(plan.group_ptr), np.diff(plan.seg_group_ptr)
-        ).astype(np.float64)
-        per_seg = seg_sizes * blocks
-        cum_seg = np.concatenate(([0.0], np.cumsum(per_seg)))
-        group_cost = cum_seg[plan.seg_group_ptr[1:]] - cum_seg[
-            plan.seg_group_ptr[:-1]
-        ]
+        state = self._plan_cost(plan)
+        group_cost = state.modeled
+        if self.adaptive_shards:
+            group_cost = group_cost * state.rate
         cum = np.cumsum(group_cost)
         total = cum[-1]
         if total <= 0.0:
@@ -349,10 +437,13 @@ class MultiprocessingBackend(Backend):
             len(shards) > 1 and plan.n_source_rows >= self.min_parallel_rows
         )
         if not parallel:
+            # cast_geometry: same dtype-keyed cast caches as the fused
+            # backend (elementwise-identical values, so the bitwise
+            # contract with the sharded path holds either way).
             results = [
                 eval_group_range(
-                    plan_arrays(plan), kernel, dtype, compute_forces,
-                    0, plan.n_groups,
+                    plan_arrays(plan, cast_geometry=dtype), kernel, dtype,
+                    compute_forces, 0, plan.n_groups,
                 )
             ]
         else:
@@ -375,4 +466,12 @@ class MultiprocessingBackend(Backend):
             )
             for g_lo, g_hi in shards
         ]
-        return [f.result() for f in futures]
+        results = []
+        seconds = []
+        for f in futures:
+            t_lo, t_hi, phi, f_blk, dt = f.result()
+            results.append((t_lo, t_hi, phi, f_blk))
+            seconds.append(dt)
+        if self.adaptive_shards:
+            self._observe_shard_times(plan, shards, seconds)
+        return results

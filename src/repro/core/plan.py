@@ -84,11 +84,48 @@ plan.  ``PlanBuilder(deferred_weights=True)`` compiles a geometry-only
 skeleton up front: segments supply points but no weights, the weight
 buffer is allocated zeroed, and the first ``refresh_weights`` call fills
 it.
+
+Batched (shape-bucketed) execution layout
+-----------------------------------------
+The BLTC's far field is thousands of *identically shaped* small
+interactions: every approximation segment of a degree-``p`` plan carries
+exactly ``(p+1)^3`` source rows.  ``compile_plan(..., batched=True)``
+(or :meth:`ExecutionPlan.ensure_batched_layout`, which any backend may
+call lazily) derives a :class:`BatchedLayout` from the index arrays:
+each group's equal-kind segment runs are classified by the signature
+``(n_segments, rows_per_segment, kind)``, and runs whose segments all
+share one size are collected into :class:`BatchedBucket`\\ s of uniform
+shape.  Per bucket the layout stores
+
+* ``tgt_index`` -- a ``(G, m_max)`` target-row matrix, padded per entry
+  by repeating the entry's first row (padded positions are excluded from
+  the output scatter, so the duplicates are never accumulated);
+* ``src_index`` -- a ``(G, k)`` physical source-row gather matrix
+  (``k = n_segments x rows_per_segment``; resolves either source-buffer
+  layout);
+* ``out_slots`` / ``scatter_pos`` -- the flattened valid positions and
+  their output slots, so a whole bucket scatters with one fancy ``+=``;
+* ``weights`` -- the ``(G, k)`` pre-gathered weight matrix.  This is the
+  one charge-dependent bucket array: :meth:`ExecutionPlan.refresh_weights`
+  rewrites it in place right after the flat buffer, so prepared sessions
+  keep working on batched plans.
+
+Memory/padding trade-off: buckets re-materialize their gathered rows as
+dense stacks (undoing the shared-source de-duplication for the batched
+portion) and pad targets up to ``m_max``.  When padding would waste more
+than :data:`BATCHED_MAX_PADDING_WASTE` of the target rows the bucket is
+split into equal-``m`` sub-buckets instead; buckets smaller than
+:data:`BATCHED_MIN_GROUPS` entries, ragged runs (unequal segment sizes,
+e.g. near-field clusters), and empty groups fall back to the per-group
+``ragged_runs`` list, which the batched backend evaluates through the
+fused per-group arithmetic.  Every ``(group, segment)`` pair lands in
+exactly one bucket entry or ragged run, so the layout is a partition of
+the plan's work; launch accounting never reads it.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterator, Sequence
 
 import numpy as np
@@ -100,7 +137,125 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from .interaction_lists import InteractionLists
     from .moments import ClusterMoments
 
-__all__ = ["ExecutionPlan", "PlanBuilder", "compile_plan"]
+__all__ = [
+    "BatchedBucket",
+    "BatchedLayout",
+    "ExecutionPlan",
+    "PlanBuilder",
+    "build_batched_layout",
+    "compile_plan",
+]
+
+#: Maximum fraction of a bucket's padded target rows allowed to be
+#: padding; above this the bucket splits into equal-``m`` sub-buckets.
+BATCHED_MAX_PADDING_WASTE = 0.25
+
+#: Buckets with fewer entries than this fall back to the ragged
+#: per-group path -- a one-entry "batch" only adds gather overhead.
+BATCHED_MIN_GROUPS = 2
+
+
+@dataclass(frozen=True, eq=False)
+class BatchedBucket:
+    """One uniform-shape bucket of the batched execution layout.
+
+    All ``n_entries`` entries share the segment signature
+    ``(n_segments, rows_per_segment, kind)``; each entry is one group's
+    equal-kind segment run, padded to ``m_max`` target rows.  The index
+    matrices are geometry; ``weights`` is the single charge-dependent
+    array and is rewritten in place by
+    :meth:`ExecutionPlan.refresh_weights`.
+    """
+
+    #: Segment kind this bucket evaluates ("approx", "direct", ...).
+    kind: str
+    #: Segments per entry and rows per segment (the bucket signature).
+    n_segments: int
+    rows_per_segment: int
+    #: Padded target rows per entry.
+    m_max: int
+    #: (G,) plan group index of each entry (diagnostics/tests).
+    groups: np.ndarray
+    #: (G, m_max) target-row gather matrix; padding repeats the entry's
+    #: first row (excluded from the scatter, so never accumulated).
+    tgt_index: np.ndarray
+    #: (G, k) physical source-row gather matrix.
+    src_index: np.ndarray
+    #: (V,) output slots of the valid rows, in row-major bucket order.
+    out_slots: np.ndarray
+    #: (V,) flat positions of the valid rows in the (G*m_max) result, or
+    #: None when the bucket carries no padding (every row is valid).
+    scatter_pos: np.ndarray | None
+    #: (G, k) pre-gathered float64 weights (charge-dependent).
+    weights: np.ndarray
+    #: dtype-keyed cache of the gathered (targets, sources) stacks.
+    _stacks: dict = field(default_factory=dict, repr=False)
+
+    @property
+    def n_entries(self) -> int:
+        return int(self.tgt_index.shape[0])
+
+    @property
+    def k(self) -> int:
+        """Source rows per entry (``n_segments x rows_per_segment``)."""
+        return int(self.src_index.shape[1])
+
+    @property
+    def padding_waste(self) -> float:
+        """Fraction of the padded target rows that is padding."""
+        total = self.n_entries * self.m_max
+        return 0.0 if total == 0 else 1.0 - self.out_slots.size / total
+
+    def stacks(
+        self, targets: np.ndarray, src_points: np.ndarray, dtype
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Gathered ``(G, m_max, 3)`` target / ``(G, k, 3)`` source stacks.
+
+        Cached per dtype: the gather indices and coordinates are
+        geometry, so repeated executions (prepared sessions) reuse the
+        stacks untouched.  Pass pre-cast buffers (see
+        :meth:`ExecutionPlan.targets_as`) to avoid a second cast pass.
+        """
+        key = np.dtype(dtype).str
+        cached = self._stacks.get(key)
+        if cached is None:
+            cached = (
+                np.ascontiguousarray(targets[self.tgt_index], dtype=dtype),
+                np.ascontiguousarray(src_points[self.src_index], dtype=dtype),
+            )
+            self._stacks[key] = cached
+        return cached
+
+    def refresh_weights(self, src_weights: np.ndarray) -> None:
+        """Re-gather this bucket's weight matrix from the flat buffer."""
+        self.weights[...] = src_weights[self.src_index]
+
+
+@dataclass(frozen=True, eq=False)
+class BatchedLayout:
+    """Shape-bucketed view of a plan: buckets + ragged fallback runs.
+
+    Buckets and ragged runs partition the plan's ``(group, segment)``
+    pairs exactly; backends that consume the layout evaluate each bucket
+    with stacked batched kernels and the ragged runs through the fused
+    per-group arithmetic.
+    """
+
+    buckets: tuple[BatchedBucket, ...]
+    #: (R, 3) ``[group, seg_lo, seg_hi)`` runs on the per-group path.
+    ragged_runs: np.ndarray
+
+    @property
+    def n_batched_entries(self) -> int:
+        return sum(b.n_entries for b in self.buckets)
+
+    def batched_interactions(self) -> int:
+        """Kernel evaluations covered by buckets (valid rows x k)."""
+        return int(sum(b.out_slots.size * b.k for b in self.buckets))
+
+    def refresh_weights(self, src_weights: np.ndarray) -> None:
+        for bucket in self.buckets:
+            bucket.refresh_weights(src_weights)
 
 
 @dataclass(frozen=True, eq=False)
@@ -148,6 +303,13 @@ class ExecutionPlan:
     #: Bumped by :meth:`refresh_weights`; lets caching backends detect
     #: stale shipped copies of ``src_weights``.
     weights_version: int = 0
+    #: Shape-bucketed execution layout, or None until built.  Compiled
+    #: eagerly by ``compile_plan(..., batched=True)``; built lazily (and
+    #: cached) by :meth:`ensure_batched_layout` otherwise.
+    batched_layout: "BatchedLayout | None" = None
+    #: dtype-keyed cache of cast copies of the geometry-constant buffers
+    #: (targets / src_points); see :meth:`targets_as`.
+    _cast_cache: dict = field(default_factory=dict, repr=False)
 
     # -- structure queries ----------------------------------------------
     @property
@@ -244,6 +406,50 @@ class ExecutionPlan:
         )
         return pts, wts
 
+    # -- geometry-constant dtype casts ----------------------------------
+    def _cast_geometry(self, name: str, arr: np.ndarray, dtype) -> np.ndarray:
+        dt = np.dtype(dtype)
+        if arr.dtype == dt and arr.flags.c_contiguous:
+            return arr
+        key = (name, dt.str)
+        cached = self._cast_cache.get(key)
+        if cached is None:
+            cached = np.ascontiguousarray(arr, dtype=dt)
+            self._cast_cache[key] = cached
+        return cached
+
+    def targets_as(self, dtype) -> np.ndarray:
+        """The target buffer cast to ``dtype``, cached on the plan.
+
+        Targets are geometry (charge-independent), so prepared sessions
+        evaluating in mixed precision pay the cast once instead of
+        re-running ``np.ascontiguousarray`` per group on every apply;
+        float64 requests return the stored buffer itself.
+        """
+        return self._cast_geometry("targets", self.targets, dtype)
+
+    def src_points_as(self, dtype) -> np.ndarray:
+        """The source-point buffer cast to ``dtype`` (cached; geometry)."""
+        return self._cast_geometry("src_points", self.src_points, dtype)
+
+    # -- batched layout -------------------------------------------------
+    def ensure_batched_layout(self) -> "BatchedLayout":
+        """The plan's :class:`BatchedLayout`, building and caching it.
+
+        Plans compiled with ``batched=True`` carry the layout already;
+        otherwise the first call derives it from the index arrays (pure
+        geometry -- safe to build at any point of a session, including
+        after weight refreshes, since the bucket weight matrices gather
+        from the current flat buffer).
+        """
+        if not self.has_numerics:
+            raise ValueError("model-only plan has no batched layout")
+        if self.batched_layout is None:
+            object.__setattr__(
+                self, "batched_layout", build_batched_layout(self)
+            )
+        return self.batched_layout
+
     # -- weight state ---------------------------------------------------
     @property
     def refreshable(self) -> bool:
@@ -279,6 +485,8 @@ class ExecutionPlan:
                     f"segment {key!r} expecting {hi - lo}"
                 )
             w[lo:hi] = arr
+        if self.batched_layout is not None:
+            self.batched_layout.refresh_weights(w)
         object.__setattr__(self, "weights_version", self.weights_version + 1)
 
     def group_kind_runs(self, g: int) -> Iterator[tuple[str, int, int]]:
@@ -316,6 +524,132 @@ class ExecutionPlan:
         return float(np.dot(sizes, groups))
 
 
+def _build_bucket(plan: ExecutionPlan, sig, entries) -> BatchedBucket:
+    """Materialize one bucket's index matrices from its (group, run)s."""
+    n_seg, seg_size, kind = sig
+    k = n_seg * seg_size
+    n = len(entries)
+    m_sizes = np.array([e[2] for e in entries], dtype=np.intp)
+    m_max = int(m_sizes.max())
+    tgt_index = np.empty((n, m_max), dtype=np.intp)
+    src_index = np.empty((n, k), dtype=np.intp)
+    seg_ptr = plan.seg_ptr
+    seg_src_lo = plan.seg_src_lo
+    for i, (g, t_lo, m, s_lo, s_hi) in enumerate(entries):
+        tgt_index[i, :m] = np.arange(t_lo, t_lo + m)
+        tgt_index[i, m:] = t_lo
+        if seg_src_lo is None:
+            # Duplicated layout: the run's physical rows are one
+            # contiguous block starting at the first segment's offset.
+            lo = int(seg_ptr[s_lo])
+            src_index[i] = np.arange(lo, lo + k)
+        else:
+            for j, s in enumerate(range(s_lo, s_hi)):
+                lo = int(seg_src_lo[s])
+                src_index[i, j * seg_size:(j + 1) * seg_size] = np.arange(
+                    lo, lo + seg_size
+                )
+    if int(m_sizes.min()) == m_max:
+        scatter_pos = None
+        flat_rows = tgt_index.reshape(-1)
+    else:
+        valid = np.arange(m_max)[None, :] < m_sizes[:, None]
+        scatter_pos = np.nonzero(valid.reshape(-1))[0]
+        flat_rows = tgt_index.reshape(-1)[scatter_pos]
+    return BatchedBucket(
+        kind=kind,
+        n_segments=n_seg,
+        rows_per_segment=seg_size,
+        m_max=m_max,
+        groups=np.array([e[0] for e in entries], dtype=np.intp),
+        tgt_index=tgt_index,
+        src_index=src_index,
+        out_slots=np.ascontiguousarray(plan.out_index[flat_rows]),
+        scatter_pos=scatter_pos,
+        weights=plan.src_weights[src_index],
+    )
+
+
+def build_batched_layout(
+    plan: ExecutionPlan,
+    *,
+    max_padding_waste: float = BATCHED_MAX_PADDING_WASTE,
+    min_bucket_groups: int = BATCHED_MIN_GROUPS,
+) -> BatchedLayout:
+    """Bucket the plan's equal-kind segment runs by shape signature.
+
+    Pure geometry: derived entirely from the index arrays, the output
+    index and the gathered coordinates (the bucket weight matrices are
+    gathered from the current flat weight buffer and kept refreshable).
+    Runs whose segments all share one size are bucketed under
+    ``(n_segments, rows_per_segment, kind)``; a bucket whose single
+    ``m_max`` padding would waste more than ``max_padding_waste`` of its
+    target rows is split into equal-``m`` sub-buckets, and anything that
+    cannot be batched profitably (ragged runs, sub-minimum buckets,
+    repeated same-signature runs within one group -- which would collide
+    in the bucket's single fancy-indexed scatter) falls back to the
+    ``ragged_runs`` per-group path.
+    """
+    if not plan.has_numerics:
+        raise ValueError("model-only plan has no batched layout")
+    seg_sizes = np.diff(plan.seg_ptr)
+    by_sig: dict = {}
+    ragged: list[tuple[int, int, int]] = []
+    for g in range(plan.n_groups):
+        t_lo = int(plan.group_ptr[g])
+        m = int(plan.group_ptr[g + 1]) - t_lo
+        for kind, s_lo, s_hi in plan.group_kind_runs(g):
+            sizes = seg_sizes[s_lo:s_hi]
+            size0 = int(sizes[0])
+            if m == 0 or int(sizes.sum()) == 0:
+                continue  # no targets or no sources: contributes nothing
+            if size0 == 0 or not np.all(sizes == size0):
+                ragged.append((g, s_lo, s_hi))
+                continue
+            sig = (s_hi - s_lo, size0, kind)
+            entries = by_sig.setdefault(sig, [])
+            if entries and entries[-1][0] == g:
+                # A second same-signature run of this group (interleaved
+                # kinds) would duplicate output slots within one bucket
+                # scatter; keep the bucket injective per group.
+                ragged.append((g, s_lo, s_hi))
+                continue
+            entries.append((g, t_lo, m, s_lo, s_hi))
+    buckets = []
+    for sig in sorted(by_sig, key=lambda s: (s[2], s[0], s[1])):
+        entries = by_sig[sig]
+        m_sizes = np.array([e[2] for e in entries], dtype=np.intp)
+        m_max = int(m_sizes.max())
+        waste = 1.0 - float(m_sizes.sum()) / (len(entries) * m_max)
+        if waste > max_padding_waste:
+            sub: dict[int, list] = {}
+            for e in entries:
+                sub.setdefault(e[2], []).append(e)
+            partitions = [sub[m] for m in sorted(sub)]
+        else:
+            partitions = [entries]
+        for part in partitions:
+            if len(part) < min_bucket_groups:
+                ragged.extend((g, s_lo, s_hi) for g, _, _, s_lo, s_hi in part)
+            else:
+                buckets.append(_build_bucket(plan, sig, part))
+    ragged.sort()
+    # Merge segment-adjacent runs of one group: a group none of whose
+    # runs bucketed then costs exactly one fused-style accumulation
+    # (the per-group evaluator ignores kind boundaries), instead of one
+    # call per kind run.
+    merged: list[tuple[int, int, int]] = []
+    for g, s_lo, s_hi in ragged:
+        if merged and merged[-1][0] == g and merged[-1][2] == s_lo:
+            merged[-1] = (g, merged[-1][1], s_hi)
+        else:
+            merged.append((g, s_lo, s_hi))
+    return BatchedLayout(
+        buckets=tuple(buckets),
+        ragged_runs=np.array(merged, dtype=np.intp).reshape(-1, 3),
+    )
+
+
 class PlanBuilder:
     """Incrementally assemble an :class:`ExecutionPlan`.
 
@@ -345,11 +679,15 @@ class PlanBuilder:
         numerics: bool = True,
         shared_sources: bool = False,
         deferred_weights: bool = False,
+        batched: bool = False,
     ) -> None:
         self.out_size = int(out_size)
         self.numerics = bool(numerics)
         self.shared_sources = bool(shared_sources) and self.numerics
         self.deferred_weights = bool(deferred_weights) and self.numerics
+        #: Attach the shape-bucketed execution layout at build time
+        #: (numerics plans only; backends can also build it lazily).
+        self.batched = bool(batched) and self.numerics
         self._kind_names: list[str] = []
         self._kind_index: dict[str, int] = {}
         self._group_sizes: list[int] = []
@@ -480,7 +818,7 @@ class PlanBuilder:
                 seg_src_lo = np.asarray(self._seg_src_lo, dtype=np.intp)
             if self._refreshable:
                 weight_slots = tuple(self._weight_slots)
-        return ExecutionPlan(
+        plan = ExecutionPlan(
             kind_names=tuple(self._kind_names),
             group_ptr=group_ptr,
             seg_group_ptr=seg_group_ptr,
@@ -494,6 +832,9 @@ class PlanBuilder:
             seg_src_lo=seg_src_lo,
             weight_slots=weight_slots,
         )
+        if self.batched:
+            plan.ensure_batched_layout()
+        return plan
 
 
 def _concat(arrays: Sequence[np.ndarray], empty_shape, dtype) -> np.ndarray:
@@ -513,6 +854,7 @@ def compile_plan(
     numerics: bool = True,
     shared_sources: bool = False,
     deferred_weights: bool = False,
+    batched: bool = False,
 ) -> ExecutionPlan:
     """Compile the BLTC's (tree, batches, moments, lists) into a plan.
 
@@ -535,12 +877,16 @@ def compile_plan(
     weight buffer stays zeroed until
     :meth:`ExecutionPlan.refresh_weights` fills it (keys are the same
     ``("approx"|"direct", cluster)`` pairs recorded here).
+
+    ``batched=True`` additionally derives the shape-bucketed execution
+    layout at compile time (see the module docstring); backends that
+    exploit it (``"batched"``) otherwise build it lazily on first use.
     """
     n_ip = params.n_interpolation_points
     deferred = bool(deferred_weights) and numerics
     builder = PlanBuilder(
         batches.n_targets, numerics=numerics, shared_sources=shared_sources,
-        deferred_weights=deferred,
+        deferred_weights=deferred, batched=batched,
     )
     if charges is not None:
         charges = np.asarray(charges, dtype=np.float64).ravel()

@@ -251,6 +251,7 @@ class BarycentricTreecode:
                 numerics=backend.needs_numerics,
                 shared_sources=params.shared_sources,
                 deferred_weights=True,
+                batched=params.batched,
             )
 
         return PreparedTreecode(

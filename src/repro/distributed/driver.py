@@ -515,6 +515,7 @@ class DistributedBLTC:
             numerics=numerics,
             shared_sources=self.params.shared_sources,
             deferred_weights=deferred,
+            batched=self.params.batched,
         )
         for b in range(len(batches)):
             if numerics:

@@ -235,6 +235,7 @@ class DualTreeTreecode:
             numerics=numerics,
             shared_sources=params.shared_sources,
             deferred_weights=deferred and numerics,
+            batched=params.batched,
         )
         g.grid_slot = {}
         next_row = g.n_targets

@@ -185,6 +185,7 @@ class ClusterParticleTreecode:
             numerics=numerics,
             shared_sources=params.shared_sources,
             deferred_weights=deferred and numerics,
+            batched=params.batched,
         )
         src_points_cache: dict[int, np.ndarray] = {}
         g.grid_slot = {}

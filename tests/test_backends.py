@@ -18,6 +18,7 @@ import pytest
 
 from repro import (
     BarycentricTreecode,
+    BatchedBackend,
     CoulombKernel,
     DistributedBLTC,
     FusedBackend,
@@ -43,7 +44,7 @@ from repro.core.backends.numba_backend import (
 )
 from repro.core.interaction_lists import build_interaction_lists
 from repro.core.moments import precompute_moments
-from repro.core.plan import PlanBuilder
+from repro.core.plan import PlanBuilder, build_batched_layout
 from repro.gpu.device import GpuDevice
 from repro.perf.machine import GPU_TITAN_V
 from repro.tree.batches import TargetBatches
@@ -377,6 +378,320 @@ class TestMultiprocessingBackend:
     def test_rejects_bad_worker_count(self):
         with pytest.raises(ValueError, match="n_workers"):
             MultiprocessingBackend(0)
+
+    def test_rejects_bad_ewma_alpha(self):
+        with pytest.raises(ValueError, match="shard_ewma_alpha"):
+            MultiprocessingBackend(2, shard_ewma_alpha=0.0)
+
+    def test_adaptive_off_keeps_modeled_split(self, shared_plan):
+        fixed = MultiprocessingBackend(n_workers=3, adaptive_shards=False)
+        adaptive = MultiprocessingBackend(n_workers=3)
+        shards = fixed._shards(shared_plan)
+        # With no observations the adaptive split IS the modeled split.
+        assert adaptive._shards(shared_plan) == shards
+        # Observations never move the fixed backend's split.
+        fixed._observe_shard_times(shared_plan, shards, [5.0] * len(shards))
+        assert fixed._shards(shared_plan) == shards
+
+    def test_observed_times_rebalance_shards(self, shared_plan):
+        backend = MultiprocessingBackend(n_workers=2, shard_ewma_alpha=1.0)
+        shards = backend._shards(shared_plan)
+        assert len(shards) == 2
+        cut = shards[0][1]
+        # First shard reported 9x slower per modeled interaction: the
+        # next split must hand it fewer groups.
+        backend._observe_shard_times(shared_plan, shards, [9.0, 1.0])
+        rebalanced = backend._shards(shared_plan)
+        assert rebalanced[0][1] < cut
+        assert rebalanced[0][0] == 0
+        assert rebalanced[-1][1] == shared_plan.n_groups
+        state = backend._plan_cost(shared_plan)
+        rate_first = state.rate[:cut].mean()
+        rate_rest = state.rate[cut:].mean()
+        assert rate_first > rate_rest
+
+    def test_adaptive_ewma_converges_not_jumps(self, shared_plan):
+        backend = MultiprocessingBackend(n_workers=2, shard_ewma_alpha=0.5)
+        shards = backend._shards(shared_plan)
+        backend._observe_shard_times(shared_plan, shards, [9.0, 1.0])
+        state = backend._plan_cost(shared_plan)
+        # alpha=0.5 blends the normalized observation with the prior 1.0
+        # rather than adopting it outright.
+        assert state.rate.max() < 2.0 * state.rate.min() * 9.0
+        assert state.rate.min() > 0.0
+
+    def test_adaptive_sharded_runs_stay_bitwise_fused(self, dedup_plan):
+        backend = MultiprocessingBackend(n_workers=2, min_parallel_rows=1)
+        try:
+            dev = GpuDevice(GPU_TITAN_V)
+            phi1, _ = backend.execute(dedup_plan, CoulombKernel(), dev)
+            # Second run re-shards from learned rates; values must not move.
+            phi2, _ = backend.execute(
+                dedup_plan, CoulombKernel(), GpuDevice(GPU_TITAN_V)
+            )
+        finally:
+            backend.close()
+        phi_ref, _ = get_backend("fused").execute(
+            dedup_plan, CoulombKernel(), GpuDevice(GPU_TITAN_V)
+        )
+        assert np.array_equal(phi1, phi_ref)
+        assert np.array_equal(phi2, phi_ref)
+
+
+def _uniform_groups_plan(m_sizes, *, seg_rows=5, n_segs=1, ragged_group=False):
+    """Synthetic plan: one uniform-signature run per group.
+
+    ``m_sizes`` sets the per-group target counts (padding behaviour);
+    ``ragged_group`` appends a group whose run mixes segment sizes.
+    """
+    rng = np.random.default_rng(7)
+    total = sum(m_sizes) + (3 if ragged_group else 0)
+    b = PlanBuilder(total, numerics=True)
+    row = 0
+    for m in m_sizes:
+        b.add_group(
+            targets=rng.random((m, 3)) + 2.0,
+            out_index=np.arange(row, row + m),
+        )
+        row += m
+        for _ in range(n_segs):
+            b.add_segment(
+                "approx",
+                points=rng.random((seg_rows, 3)),
+                weights=rng.random(seg_rows),
+            )
+    if ragged_group:
+        b.add_group(
+            targets=rng.random((3, 3)) + 2.0,
+            out_index=np.arange(row, row + 3),
+        )
+        b.add_segment(
+            "direct", points=rng.random((4, 3)), weights=rng.random(4)
+        )
+        b.add_segment(
+            "direct", points=rng.random((9, 3)), weights=rng.random(9)
+        )
+    return b.build()
+
+
+class TestBatchedLayout:
+    """The shape-bucketed layout: partition, padding rule, fallbacks."""
+
+    def test_compile_time_layout_and_lazy_build(self, cube):
+        eager = _compile(cube)
+        assert eager.batched_layout is None
+        lazy = eager.ensure_batched_layout()
+        assert eager.batched_layout is lazy
+        assert eager.ensure_batched_layout() is lazy  # cached
+        params = _params()
+        tree = ClusterTree(cube.positions, params.max_leaf_size)
+        batches = TargetBatches(cube.positions, params.max_batch_size)
+        moments = precompute_moments(tree, cube.charges, params)
+        lists = build_interaction_lists(batches, tree, params)
+        compiled = compile_plan(
+            tree, batches, moments, lists, cube.charges, params, batched=True
+        )
+        assert compiled.batched_layout is not None
+
+    def test_layout_partitions_all_interactions(self, shared_plan, dedup_plan):
+        # Buckets + ragged runs must cover every (group, segment) pair
+        # exactly once: their interaction counts add up to the plan's.
+        for plan in (shared_plan, dedup_plan):
+            layout = plan.ensure_batched_layout()
+            assert layout.buckets, "BLTC plans must produce approx buckets"
+            seg_sizes = np.diff(plan.seg_ptr)
+            ragged = sum(
+                plan.group_size(int(g)) * int(seg_sizes[s_lo:s_hi].sum())
+                for g, s_lo, s_hi in layout.ragged_runs
+            )
+            assert layout.batched_interactions() + ragged == int(
+                plan.interactions_total()
+            )
+
+    def test_bucket_scatter_is_injective(self, shared_plan):
+        for bucket in shared_plan.ensure_batched_layout().buckets:
+            assert np.unique(bucket.out_slots).size == bucket.out_slots.size
+            assert bucket.out_slots.size <= bucket.n_entries * bucket.m_max
+
+    def test_bucket_signature_shapes(self, shared_plan):
+        n_ip = _params().n_interpolation_points
+        for bucket in shared_plan.ensure_batched_layout().buckets:
+            assert bucket.kind == "approx"  # direct runs are ragged here
+            assert bucket.rows_per_segment == n_ip
+            assert bucket.src_index.shape == (
+                bucket.n_entries, bucket.n_segments * n_ip,
+            )
+            assert bucket.tgt_index.shape == (bucket.n_entries, bucket.m_max)
+            assert bucket.padding_waste <= 0.25 + 1e-12
+
+    def test_mild_padding_keeps_one_bucket(self):
+        plan = _uniform_groups_plan([10, 10, 10, 8])
+        layout = build_batched_layout(plan)
+        assert len(layout.buckets) == 1
+        (bucket,) = layout.buckets
+        assert bucket.m_max == 10
+        assert bucket.scatter_pos is not None  # padded entries excluded
+        assert bucket.out_slots.size == 38
+        assert layout.ragged_runs.shape == (0, 3)
+
+    def test_heavy_padding_splits_equal_m_sub_buckets(self):
+        plan = _uniform_groups_plan([10, 10, 2, 2])
+        layout = build_batched_layout(plan)  # one m_max would waste 40%
+        assert len(layout.buckets) == 2
+        assert sorted(b.m_max for b in layout.buckets) == [2, 10]
+        for bucket in layout.buckets:
+            assert bucket.scatter_pos is None  # equal-m: no padding left
+
+    def test_ragged_run_falls_back(self):
+        plan = _uniform_groups_plan([6, 6, 6], ragged_group=True)
+        layout = build_batched_layout(plan)
+        assert len(layout.buckets) == 1
+        assert layout.ragged_runs.shape == (1, 3)
+        g, s_lo, s_hi = layout.ragged_runs[0]
+        assert plan.seg_size(int(s_lo)) != plan.seg_size(int(s_hi) - 1)
+
+    def test_sub_minimum_bucket_falls_back(self):
+        plan = _uniform_groups_plan([6])
+        layout = build_batched_layout(plan, min_bucket_groups=2)
+        assert not layout.buckets
+        assert layout.ragged_runs.shape == (1, 3)
+
+    def test_adjacent_ragged_runs_merge_per_group(self):
+        # A group with a ragged direct run following a sub-minimum
+        # approx run must cost one fused-style call, not two.
+        plan = _uniform_groups_plan([6], ragged_group=True)
+        layout = build_batched_layout(plan, min_bucket_groups=2)
+        assert not layout.buckets
+        assert layout.ragged_runs.shape == (2, 3)  # one run per group
+
+    def test_unbatchable_group_becomes_single_merged_run(self):
+        # approx run below the bucket minimum + ragged direct run, same
+        # group: the fallback must evaluate the whole group in one
+        # fused-style span, exactly like FusedBackend would.
+        rng = np.random.default_rng(11)
+        b = PlanBuilder(4, numerics=True)
+        b.add_group(targets=rng.random((4, 3)), out_index=np.arange(4))
+        b.add_segment("approx", points=rng.random((5, 3)),
+                      weights=rng.random(5))
+        b.add_segment("direct", points=rng.random((2, 3)),
+                      weights=rng.random(2))
+        b.add_segment("direct", points=rng.random((7, 3)),
+                      weights=rng.random(7))
+        layout = build_batched_layout(b.build(), min_bucket_groups=2)
+        assert not layout.buckets
+        assert layout.ragged_runs.tolist() == [[0, 0, 3]]
+
+    def test_model_plan_has_no_layout(self, cube):
+        plan = _compile(cube, numerics=False)
+        with pytest.raises(ValueError, match="model-only"):
+            plan.ensure_batched_layout()
+
+    def test_geometry_cast_caches(self, shared_plan):
+        assert shared_plan.targets_as(np.float64) is shared_plan.targets
+        assert (
+            shared_plan.src_points_as(np.float64) is shared_plan.src_points
+        )
+        t32 = shared_plan.targets_as(np.float32)
+        assert t32.dtype == np.float32
+        assert shared_plan.targets_as(np.float32) is t32  # cached
+        assert np.array_equal(
+            t32, shared_plan.targets.astype(np.float32)
+        )
+
+
+class TestBatchedBackend:
+    """Stacked bucket evaluation: fused-level results, deterministic."""
+
+    def _run(self, name, plan, *, forces=True, dtype=np.float64, kernel=None):
+        device = GpuDevice(GPU_TITAN_V)
+        out, f = get_backend(name).execute(
+            plan, kernel or YukawaKernel(0.5), device,
+            dtype=dtype, compute_forces=forces,
+        )
+        return out, f, device
+
+    @pytest.mark.parametrize("layout", ["duplicated", "shared"])
+    def test_matches_fused_within_roundoff(
+        self, shared_plan, dedup_plan, layout
+    ):
+        plan = shared_plan if layout == "duplicated" else dedup_plan
+        phi_f, f_f, dev_f = self._run("fused", plan)
+        phi_b, f_b, dev_b = self._run("batched", plan)
+        assert np.allclose(phi_f, phi_b, rtol=1e-9, atol=1e-12)
+        assert np.allclose(f_f, f_b, rtol=1e-8, atol=1e-11)
+        assert dev_b.counters.launches == dev_f.counters.launches
+        assert dev_b.counters.interactions == dev_f.counters.interactions
+        assert dev_b.elapsed() == pytest.approx(dev_f.elapsed())
+
+    def test_float32_matches_fused(self, shared_plan):
+        phi_f, f_f, _ = self._run("fused", shared_plan, dtype=np.float32)
+        phi_b, f_b, _ = self._run("batched", shared_plan, dtype=np.float32)
+        assert relative_l2_error(phi_f, phi_b) < 1e-6
+        assert relative_l2_error(f_f, f_b) < 1e-5
+
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32],
+                             ids=["f64", "f32"])
+    def test_bitwise_run_to_run_determinism(self, shared_plan, dtype):
+        phi_a, f_a, _ = self._run("batched", shared_plan, dtype=dtype)
+        phi_b, f_b, _ = self._run("batched", shared_plan, dtype=dtype)
+        assert np.array_equal(phi_a, phi_b)
+        assert np.array_equal(f_a, f_b)
+
+    def test_counters_match_numpy_reference(self, shared_plan):
+        _, _, dev_np = self._run("numpy", shared_plan)
+        _, _, dev_b = self._run("batched", shared_plan)
+        ref = dev_np.counters
+        c = dev_b.counters
+        assert c.launches == ref.launches
+        assert c.interactions == ref.interactions
+        assert {k: tuple(v) for k, v in c.by_kind.items()} == {
+            k: tuple(v) for k, v in ref.by_kind.items()
+        }
+
+    def test_unsupported_kernel_falls_back_bitwise_to_fused(self, shared_plan):
+        class NoBatched(CoulombKernel):
+            supports_batched_pairwise = False
+
+        phi_f, f_f, _ = self._run("fused", shared_plan, kernel=NoBatched())
+        phi_b, f_b, _ = self._run("batched", shared_plan, kernel=NoBatched())
+        assert np.array_equal(phi_f, phi_b)
+        assert np.array_equal(f_f, f_b)
+
+    def test_rejects_model_plan(self, cube):
+        plan = _compile(cube, numerics=False)
+        with pytest.raises(ValueError, match="needs a plan"):
+            self._run("batched", plan)
+
+    def test_synthetic_padded_bucket_matches_fused(self):
+        # Heterogeneous group sizes force a padded bucket; the padded
+        # rows must never leak into the output.
+        plan = _uniform_groups_plan(
+            [10, 9, 10, 8, 10], seg_rows=6, n_segs=3, ragged_group=True
+        )
+        phi_f, f_f, _ = self._run("fused", plan, kernel=CoulombKernel())
+        phi_b, f_b, _ = self._run("batched", plan, kernel=CoulombKernel())
+        assert np.allclose(phi_f, phi_b, rtol=1e-9, atol=1e-12)
+        assert np.allclose(f_f, f_b, rtol=1e-8, atol=1e-11)
+
+    def test_pipeline_compute(self, cube):
+        params = _params(backend="batched", batched=True)
+        res = BarycentricTreecode(YukawaKernel(0.5), params).compute(
+            cube, compute_forces=True
+        )
+        ref = BarycentricTreecode(YukawaKernel(0.5), _params()).compute(
+            cube, compute_forces=True
+        )
+        assert np.allclose(
+            res.potential, ref.potential, rtol=1e-9, atol=1e-12
+        )
+        assert np.allclose(res.forces, ref.forces, rtol=1e-8, atol=1e-11)
+        assert res.phases.compute == pytest.approx(ref.phases.compute)
+        for key in ("launches", "kernel_evaluations", "by_kind"):
+            assert res.stats[key] == ref.stats[key], key
+
+    def test_registered_and_exported(self):
+        assert "batched" in available_backends()
+        assert isinstance(get_backend("batched"), BatchedBackend)
 
 
 class TestNumbaLoops:

@@ -35,7 +35,7 @@ from repro import (
 from repro.core.backends.numba_backend import NUMBA_AVAILABLE
 from repro.core.plan import PlanBuilder
 
-EXEC_BACKENDS = ["numpy", "fused", "multiprocessing"] + (
+EXEC_BACKENDS = ["numpy", "fused", "batched", "multiprocessing"] + (
     ["numba"] if NUMBA_AVAILABLE else []
 )
 
@@ -174,6 +174,76 @@ class TestSingleDeviceSession:
 
     def test_shared_sources_session(self, cube, new_charges):
         params = _params(backend="fused", shared_sources=True)
+        tc = BarycentricTreecode(YukawaKernel(0.5), params)
+        prepared = tc.prepare(cube)
+        prepared.apply(cube.charges)
+        res = prepared.apply(new_charges)
+        ref = tc.compute(ParticleSet(cube.positions, new_charges))
+        assert np.array_equal(res.potential, ref.potential)
+
+
+class TestBatchedSession:
+    """apply()/refresh_weights on plans carrying the bucketed layout."""
+
+    def test_repeated_applies_bitwise_equal(self, cube):
+        # The acceptance contract: a prepared batched session is
+        # bitwise-reproducible across applies of the same charges.
+        params = _params(backend="batched", batched=True)
+        prepared = BarycentricTreecode(YukawaKernel(0.5), params).prepare(cube)
+        assert prepared.plan.batched_layout is not None
+        a = prepared.apply(cube.charges, compute_forces=True)
+        b = prepared.apply(cube.charges, compute_forces=True)
+        assert np.array_equal(a.potential, b.potential)
+        assert np.array_equal(a.forces, b.forces)
+
+    def test_charge_refresh_matches_fresh_compute(self, cube, new_charges):
+        params = _params(backend="batched", batched=True)
+        tc = BarycentricTreecode(CoulombKernel(), params)
+        prepared = tc.prepare(cube)
+        prepared.apply(cube.charges)
+        res = prepared.apply(new_charges)
+        ref = tc.compute(ParticleSet(cube.positions, new_charges))
+        assert np.array_equal(res.potential, ref.potential)
+
+    def test_refresh_rewrites_bucket_weight_views(self, cube):
+        # After every apply the bucket weight matrices must equal a
+        # fresh gather from the flat (refreshed) weight buffer.
+        params = _params(backend="batched", batched=True)
+        prepared = BarycentricTreecode(CoulombKernel(), params).prepare(cube)
+        plan = prepared.plan
+        layout = plan.batched_layout
+        assert layout.buckets
+        for bucket in layout.buckets:  # deferred skeleton: still zeroed
+            assert np.all(bucket.weights == 0.0)
+        prepared.apply(cube.charges)
+        for bucket in layout.buckets:
+            assert np.array_equal(
+                bucket.weights, plan.src_weights[bucket.src_index]
+            )
+            assert np.any(bucket.weights != 0.0)
+
+    def test_lazy_layout_session_without_params_flag(self, cube):
+        # backend="batched" alone: the layout is built on first execute
+        # and weight refreshes keep maintaining it afterwards.
+        params = _params(backend="batched")
+        tc = BarycentricTreecode(CoulombKernel(), params)
+        prepared = tc.prepare(cube)
+        assert prepared.plan.batched_layout is None
+        first = prepared.apply(cube.charges)
+        assert prepared.plan.batched_layout is not None
+        rng = np.random.default_rng(3)
+        q2 = rng.uniform(-1.0, 1.0, cube.n)
+        res = prepared.apply(q2)
+        ref = tc.compute(ParticleSet(cube.positions, q2))
+        assert np.array_equal(res.potential, ref.potential)
+        assert np.array_equal(
+            first.potential, tc.compute(cube).potential
+        )
+
+    def test_shared_sources_batched_session(self, cube, new_charges):
+        params = _params(
+            backend="batched", batched=True, shared_sources=True
+        )
         tc = BarycentricTreecode(YukawaKernel(0.5), params)
         prepared = tc.prepare(cube)
         prepared.apply(cube.charges)
