@@ -1,0 +1,158 @@
+"""Multi-RHS ablation: many charge vectors per prepared-session apply.
+
+One blocked ``apply(charges)`` with ``charges`` of shape ``(N, n_rhs)``
+evaluates every column in a single traversal: the tree walk, the
+pairwise distance work, the Lagrange bases and (on the batched backend)
+the bucket GEMM set-up are all paid once instead of per column -- every
+per-group GEMV grows into a GEMM.  This sweep times blocked applies for
+``n_rhs in {1, 4, 16, 64}`` on the far-field regime (BEM-style shifted
+targets, the workload whose solve loops actually carry many right-hand
+sides) and reports **per-column** throughput: ``t(1) / (t(k) / k)``.
+
+The acceptance bar is >= 2x per-column throughput at ``n_rhs=16`` over
+the single-vector baseline on the batched backend.
+
+Scales: the default ``quick`` runs N=12k; ``smoke`` (CI) shrinks N but
+keeps every assertion.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from conftest import bench_scale, write_json, write_result
+from repro import BarycentricTreecode, CoulombKernel, TreecodeParams, random_cube
+from repro.analysis import format_table
+
+SMOKE = bench_scale() == "smoke"
+
+N = 4_000 if SMOKE else 12_000
+N_RHS = (1, 4, 16, 64)
+ROUNDS = 2
+BACKENDS = ("numpy", "fused", "batched", "multiprocessing")
+#: far-field regime: fully separated clouds, the plan is almost
+#: entirely uniform approximation segments (the regime the batched
+#: backend's bucket GEMMs are built for).
+THETA, DEGREE, LEAF, SHIFT = 0.8, 2, 50, 2.5
+
+
+def _session(backend):
+    sources = random_cube(N, seed=910)
+    targets = random_cube(N, seed=911).positions + np.array([SHIFT, 0.0, 0.0])
+    params = TreecodeParams(
+        theta=THETA, degree=DEGREE, max_leaf_size=LEAF, max_batch_size=LEAF,
+        backend=backend,
+    )
+    return BarycentricTreecode(CoulombKernel(), params).prepare(
+        sources, targets
+    )
+
+
+def _time_apply(prepared, charges):
+    best = float("inf")
+    result = None
+    for _ in range(ROUNDS):
+        t0 = time.perf_counter()
+        result = prepared.apply(charges)
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+@pytest.fixture(scope="module")
+def multi_rhs_sweep():
+    rng = np.random.default_rng(912)
+    block = rng.uniform(-1.0, 1.0, (N, max(N_RHS)))
+    rows = []
+    for backend in BACKENDS:
+        prepared = _session(backend)
+        base_seconds = None
+        base_result = None
+        for k in N_RHS:
+            charges = (
+                np.ascontiguousarray(block[:, 0])
+                if k == 1
+                else np.ascontiguousarray(block[:, :k])
+            )
+            seconds, result = _time_apply(prepared, charges)
+            if k == 1:
+                base_seconds, base_result = seconds, result
+                per_column_speedup = 1.0
+            else:
+                per_column_speedup = base_seconds / (seconds / k)
+                # the sweep is only meaningful if the blocked columns
+                # reproduce the solo apply bitwise
+                np.testing.assert_array_equal(
+                    result.potential[:, 0], base_result.potential
+                )
+            rows.append(
+                {
+                    "backend": backend,
+                    "n": N,
+                    "n_rhs": k,
+                    "seconds": seconds,
+                    "applies_per_sec": 1.0 / seconds,
+                    "columns_per_sec": k / seconds,
+                    "per_column_speedup": per_column_speedup,
+                }
+            )
+    return rows
+
+
+def test_multi_rhs_regenerate(benchmark, multi_rhs_sweep, results_dir):
+    rows = benchmark.pedantic(lambda: multi_rhs_sweep, rounds=1, iterations=1)
+    headers = [
+        "backend", "N", "n_rhs", "apply (s)", "applies/s", "columns/s",
+        "per-column speedup",
+    ]
+    table = [
+        [
+            r["backend"], r["n"], r["n_rhs"], f"{r['seconds']:.3f}",
+            f"{r['applies_per_sec']:.2f}", f"{r['columns_per_sec']:.2f}",
+            f"{r['per_column_speedup']:.2f}x",
+        ]
+        for r in rows
+    ]
+    text = format_table(
+        headers,
+        table,
+        title=(
+            "Multi-RHS ablation -- far-field prepared session, wall-clock "
+            "of one blocked apply (min of 2 rounds; per-column speedup = "
+            "t(1) / (t(n_rhs) / n_rhs))"
+        ),
+    )
+    write_result(results_dir, "ablation_multi_rhs.txt", text)
+    write_json(
+        results_dir,
+        "BENCH_multi_rhs.json",
+        [
+            {
+                "backend": r["backend"],
+                "n": r["n"],
+                "n_rhs": r["n_rhs"],
+                "seconds": round(r["seconds"], 6),
+                "applies_per_sec": round(r["applies_per_sec"], 4),
+                "columns_per_sec": round(r["columns_per_sec"], 4),
+                "per_column_speedup": round(r["per_column_speedup"], 4),
+            }
+            for r in rows
+        ],
+    )
+
+
+def test_batched_2x_per_column_at_16(multi_rhs_sweep):
+    """Acceptance bar: n_rhs=16 doubles per-column throughput (batched)."""
+    row = next(
+        r
+        for r in multi_rhs_sweep
+        if r["backend"] == "batched" and r["n_rhs"] == 16
+    )
+    assert row["per_column_speedup"] >= 2.0, row
+
+
+def test_blocked_apply_never_slower_per_column(multi_rhs_sweep):
+    """Growing the block must not cost per-column throughput anywhere."""
+    for r in multi_rhs_sweep:
+        if r["n_rhs"] > 1:
+            assert r["per_column_speedup"] >= 1.0, r

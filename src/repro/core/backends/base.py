@@ -54,11 +54,21 @@ def charge_segment_launches(
     *,
     cost_multiplier: float,
     flops_factor: float = 1.0,
+    n_rhs: int = 1,
 ) -> None:
-    """Charge one launch per segment size against the device."""
+    """Charge one launch per segment size against the device.
+
+    ``n_rhs`` scales the interaction count for multi-RHS execution: the
+    widened GEMV evaluates every charge column against the same kernel
+    block, so one launch carries ``n_rhs`` times the work (block count
+    is unchanged -- the launch grid is the target rows either way).
+    """
     for sz in sizes:
+        interactions = float(n_targets) * float(sz)
+        if n_rhs != 1:
+            interactions *= float(n_rhs)
         device.launch(
-            float(n_targets) * float(sz),
+            interactions,
             blocks=n_targets,
             kind=kind,
             flops_per_interaction=flops_factor * kernel.flops_per_interaction,
@@ -74,6 +84,7 @@ def charge_plan_launches(
     dtype=np.float64,
     compute_forces: bool = False,
     bulk: bool = False,
+    n_rhs: int = 1,
 ) -> None:
     """Charge the device for every launch the plan describes.
 
@@ -81,6 +92,9 @@ def charge_plan_launches(
     interactions and ``group_size`` thread blocks, potential kinds first;
     with ``compute_forces`` the same segments are charged again as
     ``<kind>-force`` launches at :data:`FORCE_FLOP_FACTOR` flops.
+    ``n_rhs > 1`` multiplies every launch's interaction count (multi-RHS
+    execution evaluates that many charge columns per kernel block;
+    block counts are unchanged).
 
     ``bulk=True`` computes every launch duration in one vectorized pass
     and streams them to :meth:`~repro.gpu.device.Device.launch_many` --
@@ -92,7 +106,7 @@ def charge_plan_launches(
     """
     cost_mult = launch_cost_multiplier(kernel, device, dtype)
     if bulk:
-        _charge_bulk(plan, kernel, device, cost_mult, compute_forces)
+        _charge_bulk(plan, kernel, device, cost_mult, compute_forces, n_rhs)
         return
     seg_sizes = np.diff(plan.seg_ptr)
     for g in range(plan.n_groups):
@@ -103,6 +117,7 @@ def charge_plan_launches(
             charge_segment_launches(
                 device, kernel, m, seg_sizes[s_lo:s_hi], kind,
                 cost_multiplier=cost_mult,
+                n_rhs=n_rhs,
             )
         if compute_forces:
             for kind, s_lo, s_hi in plan.group_kind_runs(g):
@@ -110,16 +125,19 @@ def charge_plan_launches(
                     device, kernel, m, seg_sizes[s_lo:s_hi], f"{kind}-force",
                     cost_multiplier=cost_mult,
                     flops_factor=FORCE_FLOP_FACTOR,
+                    n_rhs=n_rhs,
                 )
 
 
-def _charge_bulk(plan, kernel, device, cost_mult, compute_forces) -> None:
+def _charge_bulk(plan, kernel, device, cost_mult, compute_forces, n_rhs=1) -> None:
     spec = device.spec
     seg_sizes = np.diff(plan.seg_ptr).astype(np.float64)
     blocks = np.repeat(
         np.diff(plan.group_ptr), np.diff(plan.seg_group_ptr)
     )
     interactions = blocks.astype(np.float64) * seg_sizes
+    if n_rhs != 1:
+        interactions *= float(n_rhs)
     occ_blocks = blocks if spec.kind == "gpu" else None
     pot_dur = spec.interaction_times(
         interactions,
@@ -183,6 +201,7 @@ class Backend(abc.ABC):
         *,
         dtype=np.float64,
         compute_forces: bool = False,
+        n_rhs: int | None = None,
     ) -> tuple[np.ndarray, np.ndarray | None]:
         """Run the plan; returns ``(out, forces_or_None)``.
 
@@ -190,6 +209,15 @@ class Backend(abc.ABC):
         ``plan.out_index``); ``forces`` is ``(out_size, 3)`` when
         requested.  Implementations must charge the device exclusively
         via :func:`charge_plan_launches`.
+
+        Multi-RHS: numerics backends detect a widened weight buffer
+        through ``plan.rhs_width`` and return ``(out_size, n_rhs)`` /
+        ``(out_size, 3, n_rhs)``; the ``n_rhs`` parameter exists so
+        sessions can tell buffer-free executions (the model backend,
+        whose plan may carry stale or absent weights) how many columns
+        to charge and shape for.  Sessions only pass it on the multi
+        path, so externally registered backends with the pre-multi-RHS
+        signature keep working for single-vector applies.
         """
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -54,18 +54,29 @@ class BatchedBackend(Backend):
         *,
         dtype=np.float64,
         compute_forces: bool = False,
+        n_rhs: int | None = None,
     ):
         if not plan.has_numerics:
             raise ValueError(
                 f"backend {self.name!r} needs a plan compiled with numerics"
             )
+        width = plan.rhs_width
         charge_plan_launches(
             plan, kernel, device,
             dtype=dtype, compute_forces=compute_forces, bulk=True,
+            n_rhs=width or 1,
         )
-        out = np.zeros(plan.out_size, dtype=np.float64)
+        out = np.zeros(
+            plan.out_size if width is None else (plan.out_size, width),
+            dtype=np.float64,
+        )
         forces = (
-            np.zeros((plan.out_size, 3), dtype=np.float64)
+            np.zeros(
+                (plan.out_size, 3)
+                if width is None
+                else (plan.out_size, 3, width),
+                dtype=np.float64,
+            )
             if compute_forces
             else None
         )

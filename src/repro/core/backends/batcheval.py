@@ -55,32 +55,50 @@ def eval_bucket(
     ``ExecutionPlan.refresh_weights``), cast per call for mixed
     precision.  The scatter uses the bucket's precomputed valid
     positions, so padded rows are computed but never accumulated.
+
+    Multi-RHS: a ``(G, k, n_rhs)`` bucket weight matrix hoists each
+    chunk's kernel-matrix stack once and re-contracts it per column
+    with the identical single-column batched GEMV on a contiguous
+    column copy.  Chunk boundaries never depend on ``n_rhs`` (the
+    coincidence noise floor derives from the chunk), so column ``j``
+    is bitwise the single-vector result on weight column ``j``.
     """
     tgt, src = bucket.stacks(targets, src_points, dtype)
     w = bucket.weights
     if w.dtype != tgt.dtype:
         w = w.astype(tgt.dtype)
+    multi = w.ndim == 3
+    n_rhs = w.shape[2] if multi else 1
     n, m_max, _ = tgt.shape
     k = src.shape[1]
-    phi = np.empty((n, m_max), dtype=tgt.dtype)
-    f_stack = (
-        np.empty((n, m_max, 3), dtype=tgt.dtype) if compute_forces else None
+    phi = np.empty(
+        (n, m_max, n_rhs) if multi else (n, m_max), dtype=tgt.dtype
     )
+    f_stack = None
+    if compute_forces:
+        f_stack = np.empty(
+            (n, m_max, 3, n_rhs) if multi else (n, m_max, 3), dtype=tgt.dtype
+        )
     per_entry = m_max * max(k, 1) * (2 if compute_forces else 1)
     chunk = max(1, block_elements // per_entry)
     for lo, hi in chunk_ranges(n, chunk):
         mat = kernel.pairwise_batched(tgt[lo:hi], src[lo:hi])
-        phi[lo:hi] = np.matmul(mat, w[lo:hi, :, None])[..., 0]
+        if multi:
+            for r in range(n_rhs):
+                w_col = np.ascontiguousarray(w[lo:hi, :, r])
+                phi[lo:hi, :, r] = np.matmul(mat, w_col[:, :, None])[..., 0]
+        else:
+            phi[lo:hi] = np.matmul(mat, w[lo:hi, :, None])[..., 0]
         if f_stack is not None:
             f_stack[lo:hi] = kernel.force_batched(
                 tgt[lo:hi], src[lo:hi], w[lo:hi]
             )
-    vals = phi.reshape(-1)
+    vals = phi.reshape((-1, n_rhs) if multi else -1)
     if bucket.scatter_pos is not None:
         vals = vals[bucket.scatter_pos]
     out[bucket.out_slots] += vals
     if forces is not None and f_stack is not None:
-        f_vals = f_stack.reshape(-1, 3)
+        f_vals = f_stack.reshape((-1, 3, n_rhs) if multi else (-1, 3))
         if bucket.scatter_pos is not None:
             f_vals = f_vals[bucket.scatter_pos]
         forces[bucket.out_slots] += f_vals

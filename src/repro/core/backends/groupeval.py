@@ -90,6 +90,11 @@ def eval_group_range(arrays, kernel, dtype, compute_forces, g_lo, g_hi):
     contiguous target rows of the range; the caller scatters through
     ``out_index`` (injective, so shards of disjoint group ranges never
     race on the output).
+
+    A 2-D weight buffer widens ``phi`` to ``(rows, n_rhs)`` and
+    ``forces`` to ``(rows, 3, n_rhs)``: the kernel hoists each group's
+    pairwise matrix / gradient once and contracts all columns against
+    it -- this is where the per-group GEMV grows into a GEMM.
     """
     group_ptr = arrays["group_ptr"]
     t_lo_all = int(group_ptr[g_lo])
@@ -100,9 +105,20 @@ def eval_group_range(arrays, kernel, dtype, compute_forces, g_lo, g_hi):
     # mixed-precision error budget -- so float32 keeps the reference
     # operation order and only the float64 path opts in.
     fused = np.dtype(dtype) == np.float64
-    phi = np.zeros(t_hi_all - t_lo_all, dtype=np.float64)
+    rows = t_hi_all - t_lo_all
+    rhs_width = (
+        arrays["src_weights"].shape[1]
+        if arrays["src_weights"].ndim == 2
+        else None
+    )
+    phi = np.zeros(
+        rows if rhs_width is None else (rows, rhs_width), dtype=np.float64
+    )
     f_out = (
-        np.zeros((t_hi_all - t_lo_all, 3), dtype=np.float64)
+        np.zeros(
+            (rows, 3) if rhs_width is None else (rows, 3, rhs_width),
+            dtype=np.float64,
+        )
         if compute_forces
         else None
     )

@@ -32,14 +32,28 @@ class ModelBackend(Backend):
         *,
         dtype=np.float64,
         compute_forces: bool = False,
+        n_rhs: int | None = None,
     ):
+        # Model-only plans carry no weight buffers (and dry runs of a
+        # prepared numerics session skip the weight refresh), so the
+        # session tells us the RHS width explicitly; None keeps the
+        # single-vector shapes and charging.
         charge_plan_launches(
             plan, kernel, device,
             dtype=dtype, compute_forces=compute_forces, bulk=True,
+            n_rhs=n_rhs or 1,
         )
-        out = np.zeros(plan.out_size, dtype=np.float64)
+        out = np.zeros(
+            plan.out_size if n_rhs is None else (plan.out_size, n_rhs),
+            dtype=np.float64,
+        )
         forces = (
-            np.zeros((plan.out_size, 3), dtype=np.float64)
+            np.zeros(
+                (plan.out_size, 3)
+                if n_rhs is None
+                else (plan.out_size, 3, n_rhs),
+                dtype=np.float64,
+            )
             if compute_forces
             else None
         )

@@ -25,7 +25,10 @@ Execution model
   :meth:`~repro.core.plan.ExecutionPlan.refresh_weights` (the
   prepare/apply session seam) only the ``src_weights`` region of the
   existing block is rewritten -- detected through the plan's
-  ``weights_version``, never by re-creating the block.  Blocks are
+  ``weights_version``, never by re-creating the block.  The one
+  exception is a multi-RHS width change (``(R,)`` <-> ``(R, n_rhs)``):
+  the fixed layout cannot hold a re-shaped buffer, so the old block is
+  unlinked immediately and the plan re-packed wholesale.  Blocks are
   unlinked when the plan is garbage-collected or the backend is closed.
   When shared memory is unavailable the buffers fall back to being
   pickled into each shard's task: one copy per shard through the
@@ -330,7 +333,21 @@ class MultiprocessingBackend(Backend):
                 # finalizer holds the shipment, not the plan.
                 weakref.finalize(plan, ship.close)
             elif ship.version != plan.weights_version:
-                ship.refresh(plan)
+                if ship.shm is not None and tuple(
+                    ship.spec["layout"]["src_weights"][1]
+                ) != tuple(plan.src_weights.shape):
+                    # The RHS width changed: the fixed-layout block
+                    # cannot hold the re-shaped weight buffer, so unlink
+                    # it and re-pack wholesale (no leaked block; the new
+                    # shipment gets its own plan finalizer).
+                    ship.close()
+                    ship = _Shipment.pack(
+                        plan, use_shared_memory=self.use_shared_memory
+                    )
+                    self._shipments[plan] = ship
+                    weakref.finalize(plan, ship.close)
+                else:
+                    ship.refresh(plan)
             return ship
 
     def __del__(self):  # pragma: no cover - interpreter teardown
@@ -417,18 +434,29 @@ class MultiprocessingBackend(Backend):
         *,
         dtype=np.float64,
         compute_forces: bool = False,
+        n_rhs: int | None = None,
     ):
         if not plan.has_numerics:
             raise ValueError(
                 f"backend {self.name!r} needs a plan compiled with numerics"
             )
+        width = plan.rhs_width
         charge_plan_launches(
             plan, kernel, device,
             dtype=dtype, compute_forces=compute_forces, bulk=True,
+            n_rhs=width or 1,
         )
-        out = np.zeros(plan.out_size, dtype=np.float64)
+        out = np.zeros(
+            plan.out_size if width is None else (plan.out_size, width),
+            dtype=np.float64,
+        )
         forces = (
-            np.zeros((plan.out_size, 3), dtype=np.float64)
+            np.zeros(
+                (plan.out_size, 3)
+                if width is None
+                else (plan.out_size, 3, width),
+                dtype=np.float64,
+            )
             if compute_forces
             else None
         )

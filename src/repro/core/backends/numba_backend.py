@@ -231,7 +231,189 @@ def _make_loops(eval_r, eval_dr_over_r, r0, jit, prange_fn=range):
     return jit(potential_loop), jit(force_loop) if force_loop is not None else None
 
 
-def build_group_loops(kernel, jit=None, *, parallel=False):
+def _make_multi_loops(eval_r, eval_dr_over_r, r0, jit, prange_fn=range):
+    """Multi-RHS variants of :func:`_make_loops` (2-D weight buffers).
+
+    The distance work -- gather, expanded r^2, noise-floor test, one
+    scalar kernel evaluation per (target, source) pair -- runs exactly
+    as in the single-vector loops; an innermost loop then accumulates
+    every RHS column with the identical multiply-add (coincident and
+    regular branches kept separate so operand types match the
+    single-vector expressions).  Column ``j`` of the result is
+    therefore bitwise what the single-vector loop produces on
+    ``src_weights[:, j]``.
+    """
+    eval_r = jit(eval_r)
+    if eval_dr_over_r is not None:
+        eval_dr_over_r = jit(eval_dr_over_r)
+
+    def potential_loop(
+        targets, src_points, src_weights,
+        group_ptr, seg_group_ptr, seg_lo_arr, seg_sizes,
+        phi, eps16,
+    ):
+        n_groups = group_ptr.shape[0] - 1
+        n_rhs = src_weights.shape[1]
+        for g in prange_fn(n_groups):
+            t_lo = group_ptr[g]
+            t_hi = group_ptr[g + 1]
+            m = t_hi - t_lo
+            if m == 0:
+                continue
+            s_lo = seg_group_ptr[g]
+            s_hi = seg_group_ptr[g + 1]
+            rows = 0
+            for s in range(s_lo, s_hi):
+                rows += seg_sizes[s]
+            if rows == 0:
+                continue
+            sx = np.empty(rows, src_points.dtype)
+            sy = np.empty(rows, src_points.dtype)
+            sz = np.empty(rows, src_points.dtype)
+            sq = np.empty((rows, n_rhs), src_weights.dtype)
+            s2 = np.empty(rows, src_points.dtype)
+            pos = 0
+            s2max = 0.0
+            for s in range(s_lo, s_hi):
+                lo = seg_lo_arr[s]
+                for j in range(seg_sizes[s]):
+                    x = src_points[lo + j, 0]
+                    y = src_points[lo + j, 1]
+                    z = src_points[lo + j, 2]
+                    sx[pos] = x
+                    sy[pos] = y
+                    sz[pos] = z
+                    for rr in range(n_rhs):
+                        sq[pos, rr] = src_weights[lo + j, rr]
+                    v = x * x + y * y + z * z
+                    s2[pos] = v
+                    if v > s2max:
+                        s2max = v
+                    pos += 1
+            t2max = 0.0
+            for i in range(m):
+                tx = targets[t_lo + i, 0]
+                ty = targets[t_lo + i, 1]
+                tz = targets[t_lo + i, 2]
+                v = tx * tx + ty * ty + tz * tz
+                if v > t2max:
+                    t2max = v
+            noise = eps16 * max(t2max + s2max, 1e-300)
+            for i in range(m):
+                tx = targets[t_lo + i, 0]
+                ty = targets[t_lo + i, 1]
+                tz = targets[t_lo + i, 2]
+                t2 = tx * tx + ty * ty + tz * tz
+                # A list, not an array: each element then follows exactly
+                # the type evolution of the solo loop's scalar ``acc``
+                # (float32 accumulation in the pure-Python loops, float64
+                # under numba's literal unification), keeping column bits
+                # equal to the single-vector loop in both modes.
+                acc = [0.0] * n_rhs
+                for j in range(rows):
+                    r2 = (t2 + s2[j]) - 2.0 * (
+                        tx * sx[j] + ty * sy[j] + tz * sz[j]
+                    )
+                    if r2 <= noise:
+                        for rr in range(n_rhs):
+                            acc[rr] = acc[rr] + r0 * sq[j, rr]
+                    else:
+                        gval = eval_r(np.sqrt(r2))
+                        for rr in range(n_rhs):
+                            acc[rr] = acc[rr] + gval * sq[j, rr]
+                for rr in range(n_rhs):
+                    phi[t_lo + i, rr] += acc[rr]
+
+    force_loop = None
+    if eval_dr_over_r is not None:
+        _dr = eval_dr_over_r
+
+        def force_loop(
+            targets, src_points, src_weights,
+            group_ptr, seg_group_ptr, seg_lo_arr, seg_sizes,
+            force, eps16,
+        ):
+            n_groups = group_ptr.shape[0] - 1
+            n_rhs = src_weights.shape[1]
+            for g in prange_fn(n_groups):
+                t_lo = group_ptr[g]
+                t_hi = group_ptr[g + 1]
+                m = t_hi - t_lo
+                if m == 0:
+                    continue
+                s_lo = seg_group_ptr[g]
+                s_hi = seg_group_ptr[g + 1]
+                rows = 0
+                for s in range(s_lo, s_hi):
+                    rows += seg_sizes[s]
+                if rows == 0:
+                    continue
+                sx = np.empty(rows, src_points.dtype)
+                sy = np.empty(rows, src_points.dtype)
+                sz = np.empty(rows, src_points.dtype)
+                sq = np.empty((rows, n_rhs), src_weights.dtype)
+                s2 = np.empty(rows, src_points.dtype)
+                pos = 0
+                s2max = 0.0
+                for s in range(s_lo, s_hi):
+                    lo = seg_lo_arr[s]
+                    for j in range(seg_sizes[s]):
+                        x = src_points[lo + j, 0]
+                        y = src_points[lo + j, 1]
+                        z = src_points[lo + j, 2]
+                        sx[pos] = x
+                        sy[pos] = y
+                        sz[pos] = z
+                        for rr in range(n_rhs):
+                            sq[pos, rr] = src_weights[lo + j, rr]
+                        v = x * x + y * y + z * z
+                        s2[pos] = v
+                        if v > s2max:
+                            s2max = v
+                        pos += 1
+                t2max = 0.0
+                for i in range(m):
+                    tx = targets[t_lo + i, 0]
+                    ty = targets[t_lo + i, 1]
+                    tz = targets[t_lo + i, 2]
+                    v = tx * tx + ty * ty + tz * tz
+                    if v > t2max:
+                        t2max = v
+                noise = eps16 * max(t2max + s2max, 1e-300)
+                for i in range(m):
+                    tx = targets[t_lo + i, 0]
+                    ty = targets[t_lo + i, 1]
+                    tz = targets[t_lo + i, 2]
+                    t2 = tx * tx + ty * ty + tz * tz
+                    # Lists for the same reason as the potential loop's
+                    # ``acc``: solo-scalar type evolution per column.
+                    fx = [0.0] * n_rhs
+                    fy = [0.0] * n_rhs
+                    fz = [0.0] * n_rhs
+                    for j in range(rows):
+                        r2 = (t2 + s2[j]) - 2.0 * (
+                            tx * sx[j] + ty * sy[j] + tz * sz[j]
+                        )
+                        if r2 <= noise:
+                            continue  # coincident pairs contribute no force
+                        fr = _dr(np.sqrt(r2))
+                        dx = tx - sx[j]
+                        dy = ty - sy[j]
+                        dz = tz - sz[j]
+                        for rr in range(n_rhs):
+                            factor = fr * sq[j, rr]
+                            fx[rr] = fx[rr] + factor * dx
+                            fy[rr] = fy[rr] + factor * dy
+                            fz[rr] = fz[rr] + factor * dz
+                    for rr in range(n_rhs):
+                        force[t_lo + i, 0, rr] -= fx[rr]
+                        force[t_lo + i, 1, rr] -= fy[rr]
+                        force[t_lo + i, 2, rr] -= fz[rr]
+
+    return jit(potential_loop), jit(force_loop) if force_loop is not None else None
+
+
+def build_group_loops(kernel, jit=None, *, parallel=False, multi=False):
     """Resolve (and cache) the compiled loops for ``kernel``.
 
     ``jit=None`` uses ``numba.njit`` (requires numba); pass an identity
@@ -239,7 +421,9 @@ def build_group_loops(kernel, jit=None, *, parallel=False):
     without a compiler.  ``parallel=True`` compiles the outer group
     loop as a ``prange`` under ``njit(parallel=True)`` (bitwise-equal
     results; jitted path only -- the pure-Python loops always iterate
-    serially).  Returns ``(potential_loop, force_loop_or_None)``.
+    serially).  ``multi=True`` compiles the multi-RHS variants, which
+    expect a 2-D ``src_weights`` buffer and 2-D ``phi`` / 3-D ``force``
+    outputs.  Returns ``(potential_loop, force_loop_or_None)``.
     """
     jitted = jit is None
     prange_fn = range
@@ -256,7 +440,7 @@ def build_group_loops(kernel, jit=None, *, parallel=False):
             prange_fn = numba.prange
     kernel_key, cacheable = _kernel_cache_key(kernel)
     cacheable = cacheable and jitted
-    key = (kernel_key, jitted, bool(parallel) and jitted)
+    key = (kernel_key, jitted, bool(parallel) and jitted, bool(multi))
     if cacheable and key in _LOOP_CACHE:
         return _LOOP_CACHE[key]
     try:
@@ -267,7 +451,8 @@ def build_group_loops(kernel, jit=None, *, parallel=False):
             "the numba backend needs them to compile its loops"
         ) from exc
     r0 = float(kernel.evaluate_r0()) if hasattr(kernel, "evaluate_r0") else 0.0
-    loops = _make_loops(eval_r, eval_dr, r0, jit, prange_fn)
+    make = _make_multi_loops if multi else _make_loops
+    loops = make(eval_r, eval_dr, r0, jit, prange_fn)
     if cacheable:
         _LOOP_CACHE[key] = loops
     return loops
@@ -307,6 +492,7 @@ class NumbaBackend(Backend):
         *,
         dtype=np.float64,
         compute_forces: bool = False,
+        n_rhs: int | None = None,
     ):
         if not plan.has_numerics:
             raise ValueError(
@@ -315,6 +501,7 @@ class NumbaBackend(Backend):
         charge_plan_launches(
             plan, kernel, device,
             dtype=dtype, compute_forces=compute_forces, bulk=True,
+            n_rhs=plan.rhs_width or 1,
         )
         if self.parallel:
             try:
@@ -331,7 +518,7 @@ class NumbaBackend(Backend):
 
     def _run(self, plan, kernel, dtype, compute_forces, parallel):
         potential_loop, force_loop = build_group_loops(
-            kernel, parallel=parallel
+            kernel, parallel=parallel, multi=plan.src_weights.ndim == 2,
         )
         if compute_forces and force_loop is None:
             raise NotImplementedError(
@@ -345,16 +532,29 @@ class NumbaBackend(Backend):
 
 
 def run_plan_loops(plan, potential_loop, force_loop, *, dtype=np.float64):
-    """Drive the (jitted or plain) loops over a plan's buffers."""
-    out = np.zeros(plan.out_size, dtype=np.float64)
-    forces = (
-        np.zeros((plan.out_size, 3), dtype=np.float64)
-        if force_loop is not None
-        else None
-    )
+    """Drive the (jitted or plain) loops over a plan's buffers.
+
+    A 2-D ``plan.src_weights`` buffer selects the multi-RHS shapes: the
+    supplied loops must then be the ``multi=True`` variants, and the
+    returned potential/forces gain a trailing RHS axis.
+    """
     targets = np.ascontiguousarray(plan.targets, dtype=dtype)
     src_points = np.ascontiguousarray(plan.src_points, dtype=dtype)
     src_weights = np.ascontiguousarray(plan.src_weights, dtype=dtype)
+    multi = src_weights.ndim == 2
+    n_rhs = src_weights.shape[1] if multi else 1
+    out = np.zeros(
+        (plan.out_size, n_rhs) if multi else plan.out_size,
+        dtype=np.float64,
+    )
+    forces = (
+        np.zeros(
+            (plan.out_size, 3, n_rhs) if multi else (plan.out_size, 3),
+            dtype=np.float64,
+        )
+        if force_loop is not None
+        else None
+    )
     seg_sizes = np.ascontiguousarray(np.diff(plan.seg_ptr))
     if plan.seg_src_lo is not None:
         seg_lo_arr = np.ascontiguousarray(plan.seg_src_lo)
@@ -363,7 +563,10 @@ def run_plan_loops(plan, potential_loop, force_loop, *, dtype=np.float64):
     group_ptr = np.ascontiguousarray(plan.group_ptr)
     seg_group_ptr = np.ascontiguousarray(plan.seg_group_ptr)
     eps16 = 16.0 * float(np.finfo(np.dtype(dtype)).eps)
-    phi = np.zeros(plan.n_target_rows, dtype=np.float64)
+    phi = np.zeros(
+        (plan.n_target_rows, n_rhs) if multi else plan.n_target_rows,
+        dtype=np.float64,
+    )
     potential_loop(
         targets, src_points, src_weights,
         group_ptr, seg_group_ptr, seg_lo_arr, seg_sizes,
@@ -371,7 +574,12 @@ def run_plan_loops(plan, potential_loop, force_loop, *, dtype=np.float64):
     )
     out[plan.out_index] += phi
     if force_loop is not None:
-        f_rows = np.zeros((plan.n_target_rows, 3), dtype=np.float64)
+        f_rows = np.zeros(
+            (plan.n_target_rows, 3, n_rhs)
+            if multi
+            else (plan.n_target_rows, 3),
+            dtype=np.float64,
+        )
         force_loop(
             targets, src_points, src_weights,
             group_ptr, seg_group_ptr, seg_lo_arr, seg_sizes,

@@ -31,17 +31,30 @@ class NumpyBackend(Backend):
         *,
         dtype=np.float64,
         compute_forces: bool = False,
+        n_rhs: int | None = None,
     ):
         if not plan.has_numerics:
             raise ValueError(
                 f"backend {self.name!r} needs a plan compiled with numerics"
             )
+        # Multi-RHS is a property of the plan's weight state; the n_rhs
+        # parameter is for buffer-free backends (see Backend.execute).
+        width = plan.rhs_width
         charge_plan_launches(
-            plan, kernel, device, dtype=dtype, compute_forces=compute_forces
+            plan, kernel, device, dtype=dtype, compute_forces=compute_forces,
+            n_rhs=width or 1,
         )
-        out = np.zeros(plan.out_size, dtype=np.float64)
+        out = np.zeros(
+            plan.out_size if width is None else (plan.out_size, width),
+            dtype=np.float64,
+        )
         forces = (
-            np.zeros((plan.out_size, 3), dtype=np.float64)
+            np.zeros(
+                (plan.out_size, 3)
+                if width is None
+                else (plan.out_size, 3, width),
+                dtype=np.float64,
+            )
             if compute_forces
             else None
         )
@@ -57,9 +70,16 @@ class NumpyBackend(Backend):
                 continue
             tgt = np.ascontiguousarray(plan.targets[t_lo:t_hi], dtype=dtype)
             idx = plan.out_index[t_lo:t_hi]
-            phi = np.zeros(m, dtype=np.float64)
+            phi = np.zeros(
+                m if width is None else (m, width), dtype=np.float64
+            )
             f_acc = (
-                np.zeros((m, 3), dtype=np.float64) if compute_forces else None
+                np.zeros(
+                    (m, 3) if width is None else (m, 3, width),
+                    dtype=np.float64,
+                )
+                if compute_forces
+                else None
             )
             for _, s_lo, s_hi in plan.group_kind_runs(g):
                 # Re-concatenating per kind reproduces the seed executor's

@@ -49,6 +49,62 @@ def cluster_grid(node: TreeNode, degree: int) -> ChebyshevGrid3D:
     return ChebyshevGrid3D.for_box(node.box.lo, node.box.hi, degree)
 
 
+def _contract_basis(lx, ly, lz, charges: np.ndarray) -> np.ndarray:
+    """Contract eq. 12's basis matrices with one or many charge columns.
+
+    1-D charges return the flattened ``((n+1)^3,)`` moments.  A
+    ``(N_C, n_rhs)`` block returns ``((n+1)^3, n_rhs)``: the basis (the
+    expensive part) is shared and each column runs the identical
+    single-vector einsum on a contiguous copy, so column ``j`` is
+    bitwise what a single-vector pass on ``charges[:, j]`` yields.
+    """
+    if charges.ndim == 1:
+        return np.einsum(
+            "aj,bj,cj,j->abc", lx, ly, lz, charges, optimize=True
+        ).ravel()
+    cols = [
+        np.ascontiguousarray(charges[:, r]) for r in range(charges.shape[1])
+    ]
+    # The contraction path depends only on the operand shapes, which are
+    # identical for every column: compute it once and reuse it, executing
+    # exactly the operation order ``optimize=True`` would pick per column
+    # (same intermediates -> same bits, minus the per-call path search).
+    path = np.einsum_path(
+        "aj,bj,cj,j->abc", lx, ly, lz, cols[0], optimize=True
+    )[0]
+    if path == ["einsum_path", (0, 3), (0, 1, 2)]:
+        # The path every non-tiny cluster gets.  Run its two contraction
+        # steps directly -- the exact strings and operand order numpy's
+        # path executor emits for it, so the bits match ``optimize=True``
+        # while skipping the per-column path bookkeeping (~4x less call
+        # overhead; this loop is the multi-RHS moment refresh hot spot).
+        out_cols = []
+        for col in cols:
+            tmp = np.einsum("j,aj->aj", col, lx)
+            out_cols.append(np.einsum("aj,cj,bj->abc", tmp, lz, ly).ravel())
+        return np.stack(out_cols, axis=1)
+    return np.stack(
+        [
+            np.einsum(
+                "aj,bj,cj,j->abc", lx, ly, lz, col, optimize=path
+            ).ravel()
+            for col in cols
+        ],
+        axis=1,
+    )
+
+
+def _as_moment_charges(charges, n: int, what: str) -> np.ndarray:
+    """Validate per-cluster/particle charges as ``(n,)`` or ``(n, n_rhs)``."""
+    charges = np.asarray(charges, dtype=np.float64)
+    if charges.ndim not in (1, 2) or charges.shape[0] != n:
+        raise ValueError(
+            f"expected ({n},) or ({n}, n_rhs) charges for {n} {what}; "
+            f"got shape {charges.shape}"
+        )
+    return charges
+
+
 def modified_charges(
     points: np.ndarray,
     charges: np.ndarray,
@@ -57,19 +113,16 @@ def modified_charges(
     """Compute eq. 12 for one cluster; returns ``((n+1)^3,)`` flattened.
 
     Flattening is C-order over ``(k1, k2, k3)``, matching
-    :func:`repro.interpolation.grid.tensor_grid_points`.
+    :func:`repro.interpolation.grid.tensor_grid_points`.  A
+    ``(N_C, n_rhs)`` charge block yields ``((n+1)^3, n_rhs)`` moments,
+    every column re-momented on the one shared basis evaluation.
     """
     points = np.atleast_2d(points)
-    charges = np.asarray(charges, dtype=np.float64).ravel()
-    if points.shape[0] != charges.shape[0]:
-        raise ValueError(
-            f"{points.shape[0]} points but {charges.shape[0]} charges"
-        )
+    charges = _as_moment_charges(charges, points.shape[0], "points")
     lx = lagrange_basis(points[:, 0], grid.points_1d[0], grid.weights)
     ly = lagrange_basis(points[:, 1], grid.points_1d[1], grid.weights)
     lz = lagrange_basis(points[:, 2], grid.points_1d[2], grid.weights)
-    qhat = np.einsum("aj,bj,cj,j->abc", lx, ly, lz, charges, optimize=True)
-    return qhat.ravel()
+    return _contract_basis(lx, ly, lz, charges)
 
 
 def moment_flop_counts(n_cluster: int, degree: int) -> tuple[float, float]:
@@ -121,10 +174,18 @@ class ClusterMoments:
         """Dense ``(n_nodes, (n+1)^3)`` array (rows of absent nodes zero).
 
         This is the "cluster charges" array placed in an RMA window for
-        remote ranks to get during LET construction (Sec. 3.1).
+        remote ranks to get during LET construction (Sec. 3.1).  When
+        the stored moments carry an RHS axis the packed array does too:
+        ``(n_nodes, (n+1)^3, n_rhs)``.
         """
         np3 = (self.degree + 1) ** 3
-        out = np.zeros((n_nodes, np3))
+        width = None
+        for q in self.qhat.values():
+            if q.ndim == 2:
+                width = q.shape[1]
+            break
+        shape = (n_nodes, np3) if width is None else (n_nodes, np3, width)
+        out = np.zeros(shape)
         for i, q in self.qhat.items():
             out[i] = q
         return out
@@ -157,11 +218,7 @@ def precompute_moments(
     large-scale benchmark harnesses where only the timing model is
     exercised.
     """
-    charges = np.asarray(charges, dtype=np.float64).ravel()
-    if charges.shape[0] != tree.n_particles:
-        raise ValueError(
-            f"{charges.shape[0]} charges for {tree.n_particles} particles"
-        )
+    charges = _as_moment_charges(charges, tree.n_particles, "particles")
     moments = ClusterMoments(params.degree)
     n_ip = params.n_interpolation_points
     for node in tree.nodes:
@@ -253,12 +310,10 @@ def refresh_moments(
     as the fresh path does: re-momenting is real per-step device work,
     only the geometry bookkeeping is amortized.  ``numerics=False``
     charges the kernels without computing values (model-only applies).
+    A ``(N, n_rhs)`` charge block re-moments every column in this one
+    pass, reusing each cluster's cached basis for all columns.
     """
-    charges = np.asarray(charges, dtype=np.float64).ravel()
-    if charges.shape[0] != tree.n_particles:
-        raise ValueError(
-            f"{charges.shape[0]} charges for {tree.n_particles} particles"
-        )
+    charges = _as_moment_charges(charges, tree.n_particles, "particles")
     n_ip = params.n_interpolation_points
     for node in tree.nodes:
         if node.index not in moments.node_ids:
@@ -273,10 +328,7 @@ def refresh_moments(
                 )
             else:
                 lx, ly, lz = basis
-                qhat = np.einsum(
-                    "aj,bj,cj,j->abc", lx, ly, lz, charges[idx],
-                    optimize=True,
-                ).ravel()
+                qhat = _contract_basis(lx, ly, lz, charges[idx])
             moments.qhat[node.index] = qhat
         if device is not None:
             _charge_moment_kernels(device, node, params, n_ip)

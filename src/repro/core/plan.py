@@ -85,6 +85,17 @@ skeleton up front: segments supply points but no weights, the weight
 buffer is allocated zeroed, and the first ``refresh_weights`` call fills
 it.
 
+Multi-RHS weight slots: the weight buffer is ``(R,)`` for one charge
+vector or ``(R, n_rhs)`` when the provider returns ``(rows, n_rhs)``
+blocks -- each per-segment slot then holds ``n_rhs`` columns, column
+``j`` being exactly what a single-vector refresh on charge column ``j``
+would store.  Only the weight state (plus the batched buckets' gathered
+``weights``) widens; geometry stays single-copy, so memory grows by
+``n_rhs - 1`` extra weight buffers while one traversal's gather serves
+every column.  :meth:`ExecutionPlan.refresh_weights` re-allocates on a
+width change and rewrites in place otherwise, bumping
+``weights_version`` either way.
+
 Batched (shape-bucketed) execution layout
 -----------------------------------------
 The BLTC's far field is thousands of *identically shaped* small
@@ -227,8 +238,18 @@ class BatchedBucket:
         return cached
 
     def refresh_weights(self, src_weights: np.ndarray) -> None:
-        """Re-gather this bucket's weight matrix from the flat buffer."""
-        self.weights[...] = src_weights[self.src_index]
+        """Re-gather this bucket's weight matrix from the flat buffer.
+
+        A flat buffer of a different RHS width (``(R,)`` vs
+        ``(R, n_rhs)``) re-binds the gathered matrix to the new shape
+        (``(G, k)`` <-> ``(G, k, n_rhs)``); matching shapes are rewritten
+        in place so cached views stay valid between same-width applies.
+        """
+        gathered = src_weights[self.src_index]
+        if gathered.shape == self.weights.shape:
+            self.weights[...] = gathered
+        else:
+            object.__setattr__(self, "weights", gathered)
 
 
 @dataclass(frozen=True, eq=False)
@@ -456,18 +477,41 @@ class ExecutionPlan:
         """True when :meth:`refresh_weights` can rebuild the weights."""
         return self.src_weights is not None and self.weight_slots is not None
 
-    def refresh_weights(self, provider) -> None:
-        """Overwrite the weight buffer in place from ``provider``.
+    @property
+    def rhs_width(self) -> int | None:
+        """RHS columns in the weight buffer: None for ``(R,)``, else n_rhs.
 
-        ``provider(share_key)`` must return the 1-D weight rows of the
+        Distinguishes a 1-D buffer (single-vector execution, the
+        default) from a 2-D one -- including the ``(R, 1)`` case, which
+        still evaluates through the multi-RHS paths and yields outputs
+        with a trailing RHS axis of length one.
+        """
+        if self.src_weights is None or self.src_weights.ndim == 1:
+            return None
+        return int(self.src_weights.shape[1])
+
+    def refresh_weights(self, provider) -> None:
+        """Overwrite the weight buffer from ``provider``.
+
+        ``provider(share_key)`` must return the weight rows of the
         stored segment registered under that key (a cluster's modified
-        charges, a node's particle charges, ...).  Every stored segment
-        is rewritten -- in the duplicated layout a key repeats once per
+        charges, a node's particle charges, ...) -- either ``(rows,)``
+        for single-vector evaluation or ``(rows, n_rhs)`` for multi-RHS,
+        with every slot agreeing on the width.  Every stored segment is
+        rewritten -- in the duplicated layout a key repeats once per
         physical copy -- so the buffer afterwards is exactly what a
-        fresh compile with the same values would have gathered.  The
-        geometry (targets, points, index arrays) is untouched; the
-        weights version is bumped so caching backends refresh their
-        shipped copy of this one buffer.
+        fresh compile with the same values would have gathered.
+
+        Multi-RHS widens ``src_weights`` from ``(R,)`` to ``(R, n_rhs)``
+        (column ``j`` holding exactly what a single-vector refresh on
+        charge column ``j`` would store): the buffer is re-allocated
+        whenever the width changes and rewritten in place otherwise.
+        Memory scales linearly with ``n_rhs`` (the geometry buffers do
+        not), which is the trade-off that lets one traversal's gather
+        cost serve every column.  The geometry (targets, points, index
+        arrays) is untouched; the weights version is bumped either way
+        so caching backends refresh (or re-ship) their copy of this one
+        buffer.
         """
         if self.src_weights is None:
             raise ValueError("model-only plan carries no weight buffers")
@@ -477,12 +521,34 @@ class ExecutionPlan:
                 "added without a share_key"
             )
         w = self.src_weights
+        width = None
+        first = True
         for key, lo, hi in self.weight_slots:
-            arr = np.asarray(provider(key), dtype=np.float64).ravel()
+            arr = np.asarray(provider(key), dtype=np.float64)
+            if arr.ndim not in (1, 2):
+                raise ValueError(
+                    f"weight provider returned a {arr.ndim}-D array for "
+                    f"segment {key!r}; expected (rows,) or (rows, n_rhs)"
+                )
             if arr.shape[0] != hi - lo:
                 raise ValueError(
                     f"weight provider returned {arr.shape[0]} rows for "
                     f"segment {key!r} expecting {hi - lo}"
+                )
+            slot_width = arr.shape[1] if arr.ndim == 2 else None
+            if first:
+                first = False
+                width = slot_width
+                rows = w.shape[0]
+                shape = (rows,) if width is None else (rows, width)
+                if w.shape != shape:
+                    w = np.zeros(shape, dtype=np.float64)
+                    object.__setattr__(self, "src_weights", w)
+            elif slot_width != width:
+                raise ValueError(
+                    f"weight provider returned mismatched RHS widths: "
+                    f"segment {key!r} carries {slot_width or 1} column(s), "
+                    f"earlier segments carried {width or 1}"
                 )
             w[lo:hi] = arr
         if self.batched_layout is not None:
@@ -889,7 +955,15 @@ def compile_plan(
         deferred_weights=deferred, batched=batched,
     )
     if charges is not None:
-        charges = np.asarray(charges, dtype=np.float64).ravel()
+        # (N,) or (N, n_rhs): a charge matrix compiles a widened weight
+        # buffer (row-gathers below are shape-agnostic), so column j of
+        # the stored weights matches a solo compile on charges[:, j].
+        charges = np.asarray(charges, dtype=np.float64)
+        if charges.ndim not in (1, 2):
+            raise ValueError(
+                f"charges must have shape (N,) or (N, n_rhs); got a "
+                f"{charges.ndim}-D array of shape {charges.shape}"
+            )
     approx_ptr, approx_ids, direct_ptr, direct_ids = lists.csr()
     approx_ids = approx_ids.tolist()
     direct_ids = direct_ids.tolist()

@@ -34,7 +34,11 @@ charge-dependence boundary:
 by one ``apply()`` -- byte-identical results, counters and phase times
 to the monolithic pipeline it replaces -- while MD time-stepping and
 BEM-style multi-RHS solves call ``prepare()`` once and ``apply()`` per
-charge vector, amortizing every charge-independent phase.  Select a
+charge vector, amortizing every charge-independent phase.  An apply
+also accepts an ``(N, n_rhs)`` charge *block*: the plan's weight slots
+widen to ``(k, n_rhs)`` and every backend evaluates all columns in one
+traversal (per-group GEMVs grow into GEMMs), column ``j`` bitwise equal
+to a solo apply of ``charges[:, j]``.  Select a
 backend with ``TreecodeParams(backend="fused")``;
 ``compute(dry_run=True)`` / ``apply(dry_run=True)`` force the model
 backend.  Phase attribution follows the paper's setup / precompute /
@@ -56,6 +60,7 @@ from ..perf.machine import GPU_TITAN_V, MachineSpec
 from ..perf.timer import PhaseTimes, Stopwatch
 from ..tree.batches import TargetBatches
 from ..tree.octree import ClusterTree
+from ..util import as_charge_block
 from ..workloads import ParticleSet
 from .backends import Backend, get_backend
 from .interaction_lists import InteractionLists, build_interaction_lists
@@ -119,6 +124,7 @@ class BarycentricTreecode:
         sources: ParticleSet,
         targets: np.ndarray | ParticleSet | None = None,
         *,
+        charges: np.ndarray | None = None,
         dry_run: bool = False,
         compute_forces: bool = False,
     ) -> TreecodeResult:
@@ -127,6 +133,12 @@ class BarycentricTreecode:
         ``targets`` defaults to the source positions (the paper's test
         cases); pass a ``(M, 3)`` array or another :class:`ParticleSet`
         for disjoint targets (BEM-style usage).
+
+        ``charges`` defaults to ``sources.charges``; pass an ``(N,)``
+        vector to override it, or an ``(N, n_rhs)`` block to evaluate
+        many charge vectors in one traversal (the potential then has
+        shape ``(M, n_rhs)`` and forces ``(M, 3, n_rhs)``, column ``j``
+        bitwise equal to a solo run on column ``j``).
 
         ``compute_forces=True`` additionally evaluates the force (the
         negative potential gradient) at every target, reusing the same
@@ -155,7 +167,8 @@ class BarycentricTreecode:
             sources, targets, dry_run=dry_run, cache_basis=False
         )
         result = prepared.apply(
-            sources.charges, compute_forces=compute_forces, dry_run=dry_run
+            sources.charges if charges is None else charges,
+            compute_forces=compute_forces, dry_run=dry_run,
         )
         return TreecodeResult(
             potential=result.potential,
@@ -263,7 +276,7 @@ class BarycentricTreecode:
             moments=moments,
             lists=lists,
             plan=plan,
-            source_nbytes=sources.nbytes(),
+            positions_nbytes=sources.positions.nbytes,
             phases=phases,
             wall_seconds=watch.elapsed,
         )
@@ -330,9 +343,10 @@ class PreparedTreecode:
     Produced by :meth:`BarycentricTreecode.prepare`; holds the tree,
     batches, interaction lists, cluster grids, the geometry-only
     execution plan and the session's simulated device.  Each
-    :meth:`apply` evaluates one charge vector: the setup phase was
-    charged once at prepare time, so an apply charges only the charge
-    upload, the moment kernels and the compute phase.  Device counters
+    :meth:`apply` evaluates one charge vector -- or a whole
+    ``(N, n_rhs)`` block of them in a single traversal: the setup phase
+    was charged once at prepare time, so an apply charges only the
+    charge upload, the moment kernels and the compute phase.  Device counters
     accumulate over the session (the first apply therefore reports
     exactly the numbers of a monolithic ``compute()``); per-apply cost
     is in the returned ``phases``.
@@ -353,7 +367,7 @@ class PreparedTreecode:
         moments: ClusterMoments,
         lists: InteractionLists,
         plan: ExecutionPlan,
-        source_nbytes: int,
+        positions_nbytes: int,
         phases: PhaseTimes,
         wall_seconds: float,
     ) -> None:
@@ -369,7 +383,7 @@ class PreparedTreecode:
         self.phases = phases
         self.wall_seconds = wall_seconds
         self.n_applies = 0
-        self._source_nbytes = int(source_nbytes)
+        self._positions_nbytes = int(positions_nbytes)
 
     @property
     def kernel(self) -> Kernel:
@@ -395,7 +409,7 @@ class PreparedTreecode:
         compute_forces: bool = False,
         dry_run: bool = False,
     ) -> TreecodeResult:
-        """Evaluate the prepared geometry for one charge vector.
+        """Evaluate the prepared geometry for one or many charge vectors.
 
         Uploads the charges (the first apply ships the full source data
         exactly as the monolithic pipeline's precompute phase does;
@@ -405,18 +419,25 @@ class PreparedTreecode:
         session's backend.  ``phases.setup`` is always zero here -- the
         geometry work was charged at prepare time.
 
+        ``charges`` may be an ``(N,)`` vector or an ``(N, n_rhs)``
+        block.  A block evaluates every column in one traversal -- the
+        potential comes back ``(M, n_rhs)`` and forces ``(M, 3, n_rhs)``
+        with column ``j`` bitwise equal to a solo apply of
+        ``charges[:, j]`` -- amortizing the tree walk, the pairwise
+        distance work and (on the batched backend) growing every
+        per-group GEMV into a GEMM.  The plan's weight buffer widens to
+        ``(k, n_rhs)`` for the step, so resident weight memory scales
+        with the block width.
+
         ``dry_run=True`` runs this apply through the model backend
         (launch accounting only, zero potentials) regardless of the
         session backend; the moment kernels and uploads are still
         charged, so the timing model sees a faithful step.
         """
         params = self.params
-        charges = np.asarray(charges, dtype=np.float64).ravel()
-        if charges.shape[0] != self.tree.n_particles:
-            raise ValueError(
-                f"{charges.shape[0]} charges for "
-                f"{self.tree.n_particles} particles"
-            )
+        charges = as_charge_block(charges, self.tree.n_particles)
+        multi = charges.ndim == 2
+        n_rhs = int(charges.shape[1]) if multi else 1
         backend = get_backend("model") if dry_run else self.backend
         numerics = self.plan.has_numerics and backend.needs_numerics
         device = self.device
@@ -426,7 +447,10 @@ class PreparedTreecode:
         with watch:
             # -- precompute: HtD charges, moment kernels, DtH moments.
             if self.n_applies == 0:
-                device.upload(self._source_nbytes, label="source data")
+                device.upload(
+                    self._positions_nbytes + charges.nbytes,
+                    label="source data",
+                )
             else:
                 device.upload(charges.nbytes, label="charges")
             refresh_moments(
@@ -437,6 +461,7 @@ class PreparedTreecode:
                 self.moments.n_clusters
                 * params.n_interpolation_points
                 * FLOAT_BYTES
+                * n_rhs
             )
             device.download(moments_bytes, label="modified charges")
             phases.precompute += device.take_phase()
@@ -446,13 +471,18 @@ class PreparedTreecode:
             if numerics:
                 self.plan.refresh_weights(self._weight_provider(charges))
 
-            # -- compute: backend executes the plan + DtH potentials
+            # -- compute: backend executes the plan + DtH potentials.
+            # The width kwarg is only passed on the multi path so
+            # user-registered backends with the single-vector signature
+            # keep working unchanged.
+            extra = {"n_rhs": n_rhs} if multi else {}
             potential, forces = backend.execute(
                 self.plan,
                 self.kernel,
                 device,
                 dtype=params.dtype,
                 compute_forces=compute_forces,
+                **extra,
             )
             device.download(potential.nbytes, label="potentials")
             if forces is not None:

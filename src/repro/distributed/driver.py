@@ -53,6 +53,7 @@ from ..perf.machine import GPU_P100, MachineSpec
 from ..perf.timer import PhaseTimes, Stopwatch
 from ..tree.batches import TargetBatches
 from ..tree.octree import ClusterTree
+from ..util import as_charge_block
 from ..workloads import ParticleSet
 from .letree import build_let, build_let_geometry, refresh_let_charges
 
@@ -507,7 +508,12 @@ class DistributedBLTC:
         """
         deferred = bool(deferred_weights) and numerics
         if charges is not None:
-            charges = np.asarray(charges, dtype=np.float64).ravel()
+            charges = np.asarray(charges, dtype=np.float64)
+            if charges.ndim not in (1, 2):
+                raise ValueError(
+                    "charges must be a vector or an (n, n_rhs) block; "
+                    f"got shape {charges.shape!r}"
+                )
         n_ip = self.params.n_interpolation_points
         remote_ranks = sorted(let.lists)
         builder = PlanBuilder(
@@ -692,7 +698,15 @@ class PreparedDistributedBLTC:
         compute_forces: bool = False,
         dry_run: bool = False,
     ) -> DistributedResult:
-        """Evaluate the prepared decomposition for one charge vector.
+        """Evaluate the prepared decomposition for one or many charge
+        vectors.
+
+        ``charges`` may be a global ``(N,)`` vector or an ``(N, n_rhs)``
+        block; a block evaluates every column in one traversal (the LET
+        re-ships ``(n, n_rhs)`` charges and modified charges through the
+        same windows) and returns ``(N, n_rhs)`` potentials /
+        ``(N, 3, n_rhs)`` forces, column ``j`` bitwise equal to a solo
+        apply of ``charges[:, j]``.
 
         Per rank: upload the local charges (the first apply ships the
         full local particle data, as the monolithic precompute does),
@@ -709,11 +723,10 @@ class PreparedDistributedBLTC:
         """
         driver = self.driver
         params = driver.params
-        charges = np.asarray(charges, dtype=np.float64).ravel()
-        if charges.shape[0] != self._n:
-            raise ValueError(
-                f"{charges.shape[0]} charges for {self._n} particles"
-            )
+        charges = as_charge_block(charges, self._n)
+        multi = charges.ndim == 2
+        n_rhs = int(charges.shape[1]) if multi else 1
+        extra = {"n_rhs": n_rhs} if multi else {}
         backend = get_backend("model") if dry_run else self.backend
         numerics = (
             backend.needs_numerics
@@ -731,8 +744,12 @@ class PreparedDistributedBLTC:
                 dev = self.devices[r]
                 local_q = local_qs[r]
                 if self.n_applies == 0:
+                    # positions (3 coords) + however many charge columns
+                    # this apply carries; identical bytes to the old
+                    # ``local_q.nbytes * 4`` for a single vector.
+                    pos_nbytes = local_q.shape[0] * 3 * FLOAT_BYTES
                     dev.upload(
-                        local_q.nbytes * 4, label="source data"
+                        pos_nbytes + local_q.nbytes, label="source data"
                     )
                 else:
                     dev.upload(local_q.nbytes, label="charges")
@@ -744,6 +761,7 @@ class PreparedDistributedBLTC:
                     self.moment_sets[r].n_clusters
                     * params.n_interpolation_points
                     * FLOAT_BYTES
+                    * n_rhs
                 )
                 dev.download(mbytes, label="modified charges")
                 phases[r].precompute += dev.take_phase()
@@ -760,9 +778,14 @@ class PreparedDistributedBLTC:
                 )
 
             # -- charge re-ship + plan refresh + compute ----------------
-            potential = np.zeros(self._n, dtype=np.float64)
+            potential = np.zeros(
+                (self._n, n_rhs) if multi else self._n, dtype=np.float64
+            )
             forces = (
-                np.zeros((self._n, 3), dtype=np.float64)
+                np.zeros(
+                    (self._n, 3, n_rhs) if multi else (self._n, 3),
+                    dtype=np.float64,
+                )
                 if compute_forces
                 else None
             )
@@ -795,6 +818,7 @@ class PreparedDistributedBLTC:
                     dev,
                     dtype=params.dtype,
                     compute_forces=compute_forces,
+                    **extra,
                 )
                 dev.download(phi_local.nbytes, label="potentials")
                 if f_local is not None:

@@ -53,20 +53,37 @@ def downward_pass(
     "interpolate" launch each; ``numerics=False`` (model-only mode)
     charges the launches without evaluating them, as everywhere else in
     the timing model.
+
+    A 2-D ``out_flat`` (multi-RHS accumulation) interpolates every
+    column with the per-column contraction of the single-vector path --
+    the basis matrices are shared, each column's einsum runs on a
+    contiguous copy so its bits match a solo pass -- and the launch
+    interaction count scales with the column count.
     """
     n_ip = params.n_interpolation_points
     np1 = params.degree + 1
+    n_rhs = out_flat.shape[1] if out_flat.ndim == 2 else 1
     for c in grids:
         idx = tree.node_indices(c)
         if numerics:
             lx, ly, lz = basis[c]
             row = grid_slot[c]
-            cube = out_flat[row:row + n_ip].reshape(np1, np1, np1)
-            out[idx] += np.einsum(
-                "abc,aj,bj,cj->j", cube, lx, ly, lz, optimize=True
-            )
+            block = out_flat[row:row + n_ip]
+            if block.ndim == 2:
+                for r in range(block.shape[1]):
+                    cube = np.ascontiguousarray(block[:, r]).reshape(
+                        np1, np1, np1
+                    )
+                    out[idx, r] += np.einsum(
+                        "abc,aj,bj,cj->j", cube, lx, ly, lz, optimize=True
+                    )
+            else:
+                cube = block.reshape(np1, np1, np1)
+                out[idx] += np.einsum(
+                    "abc,aj,bj,cj->j", cube, lx, ly, lz, optimize=True
+                )
         device.launch(
-            float(n_ip) * idx.shape[0],
+            float(n_ip) * idx.shape[0] * n_rhs,
             blocks=idx.shape[0],
             kind="interpolate",
             flops_per_interaction=7.0,

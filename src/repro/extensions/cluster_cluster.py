@@ -58,6 +58,7 @@ from ..kernels.base import Kernel
 from ..perf.machine import GPU_TITAN_V, MachineSpec
 from ..perf.timer import PhaseTimes, Stopwatch
 from ..tree.octree import ClusterTree
+from ..util import as_charge_block
 from ..workloads import ParticleSet
 from ._downward import downward_basis, downward_pass, target_positions
 
@@ -459,22 +460,22 @@ class PreparedDualTree:
         self.n_applies = 0
 
     def apply(self, charges: np.ndarray) -> TreecodeResult:
-        """Evaluate the prepared geometry for one source-charge vector.
+        """Evaluate the prepared geometry for one or many charge vectors.
 
         Re-moments the source clusters on the cached grids (the moment
         kernels are charged per apply, as in the monolithic pipeline),
         rewrites the plan's weight buffer in place and runs the
         accumulation + downward interpolation; no setup time is
-        charged.
+        charged.  An ``(N, n_rhs)`` block evaluates every column in one
+        pass and returns an ``(M, n_rhs)`` potential, column ``j``
+        bitwise equal to a solo apply of ``charges[:, j]``.
         """
         driver = self.driver
         params = driver.params
         g = self.geometry
-        charges = np.asarray(charges, dtype=np.float64).ravel()
-        if charges.shape[0] != self.n_sources:
-            raise ValueError(
-                f"{charges.shape[0]} charges for {self.n_sources} sources"
-            )
+        charges = as_charge_block(charges, self.n_sources)
+        multi = charges.ndim == 2
+        extra = {"n_rhs": int(charges.shape[1])} if multi else {}
         device = self.device
         numerics = self.plan.has_numerics
         phases = PhaseTimes()
@@ -491,7 +492,8 @@ class PreparedDualTree:
             if numerics:
                 self.plan.refresh_weights(self._weight_provider(charges))
             out_flat, _ = self.backend.execute(
-                self.plan, driver.kernel, device, dtype=params.dtype
+                self.plan, driver.kernel, device, dtype=params.dtype,
+                **extra,
             )
             phases.compute += device.take_phase()
             out = out_flat[:g.n_targets].copy()

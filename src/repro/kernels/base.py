@@ -136,8 +136,27 @@ class Kernel(abc.ABC):
         The generic form contracts the full ``(G, m, k, 3)`` gradient
         stack; subclasses with structure (radial kernels) override it
         with a contraction that never materializes the gradient.
+
+        Multi-RHS: when ``weights`` carries a trailing RHS axis
+        (``weights.ndim == targets.ndim``, i.e. ``(..., k, n_rhs)``) the
+        gradient stack is built once and contracted per column with the
+        identical single-vector einsum, returning ``(..., m, 3, n_rhs)``
+        whose column ``j`` is bitwise the single-vector result on
+        ``weights[..., j]``.
         """
         grad = self.pairwise_gradient_batched(targets, sources)
+        if weights.ndim == np.ndim(targets):
+            return np.stack(
+                [
+                    -np.einsum(
+                        "...mkd,...k->...md",
+                        grad,
+                        np.ascontiguousarray(weights[..., r]),
+                    )
+                    for r in range(weights.shape[-1])
+                ],
+                axis=-1,
+            )
         return -np.einsum("...mkd,...k->...md", grad, weights)
 
     def potential(
@@ -158,16 +177,27 @@ class Kernel(abc.ABC):
         :meth:`pairwise_fused` when the kernel provides it (roundoff-
         level differences, fewer elementwise passes); the default keeps
         the byte-stable reference arithmetic.
+
+        Multi-RHS: a ``(K, n_rhs)`` charge matrix yields ``(M, n_rhs)``
+        potentials.  The kernel matrix -- the expensive part -- is built
+        once per block and re-contracted against every column with the
+        exact single-vector GEMV on a contiguous column copy, so column
+        ``j`` of the result is bitwise what a single-vector call on
+        ``charges[:, j]`` produces.  Block boundaries never depend on
+        ``n_rhs`` (they feed the coincidence noise floor).
         """
         targets = np.atleast_2d(targets)
         sources = np.atleast_2d(sources)
+        charges = np.asarray(charges)
         m = targets.shape[0]
         k = sources.shape[0]
+        multi = charges.ndim == 2
         if out is None:
             # Promote over all three operands: the pairwise block has
             # dtype result_type(targets, sources), so leaving sources
             # out would silently downcast float64 blocks on the +=.
-            out = np.zeros(m, dtype=np.result_type(targets, sources, charges))
+            shape = (m, charges.shape[1]) if multi else m
+            out = np.zeros(shape, dtype=np.result_type(targets, sources, charges))
         if k == 0 or m == 0:
             return out
         pairwise = (
@@ -176,8 +206,17 @@ class Kernel(abc.ABC):
             else self.pairwise
         )
         rows_per_block = max(1, block_elements // max(k, 1))
+        if not multi:
+            for lo, hi in chunk_ranges(m, rows_per_block):
+                out[lo:hi] += pairwise(targets[lo:hi], sources) @ charges
+            return out
+        cols = [
+            np.ascontiguousarray(charges[:, r]) for r in range(charges.shape[1])
+        ]
         for lo, hi in chunk_ranges(m, rows_per_block):
-            out[lo:hi] += pairwise(targets[lo:hi], sources) @ charges
+            mat = pairwise(targets[lo:hi], sources)
+            for r, col in enumerate(cols):
+                out[lo:hi, r] += mat @ col
         return out
 
     def pairwise_gradient(
@@ -211,15 +250,22 @@ class Kernel(abc.ABC):
         target charge/mass.  ``fused=True`` routes each block through
         :meth:`pairwise_gradient_fused` when available, as in
         :meth:`potential`.
+
+        Multi-RHS: a ``(K, n_rhs)`` charge matrix yields ``(M, 3, n_rhs)``
+        forces, hoisting the gradient block once and contracting per
+        column exactly as :meth:`potential` does.
         """
         targets = np.atleast_2d(targets)
         sources = np.atleast_2d(sources)
+        charges = np.asarray(charges)
         m = targets.shape[0]
         k = sources.shape[0]
+        multi = charges.ndim == 2
         if out is None:
             # Same three-operand promotion as potential(): the gradient
             # block carries result_type(targets, sources).
-            out = np.zeros((m, 3), dtype=np.result_type(targets, sources, charges))
+            shape = (m, 3, charges.shape[1]) if multi else (m, 3)
+            out = np.zeros(shape, dtype=np.result_type(targets, sources, charges))
         if k == 0 or m == 0:
             return out
         gradient = (
@@ -228,9 +274,18 @@ class Kernel(abc.ABC):
             else self.pairwise_gradient
         )
         rows_per_block = max(1, block_elements // max(3 * k, 1))
+        if not multi:
+            for lo, hi in chunk_ranges(m, rows_per_block):
+                grad = gradient(targets[lo:hi], sources)
+                out[lo:hi] -= np.einsum("mkd,k->md", grad, charges)
+            return out
+        cols = [
+            np.ascontiguousarray(charges[:, r]) for r in range(charges.shape[1])
+        ]
         for lo, hi in chunk_ranges(m, rows_per_block):
             grad = gradient(targets[lo:hi], sources)
-            out[lo:hi] -= np.einsum("mkd,k->md", grad, charges)
+            for r, col in enumerate(cols):
+                out[lo:hi, :, r] -= np.einsum("mkd,k->md", grad, col)
         return out
 
     def scalar_functions(self):
@@ -435,6 +490,13 @@ class RadialKernel(Kernel):
         agree with the generic gradient contraction to roundoff (the
         sum over sources is reassociated); coincident pairs contribute
         exactly zero through the same noise-floor classification.
+
+        Multi-RHS (``weights`` shaped ``(..., k, n_rhs)``): the radial
+        factor -- sqrt, kernel derivative, coincidence patch -- is the
+        expensive shared piece and is computed once; every column then
+        repeats the exact single-vector contraction on it, so each
+        output column of the ``(..., m, 3, n_rhs)`` stack is bitwise the
+        single-vector result for that column.
         """
         r2, zero_idx = self._pairwise_r2_fused(targets, sources)
         if zero_idx[0].size:
@@ -443,6 +505,13 @@ class RadialKernel(Kernel):
         factor = self.evaluate_dr_over_r(r2)
         if zero_idx[0].size:
             factor[zero_idx] = 0.0
+        if weights.ndim == np.ndim(targets):
+            outs = []
+            for r in range(weights.shape[-1]):
+                fw = factor * weights[..., r][..., None, :]
+                row_sum = fw.sum(axis=-1)
+                outs.append(fw @ sources - targets * row_sum[..., None])
+            return np.stack(outs, axis=-1)
         factor *= weights[..., None, :]
         row_sum = factor.sum(axis=-1)
         return factor @ sources - targets * row_sum[..., None]

@@ -12,6 +12,7 @@ import numpy as np
 __all__ = [
     "as_points",
     "as_charges",
+    "as_charge_block",
     "default_rng",
     "chunk_ranges",
     "TINY",
@@ -48,6 +49,33 @@ def as_charges(q, n: int, *, name: str = "charges", dtype=np.float64) -> np.ndar
         raise ValueError(
             f"{name} must have shape ({n},); got shape {np.shape(q)!r}"
         )
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} must contain only finite values")
+    return arr
+
+
+def as_charge_block(
+    q, n: int, *, name: str = "charges", dtype=np.float64
+) -> np.ndarray:
+    """Validate ``q`` as a contiguous ``(N,)`` vector or ``(N, n_rhs)`` block.
+
+    The multi-RHS entry points accept either a single charge vector or a
+    matrix whose columns are independent charge vectors.  Anything else
+    (wrong leading dimension, >2-D input, an empty column axis, non-finite
+    values) raises ``ValueError`` here, before any plan state is touched.
+    """
+    arr = np.ascontiguousarray(q, dtype=dtype)
+    if arr.ndim not in (1, 2):
+        raise ValueError(
+            f"{name} must have shape ({n},) or ({n}, n_rhs); "
+            f"got a {arr.ndim}-D array of shape {np.shape(q)!r}"
+        )
+    if arr.shape[0] != n:
+        raise ValueError(
+            f"{name} must have leading dimension {n}; got shape {np.shape(q)!r}"
+        )
+    if arr.ndim == 2 and arr.shape[1] == 0:
+        raise ValueError(f"{name} must carry at least one charge column")
     if not np.all(np.isfinite(arr)):
         raise ValueError(f"{name} must contain only finite values")
     return arr
