@@ -23,9 +23,10 @@ benchmark compiles one plan per regime and times each backend on it:
 * ``model``  -- launch accounting only (the dry-run path), showing what
   plan-derived bulk charging does for paper-scale timing studies.
 
-Each regime also compiles the plan with the shared-segment source
-gather and reports the physical-row shrink (clusters referenced by many
-batches stored once) -- the memory knob for large real-numerics runs.
+Each regime also reports the de-duplication shrink of the compiled
+plan's source buffers -- logical (per-segment aliased) over physical
+rows; clusters referenced by many batches are stored once -- the
+memory saving that matters for large real-numerics runs.
 
 The fusion advantage is largest where the seed path was overhead-bound
 -- many small batches, shallow interpolation degree (exactly the
@@ -63,8 +64,8 @@ BACKENDS = ("numpy", "fused", "batched", "multiprocessing") + (
 ROUNDS = 3
 
 
-def _compiled_plans(n, theta, degree, leaf):
-    """(duplicated plan, shared-gather plan) for one regime."""
+def _compiled_plan(n, theta, degree, leaf):
+    """One compiled (de-duplicated) plan for one regime."""
     p = random_cube(n, seed=900)
     params = TreecodeParams(
         theta=theta, degree=degree, max_leaf_size=leaf, max_batch_size=leaf
@@ -73,11 +74,7 @@ def _compiled_plans(n, theta, degree, leaf):
     batches = TargetBatches(p.positions, leaf)
     moments = precompute_moments(tree, p.charges, params)
     lists = build_interaction_lists(batches, tree, params)
-    dup = compile_plan(tree, batches, moments, lists, p.charges, params)
-    shared = compile_plan(
-        tree, batches, moments, lists, p.charges, params, shared_sources=True
-    )
-    return dup, shared
+    return compile_plan(tree, batches, moments, lists, p.charges, params)
 
 
 def _time_backend(backend, plan, *, forces):
@@ -104,7 +101,7 @@ def fusion_sweep():
     instances = {name: get_backend(name) for name in BACKENDS}
     try:
         for label, n, theta, degree, leaf, forces in REGIMES:
-            plan, shared_plan = _compiled_plans(n, theta, degree, leaf)
+            plan = _compiled_plan(n, theta, degree, leaf)
             seconds = {}
             outputs = {}
             for name in BACKENDS:
@@ -123,8 +120,8 @@ def fusion_sweep():
                     "speedup": seconds["numpy"] / seconds["fused"],
                     "batched_vs_fused": seconds["fused"] / seconds["batched"],
                     "model_x": seconds["numpy"] / seconds["model"],
-                    "rows_dup": plan.source_buffer_rows,
-                    "rows_shared": shared_plan.source_buffer_rows,
+                    "rows_dup": plan.n_source_rows,
+                    "rows_shared": plan.source_buffer_rows,
                 }
             )
     finally:
@@ -166,8 +163,8 @@ def test_fusion_regenerate(benchmark, fusion_sweep, results_dir):
             "pre-gathered buffers + bulk launch charging, batched = "
             "shape-bucketed stacked GEMMs with fused fallback, "
             "multiprocessing = fused arithmetic sharded over a process "
-            "pool; shared-rows shrink = duplicated/deduplicated "
-            "source-buffer rows)"
+            "pool; shared-rows shrink = logical (aliased) / physical "
+            "de-duplicated source-buffer rows)"
         ),
     )
     write_result(results_dir, "ablation_backend_fusion.txt", text)
@@ -223,7 +220,8 @@ def test_model_backend_orders_of_magnitude_faster(fusion_sweep):
 
 
 def test_shared_gather_shrinks_buffers(fusion_sweep):
-    """Clusters shared across batches stored once: strictly fewer rows."""
+    """Clusters shared across batches stored once: strictly fewer
+    physical rows than logical (per-segment aliased) rows."""
     rows, _ = fusion_sweep
     for r in rows:
         assert r["rows_shared"] < r["rows_dup"], r

@@ -18,16 +18,23 @@ and the acceptance check that steady-state applies charge **zero**
 setup-phase device time while staying bitwise-identical to a fresh
 ``compute()``.
 
+Each regime also round-trips the prepared session through ``pickle``
+(serialize/deserialize wall time and payload size, restored apply
+bitwise-checked against the live session) --
+``BENCH_session_serialization.json`` records the cost of moving a
+session between processes or to disk.
+
 ``REPRO_BENCH_SCALE=smoke`` shrinks the regimes to seconds of runtime
 (the CI smoke mode); ``full`` grows them toward paper scale.
 """
 
+import pickle
 import time
 
 import numpy as np
 import pytest
 
-from conftest import bench_scale, write_result
+from conftest import bench_scale, write_json, write_result
 from repro import (
     BarycentricTreecode,
     CoulombKernel,
@@ -87,6 +94,17 @@ def _sweep_regime(n, steps):
         assert r_apply.phases.setup == 0.0
     steady = applies[-1]  # steady state: charges-only upload
     fresh = computes[-1]
+
+    # -- pickle round-trip ------------------------------------------------
+    t0 = time.perf_counter()
+    payload = pickle.dumps(prepared, protocol=pickle.HIGHEST_PROTOCOL)
+    dumps_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    restored = pickle.loads(payload)
+    loads_s = time.perf_counter() - t0
+    restored_res = restored.apply(charge_steps[-1])
+    assert np.array_equal(restored_res.potential, steady.potential)
+
     return {
         "n": n,
         "steps": steps,
@@ -103,6 +121,10 @@ def _sweep_regime(n, steps):
         "sim_x": mono_sim / session_sim,
         "wall_x": mono_wall / session_wall,
         "steady_x": fresh.phases.total / steady.phases.total,
+        "pickle_bytes": len(payload),
+        "pickle_dumps_s": dumps_s,
+        "pickle_loads_s": loads_s,
+        "memory_stats": prepared.memory_stats(),
     }
 
 
@@ -146,6 +168,31 @@ def test_prepare_apply_regenerate(benchmark, amortization_sweep, results_dir):
         ),
     )
     write_result(results_dir, "prepare_apply_amortization.txt", text)
+    write_json(
+        results_dir,
+        "BENCH_session_serialization.json",
+        [
+            {
+                "n": r["n"],
+                "backend": BACKEND,
+                "pickle_bytes": r["pickle_bytes"],
+                "pickle_dumps_seconds": round(r["pickle_dumps_s"], 6),
+                "pickle_loads_seconds": round(r["pickle_loads_s"], 6),
+                "resident_bytes": r["memory_stats"],
+            }
+            for r in rows
+        ],
+    )
+
+
+def test_session_pickle_roundtrip_cheap(amortization_sweep):
+    """The pickle carries the session's data, not its caches: payload
+    stays within a small factor of the resident geometry bytes, and a
+    restored session reproduces the live one bitwise (asserted in the
+    sweep)."""
+    for r in amortization_sweep:
+        assert r["pickle_bytes"] > 0
+        assert r["pickle_bytes"] < 4 * r["memory_stats"]["total_bytes"], r
 
 
 def test_apply_charges_no_setup_time(amortization_sweep):

@@ -21,6 +21,7 @@ so that every design decision can be ablated.
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass, replace
 
 import numpy as np
@@ -76,12 +77,12 @@ class TreecodeParams:
     #: :class:`~repro.core.backends.Backend` instance (one carrying its
     #: own state) is accepted directly and passes through the resolver.
     backend: object = "numpy"
-    #: De-duplicate the execution plan's source buffers: clusters
-    #: referenced by many batches are stored once and aliased through
-    #: per-segment offsets (bitwise-identical results, strictly smaller
-    #: buffers on shared workloads).  Off by default to keep the seed's
-    #: duplicated, fully-contiguous layout on the reference path.
-    shared_sources: bool = False
+    #: Deprecated no-op.  Plans always de-duplicate their source
+    #: buffers now (clusters referenced by many batches are stored once
+    #: and aliased through per-segment offsets; bitwise-identical
+    #: results, strictly smaller buffers).  Passing any non-None value
+    #: emits a :class:`DeprecationWarning`; the field will be removed.
+    shared_sources: bool | None = None
     #: Compile plans with the shape-bucketed batched execution layout
     #: attached (identically shaped far-field segment runs grouped into
     #: dense index buckets; see :mod:`repro.core.plan`).  The
@@ -92,6 +93,13 @@ class TreecodeParams:
     batched: bool = False
 
     def __post_init__(self) -> None:
+        if self.shared_sources is not None:
+            warnings.warn(
+                "TreecodeParams.shared_sources is deprecated and ignored: "
+                "plans always de-duplicate their source buffers now",
+                DeprecationWarning,
+                stacklevel=3,
+            )
         if not (0.0 < self.theta <= 1.0):
             raise ValueError(f"theta must lie in (0, 1], got {self.theta}")
         if self.degree < 1:

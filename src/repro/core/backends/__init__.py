@@ -31,7 +31,12 @@ backend names without importing this package.
 
 from __future__ import annotations
 
-from ...registry import backend_names, backend_type, register_backend_type
+from ...registry import (
+    backend_names,
+    backend_type,
+    register_backend_type,
+    shared_backend_instance,
+)
 from .base import (
     Backend,
     charge_plan_launches,
@@ -76,20 +81,16 @@ def available_backends() -> tuple[str, ...]:
     return backend_names()
 
 
-#: Shared instances for backends with ``share_instance = True``.
-_SHARED_INSTANCES: dict[str, Backend] = {}
-
-
 def get_backend(name: str | Backend) -> Backend:
     """Resolve a backend instance from a registry name.
 
     Backend instances pass through unchanged, so drivers accept either a
     name (registry lookup) or a ready-made object (custom backends that
     carry their own state).  Classes marked ``share_instance`` resolve
-    to one shared instance per name, so selecting e.g.
-    ``TreecodeParams(backend="multiprocessing")`` reuses the same worker
-    pool across ``compute()`` calls instead of forking a fresh one each
-    time.
+    through the process-wide store in :mod:`repro.registry`, so
+    selecting e.g. ``TreecodeParams(backend="multiprocessing")`` reuses
+    the same worker pool across every session in the process -- live or
+    restored from a pickle -- instead of forking a fresh one each time.
     """
     if isinstance(name, Backend):
         return name
@@ -101,11 +102,7 @@ def get_backend(name: str | Backend) -> Backend:
             f"{', '.join(available_backends())}"
         ) from None
     if getattr(cls, "share_instance", False):
-        inst = _SHARED_INSTANCES.get(name)
-        if inst is None or type(inst) is not cls:
-            inst = cls()
-            _SHARED_INSTANCES[name] = inst
-        return inst
+        return shared_backend_instance(name, cls)
     return cls()
 
 

@@ -1,11 +1,11 @@
 """Fused backend: zero-copy evaluation straight from the plan buffers.
 
-The plan compiler already gathered every group's sources contiguously
-(duplicated layout) or de-duplicated them behind per-segment offsets
-(shared layout), so this backend evaluates each group with *one*
-blocked accumulation over its whole source range -- no per-batch
-``np.concatenate`` in the contiguous case and at most one dtype cast of
-the buffers for the whole run.  Forces reuse the same gathered buffers.
+The plan compiler already gathered every group's sources behind
+per-segment ``seg_src_lo`` offsets into de-duplicated buffers, so this
+backend evaluates each group with *one* blocked accumulation over its
+whole source range -- no per-batch ``np.concatenate`` when the aliases
+land contiguously and at most one dtype cast of the buffers for the
+whole run.  Forces reuse the same gathered buffers.
 The arithmetic itself lives in :mod:`.groupeval` and is shared verbatim
 with the multiprocessing backend's shards (which is why the two are
 bitwise identical by construction).  Results agree with

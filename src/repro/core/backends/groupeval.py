@@ -20,8 +20,7 @@ __all__ = [
     "eval_group_range",
 ]
 
-#: The ExecutionPlan fields a group evaluation needs (``seg_src_lo`` is
-#: absent for the duplicated source-buffer layout).
+#: The ExecutionPlan fields a group evaluation needs.
 PLAN_ARRAY_FIELDS = (
     "targets",
     "out_index",
@@ -59,15 +58,13 @@ def plan_arrays(plan, *, cast_geometry=None) -> dict:
 def run_source_slices(arrays, s_lo: int, s_hi: int):
     """Physical (lo, hi) source row ranges of segments ``[s_lo, s_hi)``.
 
-    One contiguous span in the duplicated layout (``seg_ptr`` doubles as
-    the physical offset table); one range per segment in the shared
-    layout (aliases may scatter).  Shared by the per-group evaluation
-    here and the batched backend's ragged fallback.
+    One range per segment, resolved through the per-segment
+    ``seg_src_lo`` offsets (aliases may scatter).  Shared by the
+    per-group evaluation here and the batched backend's ragged
+    fallback.
     """
     seg_ptr = arrays["seg_ptr"]
-    seg_src_lo = arrays.get("seg_src_lo")
-    if seg_src_lo is None:
-        return [(int(seg_ptr[s_lo]), int(seg_ptr[s_hi]))]
+    seg_src_lo = arrays["seg_src_lo"]
     out = []
     for s in range(s_lo, s_hi):
         lo = int(seg_src_lo[s])
@@ -122,26 +119,13 @@ def eval_group_range(arrays, kernel, dtype, compute_forces, g_lo, g_hi):
         if compute_forces
         else None
     )
-    # Cast once per range; float64 passes through as views.  In the
-    # duplicated layout the range's source rows are one contiguous run,
-    # so a mixed-precision cast copies only that slice instead of the
-    # whole buffer per worker; the shared layout's rows are scattered
-    # (and already de-duplicated), so it casts the full buffers.
-    if "seg_src_lo" in arrays:
-        base = 0
-        src_all = np.ascontiguousarray(arrays["src_points"], dtype=dtype)
-        q_all = np.ascontiguousarray(arrays["src_weights"], dtype=dtype)
-    else:
-        seg_ptr = arrays["seg_ptr"]
-        seg_group_ptr = arrays["seg_group_ptr"]
-        base = int(seg_ptr[seg_group_ptr[g_lo]])
-        end = int(seg_ptr[seg_group_ptr[g_hi]])
-        src_all = np.ascontiguousarray(
-            arrays["src_points"][base:end], dtype=dtype
-        )
-        q_all = np.ascontiguousarray(
-            arrays["src_weights"][base:end], dtype=dtype
-        )
+    # Cast once per range; float64 passes through as views.  The shared
+    # layout's physical rows are scattered through ``seg_src_lo``
+    # aliases (and already de-duplicated), so the cast covers the full
+    # -- compact -- buffers.
+    base = 0
+    src_all = np.ascontiguousarray(arrays["src_points"], dtype=dtype)
+    q_all = np.ascontiguousarray(arrays["src_weights"], dtype=dtype)
     for g in range(g_lo, g_hi):
         t_lo, t_hi = int(group_ptr[g]), int(group_ptr[g + 1])
         m = t_hi - t_lo

@@ -350,6 +350,23 @@ class MultiprocessingBackend(Backend):
                     ship.refresh(plan)
             return ship
 
+    def shipment_nbytes(self, plan) -> int:
+        """Bytes held by the plan's cached shipment (0 when unshipped).
+
+        Memory-accounting hook for session eviction: the SHM block size
+        when shared memory backs the shipment, the pickled payload size
+        on the fallback path.
+        """
+        with self._ship_lock:
+            ship = self._shipments.get(plan)
+        if ship is None:
+            return 0
+        if ship.shm is not None:
+            return int(ship.shm.size)
+        if ship.payload is not None:
+            return len(ship.payload)
+        return 0
+
     def __del__(self):  # pragma: no cover - interpreter teardown
         try:
             self.close()

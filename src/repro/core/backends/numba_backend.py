@@ -556,10 +556,7 @@ def run_plan_loops(plan, potential_loop, force_loop, *, dtype=np.float64):
         else None
     )
     seg_sizes = np.ascontiguousarray(np.diff(plan.seg_ptr))
-    if plan.seg_src_lo is not None:
-        seg_lo_arr = np.ascontiguousarray(plan.seg_src_lo)
-    else:
-        seg_lo_arr = np.ascontiguousarray(plan.seg_ptr[:-1])
+    seg_lo_arr = np.ascontiguousarray(plan.seg_src_lo)
     group_ptr = np.ascontiguousarray(plan.group_ptr)
     seg_group_ptr = np.ascontiguousarray(plan.seg_group_ptr)
     eps16 = 16.0 * float(np.finfo(np.dtype(dtype)).eps)

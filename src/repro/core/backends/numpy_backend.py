@@ -59,10 +59,9 @@ class NumpyBackend(Backend):
             else None
         )
         # Hoisted locals keep the per-segment range resolution out of
-        # the (potentially 100k+-segment) hot loop for both layouts.
-        seg_ptr = plan.seg_ptr
+        # the (potentially 100k+-segment) hot loop.
         seg_src_lo = plan.seg_src_lo
-        seg_sizes = np.diff(seg_ptr) if seg_src_lo is not None else None
+        seg_sizes = np.diff(plan.seg_ptr)
         for g in range(plan.n_groups):
             t_lo, t_hi = int(plan.group_ptr[g]), int(plan.group_ptr[g + 1])
             m = t_hi - t_lo
@@ -83,19 +82,13 @@ class NumpyBackend(Backend):
             )
             for _, s_lo, s_hi in plan.group_kind_runs(g):
                 # Re-concatenating per kind reproduces the seed executor's
-                # per-batch gather (same values: the plan buffers are exact
-                # copies of the cluster arrays, in list order -- in either
-                # source-buffer layout).
-                if seg_src_lo is None:
-                    ranges = [
-                        (seg_ptr[s], seg_ptr[s + 1])
-                        for s in range(s_lo, s_hi)
-                    ]
-                else:
-                    ranges = [
-                        (seg_src_lo[s], seg_src_lo[s] + seg_sizes[s])
-                        for s in range(s_lo, s_hi)
-                    ]
+                # per-batch gather (same values: the physical rows are
+                # exact copies of the cluster arrays, resolved through the
+                # per-segment ``seg_src_lo`` offsets).
+                ranges = [
+                    (seg_src_lo[s], seg_src_lo[s] + seg_sizes[s])
+                    for s in range(s_lo, s_hi)
+                ]
                 src = np.concatenate(
                     [plan.src_points[lo:hi] for lo, hi in ranges], axis=0
                 )

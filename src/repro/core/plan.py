@@ -19,9 +19,9 @@ against a contiguous block of source rows:
 * ``seg_ptr[s+1] - seg_ptr[s]``       -- source-row count of segment
   ``s`` (*logical* sizes; the physical rows live at
   :meth:`ExecutionPlan.segment_source_range` /
-  :meth:`~ExecutionPlan.segment_points`, which resolve both
-  source-buffer layouts below -- never index ``src_points`` with
-  ``seg_ptr`` directly);
+  :meth:`~ExecutionPlan.segment_points` through the per-segment
+  ``seg_src_lo`` offsets -- never index ``src_points`` with ``seg_ptr``
+  directly);
 * ``seg_kind[s]``                     -- launch kind (index into
   ``kind_names``: "approx", "direct", "cluster-cluster", ...).
 
@@ -43,30 +43,28 @@ vector (of length ``out_size``); compilers keep ``out_index`` injective
 over all target rows, so backends accumulate with a plain fancy-indexed
 ``+=``.
 
-Source-buffer layouts
----------------------
-A numerics plan stores its gathered source rows in one of two layouts:
+Source-buffer layout
+--------------------
+A numerics plan stores its gathered source rows in the **shared**
+(de-duplicated) layout, the only one: segments carrying the same
+``share_key`` (e.g. the same cluster's Chebyshev grid) point into one
+physical copy via the per-segment ``seg_src_lo`` offsets.  The buffers
+hold O(distinct source rows) instead of O(total interaction rows) --
+60-115x smaller on shared workloads -- and segments added without a
+repeated key still occupy consecutive physical rows, so unshared plans
+stay fully contiguous.  (The historical *duplicated* layout, which
+materialized every segment's rows once per referencing segment and let
+``seg_ptr`` double as the physical offset table, has been retired: it
+cost strictly more memory for bitwise-identical results, since the
+physical rows are exact copies of the same cluster arrays either way.)
 
-* **duplicated** (the default): every segment's rows are materialized
-  contiguously in launch order, so ``seg_ptr`` doubles as the physical
-  offset table and a whole group's sources are one contiguous block
-  (zero-copy for the fused backend).  Clusters referenced by many
-  batches are stored once *per referencing segment*.
-* **shared** (``shared_sources=True``): segments carrying the same
-  ``share_key`` (e.g. the same cluster's Chebyshev grid) point into one
-  physical copy via the per-segment ``seg_src_lo`` offsets.  The buffers
-  shrink from O(total interaction rows / n_ip) to O(distinct source
-  rows) -- the ROADMAP's shared-segment gather for large real-numerics
-  runs.
-
-Both layouts expose the same per-segment view
-(:meth:`ExecutionPlan.segment_points` / ``segment_weights``), so every
-backend runs either; ``seg_ptr`` keeps its *logical* cumulative-size
-meaning in both (launch metadata, interaction counts and device cost
-accounting are layout-independent).  Results are bitwise identical: the
-physical rows are exact copies of the same cluster arrays either way.
-Paper-scale runs (10^6+ particles) go through model-only plans, which
-carry no buffers at all.
+``seg_ptr`` keeps its *logical* cumulative-size meaning (launch
+metadata, interaction counts and device cost accounting never consult
+the physical offsets); per-segment physical views come from
+:meth:`ExecutionPlan.segment_points` / ``segment_weights`` -- never
+index ``src_points`` with ``seg_ptr`` directly.  Paper-scale runs
+(10^6+ particles) go through model-only plans, which carry no buffers
+(and no ``seg_src_lo``) at all.
 
 Geometry vs. weight state
 -------------------------
@@ -190,7 +188,8 @@ class BatchedBucket:
     #: (G, m_max) target-row gather matrix; padding repeats the entry's
     #: first row (excluded from the scatter, so never accumulated).
     tgt_index: np.ndarray
-    #: (G, k) physical source-row gather matrix.
+    #: (G, k) physical source-row gather matrix (resolved through the
+    #: per-segment ``seg_src_lo`` offsets).
     src_index: np.ndarray
     #: (V,) output slots of the valid rows, in row-major bucket order.
     out_slots: np.ndarray
@@ -201,6 +200,14 @@ class BatchedBucket:
     weights: np.ndarray
     #: dtype-keyed cache of the gathered (targets, sources) stacks.
     _stacks: dict = field(default_factory=dict, repr=False)
+
+    def __getstate__(self):
+        # The stack cache is process-local (rebuilt on demand from the
+        # index matrices); shipping it would duplicate the geometry
+        # buffers in every pickle.
+        state = self.__dict__.copy()
+        state["_stacks"] = {}
+        return state
 
     @property
     def n_entries(self) -> int:
@@ -313,13 +320,12 @@ class ExecutionPlan:
     #: (R,) gathered charges/modified charges, or None in model-only mode.
     src_weights: np.ndarray | None = None
     #: (S,) physical start row of each segment in the source buffers, or
-    #: None for the duplicated layout (where ``seg_ptr`` is the offset
-    #: table).  Set by the shared-source gather; segments may alias.
+    #: None in model-only mode (no buffers to index).  Segments sharing
+    #: a ``share_key`` alias the same physical rows.
     seg_src_lo: np.ndarray | None = None
     #: Per *stored* segment ``(share_key, lo, hi)`` physical weight-row
     #: ranges, or None when some stored segment carried no share key
-    #: (the plan is then not weight-refreshable).  Duplicated layouts
-    #: repeat a key once per physical copy.
+    #: (the plan is then not weight-refreshable).
     weight_slots: tuple | None = None
     #: Bumped by :meth:`refresh_weights`; lets caching backends detect
     #: stale shipped copies of ``src_weights``.
@@ -331,6 +337,15 @@ class ExecutionPlan:
     #: dtype-keyed cache of cast copies of the geometry-constant buffers
     #: (targets / src_points); see :meth:`targets_as`.
     _cast_cache: dict = field(default_factory=dict, repr=False)
+
+    def __getstate__(self):
+        # Cast caches are process-local: unpickled in another process
+        # they would be stale-by-identity (no longer views of anything
+        # shared) and they double the pickle size for no benefit.  They
+        # repopulate lazily on the first mixed-precision execution.
+        state = self.__dict__.copy()
+        state["_cast_cache"] = {}
+        return state
 
     # -- structure queries ----------------------------------------------
     @property
@@ -356,12 +371,16 @@ class ExecutionPlan:
 
     @property
     def shared_sources(self) -> bool:
-        """True when segments alias de-duplicated source buffers."""
+        """True when segments alias de-duplicated source buffers.
+
+        Every numerics plan is compiled this way now; the property is
+        kept for introspection (model-only plans report False).
+        """
         return self.seg_src_lo is not None
 
     @property
     def source_buffer_rows(self) -> int:
-        """Physical rows actually stored (== logical rows when duplicated)."""
+        """Physical rows actually stored (de-duplicated; <= logical rows)."""
         return 0 if self.src_points is None else int(self.src_points.shape[0])
 
     def group_size(self, g: int) -> int:
@@ -370,11 +389,11 @@ class ExecutionPlan:
     def seg_size(self, s: int) -> int:
         return int(self.seg_ptr[s + 1] - self.seg_ptr[s])
 
-    # -- source-buffer views (both layouts) -----------------------------
+    # -- source-buffer views --------------------------------------------
     def segment_source_range(self, s: int) -> tuple[int, int]:
         """Physical ``[lo, hi)`` row range of segment ``s``."""
         if self.seg_src_lo is None:
-            return int(self.seg_ptr[s]), int(self.seg_ptr[s + 1])
+            raise ValueError("model-only plan has no source buffers")
         lo = int(self.seg_src_lo[s])
         return lo, lo + self.seg_size(s)
 
@@ -389,15 +408,14 @@ class ExecutionPlan:
     def group_source_range(self, g: int) -> tuple[int, int] | None:
         """Physical row range covering group ``g``, if contiguous.
 
-        Always a range in the duplicated layout (zero-copy fused
-        evaluation); in the shared layout segments generally alias
-        scattered ranges and callers fall back to
-        :meth:`group_sources`.  Returns None when not contiguous.
+        Aliased segments generally scatter their ranges, in which case
+        callers fall back to :meth:`group_sources`; a group of
+        first-occurrence segments stays one contiguous block (the
+        builder stores new rows consecutively).  Returns None when not
+        contiguous.
         """
         s_lo = int(self.seg_group_ptr[g])
         s_hi = int(self.seg_group_ptr[g + 1])
-        if self.seg_src_lo is None:
-            return int(self.seg_ptr[s_lo]), int(self.seg_ptr[s_hi])
         lo, pos = self.segment_source_range(s_lo) if s_hi > s_lo else (0, 0)
         for s in range(s_lo + 1, s_hi):
             nxt_lo, nxt_hi = self.segment_source_range(s)
@@ -410,8 +428,8 @@ class ExecutionPlan:
         """``(points, weights)`` of group ``g``'s rows in segment order.
 
         Contiguous views when the layout allows; otherwise a gather
-        (concatenation of the aliased segment slices) with values
-        bitwise identical to the duplicated layout.
+        (concatenation of the aliased segment slices) -- the values are
+        exact copies of the same cluster arrays either way.
         """
         rng = self.group_source_range(g)
         if rng is not None:
@@ -498,9 +516,8 @@ class ExecutionPlan:
         charges, a node's particle charges, ...) -- either ``(rows,)``
         for single-vector evaluation or ``(rows, n_rhs)`` for multi-RHS,
         with every slot agreeing on the width.  Every stored segment is
-        rewritten -- in the duplicated layout a key repeats once per
-        physical copy -- so the buffer afterwards is exactly what a
-        fresh compile with the same values would have gathered.
+        rewritten, so the buffer afterwards is exactly what a fresh
+        compile with the same values would have gathered.
 
         Multi-RHS widens ``src_weights`` from ``(R,)`` to ``(R, n_rhs)``
         (column ``j`` holding exactly what a single-vector refresh on
@@ -599,22 +616,15 @@ def _build_bucket(plan: ExecutionPlan, sig, entries) -> BatchedBucket:
     m_max = int(m_sizes.max())
     tgt_index = np.empty((n, m_max), dtype=np.intp)
     src_index = np.empty((n, k), dtype=np.intp)
-    seg_ptr = plan.seg_ptr
     seg_src_lo = plan.seg_src_lo
     for i, (g, t_lo, m, s_lo, s_hi) in enumerate(entries):
         tgt_index[i, :m] = np.arange(t_lo, t_lo + m)
         tgt_index[i, m:] = t_lo
-        if seg_src_lo is None:
-            # Duplicated layout: the run's physical rows are one
-            # contiguous block starting at the first segment's offset.
-            lo = int(seg_ptr[s_lo])
-            src_index[i] = np.arange(lo, lo + k)
-        else:
-            for j, s in enumerate(range(s_lo, s_hi)):
-                lo = int(seg_src_lo[s])
-                src_index[i, j * seg_size:(j + 1) * seg_size] = np.arange(
-                    lo, lo + seg_size
-                )
+        for j, s in enumerate(range(s_lo, s_hi)):
+            lo = int(seg_src_lo[s])
+            src_index[i, j * seg_size:(j + 1) * seg_size] = np.arange(
+                lo, lo + seg_size
+            )
     if int(m_sizes.min()) == m_max:
         scatter_pos = None
         flat_rows = tgt_index.reshape(-1)
@@ -725,11 +735,13 @@ class PlanBuilder:
     backends.  Add segments of one group kind-contiguously so backends
     get one run per kind.
 
-    ``shared_sources=True`` de-duplicates the source buffers: segments
-    added with the same ``share_key`` store their rows once and alias
-    them through per-segment offsets.  Callers can skip re-gathering a
-    cluster's arrays entirely by checking :meth:`has_shared` first --
-    a repeated key needs no ``points``/``weights`` at all.
+    The source buffers are always de-duplicated: segments added with
+    the same ``share_key`` store their rows once and alias them through
+    per-segment offsets.  Callers can skip re-gathering a cluster's
+    arrays entirely by checking :meth:`has_shared` first -- a repeated
+    key needs no ``points``/``weights`` at all.  (``shared_sources`` is
+    accepted as a deprecated no-op; the duplicated-rows layout it used
+    to toggle has been retired.)
 
     ``deferred_weights=True`` compiles a geometry-only skeleton: every
     stored segment supplies ``points`` and a ``share_key`` but no
@@ -743,13 +755,12 @@ class PlanBuilder:
         out_size: int,
         *,
         numerics: bool = True,
-        shared_sources: bool = False,
+        shared_sources: bool | None = None,  # deprecated no-op
         deferred_weights: bool = False,
         batched: bool = False,
     ) -> None:
         self.out_size = int(out_size)
         self.numerics = bool(numerics)
-        self.shared_sources = bool(shared_sources) and self.numerics
         self.deferred_weights = bool(deferred_weights) and self.numerics
         #: Attach the shape-bucketed execution layout at build time
         #: (numerics plans only; backends can also build it lazily).
@@ -811,17 +822,15 @@ class PlanBuilder:
         """Append one launch segment to the most recent group.
 
         ``share_key`` (hashable, e.g. ``("approx", cluster_id)``) marks
-        segments that carry the same source rows; with
-        ``shared_sources=True`` a repeated key aliases the first copy
-        and ``points``/``weights`` may be omitted.  Ignored otherwise.
+        segments that carry the same source rows; a repeated key
+        aliases the first copy and ``points``/``weights`` may be
+        omitted.
         """
         if not self._group_sizes:
             raise ValueError("add_group must be called before add_segment")
         if self.numerics:
             reuse = (
-                self.shared_sources
-                and share_key is not None
-                and share_key in self._shared_ranges
+                share_key is not None and share_key in self._shared_ranges
             )
             if reuse:
                 lo, hi = self._shared_ranges[share_key]
@@ -838,7 +847,7 @@ class PlanBuilder:
                 lo = self._phys_rows
                 hi = lo + int(points.shape[0])
                 self._phys_rows = hi
-                if self.shared_sources and share_key is not None:
+                if share_key is not None:
                     self._shared_ranges[share_key] = (lo, hi)
                 if share_key is None:
                     if self.deferred_weights:
@@ -880,8 +889,7 @@ class PlanBuilder:
                 src_weights = np.zeros(self._phys_rows, dtype=np.float64)
             else:
                 src_weights = _concat(self._src_weights, (0,), np.float64)
-            if self.shared_sources:
-                seg_src_lo = np.asarray(self._seg_src_lo, dtype=np.intp)
+            seg_src_lo = np.asarray(self._seg_src_lo, dtype=np.intp)
             if self._refreshable:
                 weight_slots = tuple(self._weight_slots)
         plan = ExecutionPlan(
@@ -918,7 +926,7 @@ def compile_plan(
     params: "TreecodeParams",
     *,
     numerics: bool = True,
-    shared_sources: bool = False,
+    shared_sources: bool | None = None,  # deprecated no-op
     deferred_weights: bool = False,
     batched: bool = False,
 ) -> ExecutionPlan:
@@ -932,10 +940,10 @@ def compile_plan(
     structure is compiled (model-only mode; segment sizes come from the
     tree metadata, no particle data is gathered).
 
-    ``shared_sources=True`` stores each cluster's rows once however many
-    batches reference it (per-segment offsets alias the single copy);
-    results are bitwise identical, buffers strictly smaller whenever any
-    cluster appears in more than one interaction list.
+    The source buffers are always de-duplicated: each cluster's rows
+    are stored once however many batches reference it (per-segment
+    offsets alias the single copy).  ``shared_sources`` is accepted as
+    a deprecated no-op.
 
     ``deferred_weights=True`` compiles the geometry-only skeleton used
     by :meth:`~repro.core.treecode.BarycentricTreecode.prepare`:
@@ -951,7 +959,7 @@ def compile_plan(
     n_ip = params.n_interpolation_points
     deferred = bool(deferred_weights) and numerics
     builder = PlanBuilder(
-        batches.n_targets, numerics=numerics, shared_sources=shared_sources,
+        batches.n_targets, numerics=numerics,
         deferred_weights=deferred, batched=batched,
     )
     if charges is not None:

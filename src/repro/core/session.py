@@ -1,0 +1,426 @@
+"""The session core shared by every prepared driver shell.
+
+All four drivers -- the single-device BLTC, the distributed driver and
+the two Sec. 5 extension schemes -- run the same per-apply cycle on
+fixed geometry: upload the charges, re-run the moment kernels on cached
+cluster grids, rewrite the plan's weight buffer in place, and execute
+the plan through a pluggable backend.  This module holds that cycle
+once:
+
+* :class:`GeometryState` bundles the charge-independent state one
+  device evaluates (tree, batches, interaction lists, moment grids and
+  the compiled plan skeleton) and derives a stable
+  :meth:`~GeometryState.geometry_key` content hash, the cache key a
+  service layer can use for a prepared-session LRU.
+* :class:`SessionCore` owns charge validation/multi-RHS widening,
+  charge upload, ``refresh_moments``/``refresh_weights``, backend
+  dispatch and memory accounting.  The ``Prepared*`` classes are thin
+  shells over one (or, distributed, one per rank) of these: the
+  distributed shell adds the LET re-ship between precompute and
+  execute, the extension shells add their downward interpolation
+  passes after it.
+* The weight-source classes translate each driver's weight-slot key
+  vocabulary into refreshed weight rows.  They are stateless and
+  picklable -- the closures handed to
+  :meth:`~repro.core.plan.ExecutionPlan.refresh_weights` are built
+  transiently per apply and never stored.
+
+Sessions pickle: :meth:`SessionCore.__getstate__` drops the resolved
+backend instance whenever it can be re-resolved by registry name, so
+the pickle never ships worker pools, locks or shared-memory handles;
+the first post-unpickle apply re-resolves through the process-wide
+shared store in :mod:`repro.registry` (two restored sessions selecting
+``"multiprocessing"`` therefore share one pool), and dropped caches
+(plan cast caches, bucket stacks, SHM shipments) repopulate lazily.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from ..util import as_charge_block
+from .backends import Backend, get_backend
+from .moments import ClusterMoments, refresh_moments
+from .plan import ExecutionPlan
+
+__all__ = [
+    "GeometryState",
+    "SessionCore",
+    "TreecodeWeightSource",
+    "DistributedWeightSource",
+    "BatchChargeWeightSource",
+    "DualTreeWeightSource",
+    "format_memory_stats",
+]
+
+FLOAT_BYTES = 8
+
+#: The plan fields hashed into a geometry key / counted as plan memory
+#: (everything charge-independent; ``src_weights`` is accounted
+#: separately as the weight-slot buffer).
+_PLAN_GEOMETRY_FIELDS = (
+    "group_ptr",
+    "seg_group_ptr",
+    "seg_kind",
+    "seg_ptr",
+    "seg_src_lo",
+    "out_index",
+    "targets",
+    "src_points",
+)
+
+
+@dataclass
+class GeometryState:
+    """Charge-independent state of one device's prepared evaluation.
+
+    ``tree`` is the tree the moments live on (the source tree for the
+    BLTC and dual-tree schemes, the target tree for cluster-particle);
+    ``aux`` carries driver-specific geometry (a rank's LET, an
+    extension's traversal/grouping record).  Everything here is plain
+    data -- pickling a session ships it verbatim.
+    """
+
+    plan: ExecutionPlan
+    tree: Any = None
+    batches: Any = None
+    lists: Any = None
+    moments: ClusterMoments | None = None
+    aux: Any = None
+
+    def geometry_key(self) -> str:
+        """Stable content hash of the compiled geometry.
+
+        Two sessions prepared from identical positions and parameters
+        hash identically (the plan's index arrays and gathered
+        coordinate buffers determine every geometry-dependent byte of
+        an apply), so a service layer can key a prepared-session LRU
+        cache on it.  Charge state (``src_weights``) is excluded.
+        """
+        h = hashlib.sha256()
+        plan = self.plan
+        h.update(repr(plan.kind_names).encode())
+        h.update(str(plan.out_size).encode())
+        for name in _PLAN_GEOMETRY_FIELDS:
+            arr = getattr(plan, name)
+            h.update(name.encode())
+            if arr is None:
+                h.update(b"<none>")
+                continue
+            arr = np.ascontiguousarray(arr)
+            h.update(arr.dtype.str.encode())
+            h.update(str(arr.shape).encode())
+            h.update(arr.tobytes())
+        return h.hexdigest()
+
+
+class TreecodeWeightSource:
+    """BLTC weight keys: ``("approx", c)`` -> the cluster's modified
+    charges, ``("direct", c)`` -> the cluster's particle charges."""
+
+    def provider(self, geometry: GeometryState, charges: np.ndarray):
+        moments = geometry.moments
+        tree = geometry.tree
+
+        def provide(key):
+            kind, c = key
+            if kind == "approx":
+                return moments.charges(c)
+            return charges[tree.node_indices(c)]
+
+        return provide
+
+
+class DistributedWeightSource:
+    """Rank-plan weight keys ``(kind, owner_rank, c)``; ``owner_rank``
+    -1 is local (moments / local charges), otherwise the rows come from
+    the rank's LET (``geometry.aux``), refreshed by the RMA re-ship."""
+
+    def provider(self, geometry: GeometryState, charges: np.ndarray):
+        moments = geometry.moments
+        tree = geometry.tree
+        let = geometry.aux
+
+        def provide(key):
+            kind, s, c = key
+            if kind == "approx":
+                if s == -1:
+                    return moments.charges(c)
+                return let.approx_data[s][c][1]
+            if s == -1:
+                return charges[tree.node_indices(c)]
+            return let.direct_data[s][c][1]
+
+        return provide
+
+
+class BatchChargeWeightSource:
+    """Cluster-particle weight keys: the source-batch index ``b`` ->
+    that batch's charges (the scheme has no moment stage)."""
+
+    def provider(self, geometry: GeometryState, charges: np.ndarray):
+        batches = geometry.batches
+
+        def provide(b):
+            return charges[batches.batch_indices(b)]
+
+        return provide
+
+
+class DualTreeWeightSource:
+    """Dual-tree weight keys: ``("moments", si)`` -> the source
+    cluster's modified charges, ``("particles", si)`` -> its particle
+    charges (``geometry.tree`` is the source tree)."""
+
+    def provider(self, geometry: GeometryState, charges: np.ndarray):
+        moments = geometry.moments
+        s_tree = geometry.tree
+
+        def provide(key):
+            what, si = key
+            if what == "moments":
+                return moments.charges(si)
+            return charges[s_tree.node_indices(si)]
+
+        return provide
+
+
+class SessionCore:
+    """The shared per-device session: charges in, potentials out.
+
+    Owns the apply cycle's charge-side half for one device: charge
+    validation and multi-RHS widening (:meth:`charge_block`), the
+    precompute phase (upload + moment kernels, :meth:`precompute`),
+    the weight refresh and backend execution (:meth:`execute_plan`)
+    and memory accounting (:meth:`memory_stats`).  Driver shells
+    insert their specific steps between these calls (LET re-ship,
+    downward passes) and keep their own stats/result assembly.
+
+    ``backend`` may be a registry name or a ready-made
+    :class:`~repro.core.backends.Backend` instance; names resolve
+    lazily (and re-resolve after unpickling) through
+    :func:`~repro.core.backends.get_backend`, so pool-carrying
+    backends stay process-wide singletons.
+    """
+
+    def __init__(
+        self,
+        *,
+        kernel,
+        params,
+        backend: str | Backend,
+        device,
+        geometry: GeometryState,
+        weight_source,
+        n_charges: int,
+        first_upload_nbytes: int = 0,
+        moments_download: bool = True,
+    ) -> None:
+        self.kernel = kernel
+        self.params = params
+        self.device = device
+        self.geometry = geometry
+        self.weight_source = weight_source
+        #: Length of the charge vectors this session accepts.
+        self.n_charges = int(n_charges)
+        #: Extra bytes the first apply uploads (the monolithic
+        #: pipeline ships the full source data once); 0 means every
+        #: apply uploads only the charges.
+        self.first_upload_nbytes = int(first_upload_nbytes)
+        #: Whether precompute downloads the modified charges (the BLTC
+        #: drivers do; the dual-tree scheme consumes them on-device).
+        self.moments_download = bool(moments_download)
+        self.n_applies = 0
+        self._backend_spec = backend
+        self._backend: Backend | None = (
+            backend if isinstance(backend, Backend) else None
+        )
+
+    # -- backend resolution ---------------------------------------------
+    @property
+    def backend(self) -> Backend:
+        """The resolved backend instance (lazy; re-resolves by name
+        after unpickling, through the process-wide shared store)."""
+        b = self._backend
+        if b is None:
+            b = get_backend(self._backend_spec)
+            self._backend = b
+        return b
+
+    @property
+    def plan(self) -> ExecutionPlan:
+        return self.geometry.plan
+
+    # -- pickling -------------------------------------------------------
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        spec = state["_backend_spec"]
+        if not isinstance(spec, str) and getattr(
+            spec, "share_instance", False
+        ):
+            # Pool-carrying backend instances hold process-local state
+            # (executors, locks, SHM shipments); ship the name instead
+            # and let the restored session re-resolve through the
+            # process-wide store -- restored sessions then share one
+            # pool with each other and with live sessions.
+            spec = spec.name
+            state["_backend_spec"] = spec
+        if isinstance(spec, str):
+            state["_backend"] = None
+        return state
+
+    # -- the apply cycle ------------------------------------------------
+    def charge_block(self, charges) -> tuple[np.ndarray, bool, int]:
+        """Validate charges; returns ``(block, multi, n_rhs)``."""
+        charges = as_charge_block(charges, self.n_charges)
+        multi = charges.ndim == 2
+        n_rhs = int(charges.shape[1]) if multi else 1
+        return charges, multi, n_rhs
+
+    def precompute(
+        self, charges: np.ndarray, phases, *, numerics: bool, n_rhs: int = 1
+    ) -> None:
+        """Charge upload + moment kernels; closes the precompute phase.
+
+        The first apply ships ``first_upload_nbytes`` extra (the full
+        source data, exactly as the monolithic pipelines do); later
+        applies re-ship only the charge block.  When the geometry
+        carries moment grids the paper's two moment kernels run (and,
+        for drivers that read the modified charges back, their DtH
+        copy is charged per RHS column).
+        """
+        device = self.device
+        if self.n_applies == 0 and self.first_upload_nbytes:
+            device.upload(
+                self.first_upload_nbytes + charges.nbytes,
+                label="source data",
+            )
+        else:
+            device.upload(charges.nbytes, label="charges")
+        moments = self.geometry.moments
+        if moments is not None:
+            refresh_moments(
+                moments, self.geometry.tree, charges, self.params,
+                device=device, numerics=numerics,
+            )
+            if self.moments_download:
+                mbytes = (
+                    moments.n_clusters
+                    * self.params.n_interpolation_points
+                    * FLOAT_BYTES
+                    * n_rhs
+                )
+                device.download(mbytes, label="modified charges")
+        phases.precompute += device.take_phase()
+
+    def refresh_weights(
+        self, charges: np.ndarray, *, numerics: bool = True
+    ) -> None:
+        """Rewrite the plan's weight buffer for this charge block."""
+        if numerics:
+            self.plan.refresh_weights(
+                self.weight_source.provider(self.geometry, charges)
+            )
+
+    def execute_plan(
+        self,
+        charges: np.ndarray,
+        phases,
+        *,
+        backend: Backend | None = None,
+        numerics: bool = True,
+        compute_forces: bool = False,
+        multi: bool = False,
+        n_rhs: int = 1,
+        download_potentials: bool = True,
+    ):
+        """Weight refresh + backend execution; closes the compute phase.
+
+        ``backend`` overrides the session backend for this call
+        (``dry_run`` applies pass the model backend).  The ``n_rhs``
+        kwarg reaches the backend only on the multi path, so
+        user-registered backends with the single-vector signature keep
+        working unchanged.  ``download_potentials=False`` skips the
+        DtH copies (extension shells download after their downward
+        pass instead); the compute phase closes either way.
+        """
+        backend = self.backend if backend is None else backend
+        self.refresh_weights(charges, numerics=numerics)
+        extra = {"n_rhs": n_rhs} if multi else {}
+        device = self.device
+        potential, forces = backend.execute(
+            self.plan,
+            self.kernel,
+            device,
+            dtype=self.params.dtype,
+            compute_forces=compute_forces,
+            **extra,
+        )
+        if download_potentials:
+            device.download(potential.nbytes, label="potentials")
+            if forces is not None:
+                device.download(forces.nbytes, label="forces")
+        phases.compute += device.take_phase()
+        return potential, forces
+
+    # -- accounting -----------------------------------------------------
+    def geometry_key(self) -> str:
+        return self.geometry.geometry_key()
+
+    def memory_stats(self) -> dict:
+        """Resident bytes by category (the session-eviction ledger).
+
+        ``plan_bytes`` covers the plan's charge-independent index and
+        coordinate arrays; ``weight_slot_bytes`` the refreshable weight
+        buffer (scales with the current RHS width);
+        ``shipment_bytes`` whatever the backend holds for this plan
+        (the multiprocessing backend's SHM block or pickled payload;
+        0 for backends without per-plan caches); ``moment_bytes`` the
+        cached cluster grids, basis matrices and modified charges.
+        """
+        plan = self.plan
+        plan_bytes = 0
+        for name in _PLAN_GEOMETRY_FIELDS:
+            arr = getattr(plan, name)
+            if arr is not None:
+                plan_bytes += int(arr.nbytes)
+        weight_bytes = (
+            0 if plan.src_weights is None else int(plan.src_weights.nbytes)
+        )
+        shipment_accessor = getattr(self.backend, "shipment_nbytes", None)
+        shipment_bytes = (
+            int(shipment_accessor(plan)) if shipment_accessor else 0
+        )
+        moment_bytes = 0
+        moments = self.geometry.moments
+        if moments is not None:
+            for q in moments.qhat.values():
+                moment_bytes += int(q.nbytes)
+            for grid in moments.grids.values():
+                moment_bytes += int(grid.points.nbytes)
+            for basis in moments.basis.values():
+                moment_bytes += int(sum(b.nbytes for b in basis))
+        return {
+            "plan_bytes": plan_bytes,
+            "weight_slot_bytes": weight_bytes,
+            "shipment_bytes": shipment_bytes,
+            "moment_bytes": moment_bytes,
+            "total_bytes": (
+                plan_bytes + weight_bytes + shipment_bytes + moment_bytes
+            ),
+        }
+
+
+def format_memory_stats(stats: dict) -> str:
+    """Compact ``k=v`` rendering of :meth:`SessionCore.memory_stats`
+    for the ``Prepared*`` reprs."""
+    return (
+        f"plan={stats['plan_bytes']}B "
+        f"weights={stats['weight_slot_bytes']}B "
+        f"shipments={stats['shipment_bytes']}B "
+        f"moments={stats['moment_bytes']}B"
+    )

@@ -60,12 +60,17 @@ from ..perf.machine import GPU_TITAN_V, MachineSpec
 from ..perf.timer import PhaseTimes, Stopwatch
 from ..tree.batches import TargetBatches
 from ..tree.octree import ClusterTree
-from ..util import as_charge_block
 from ..workloads import ParticleSet
 from .backends import Backend, get_backend
 from .interaction_lists import InteractionLists, build_interaction_lists
-from .moments import ClusterMoments, prepare_moment_grids, refresh_moments
+from .moments import ClusterMoments, prepare_moment_grids
 from .plan import ExecutionPlan, compile_plan
+from .session import (
+    GeometryState,
+    SessionCore,
+    TreecodeWeightSource,
+    format_memory_stats,
+)
 
 __all__ = ["BarycentricTreecode", "PreparedTreecode", "TreecodeResult"]
 
@@ -208,7 +213,8 @@ class BarycentricTreecode:
         keep the cache by default; one-shot ``compute()`` turns it off.
         """
         params = self.params
-        backend = get_backend("model" if dry_run else params.backend)
+        backend_spec = "model" if dry_run else params.backend
+        backend = get_backend(backend_spec)
         if targets is None:
             target_pos = sources.positions
         elif isinstance(targets, ParticleSet):
@@ -262,21 +268,26 @@ class BarycentricTreecode:
             plan = compile_plan(
                 tree, batches, moments, lists, None, params,
                 numerics=backend.needs_numerics,
-                shared_sources=params.shared_sources,
                 deferred_weights=True,
                 batched=params.batched,
             )
 
+        core = SessionCore(
+            kernel=self.kernel,
+            params=params,
+            backend=backend_spec,
+            device=device,
+            geometry=GeometryState(
+                plan=plan, tree=tree, batches=batches,
+                lists=lists, moments=moments,
+            ),
+            weight_source=TreecodeWeightSource(),
+            n_charges=tree.n_particles,
+            first_upload_nbytes=sources.positions.nbytes,
+        )
         return PreparedTreecode(
             driver=self,
-            backend=backend,
-            device=device,
-            tree=tree,
-            batches=batches,
-            moments=moments,
-            lists=lists,
-            plan=plan,
-            positions_nbytes=sources.positions.nbytes,
+            core=core,
             phases=phases,
             wall_seconds=watch.elapsed,
         )
@@ -353,37 +364,59 @@ class PreparedTreecode:
 
     Attributes of interest: ``phases`` (the setup cost charged at
     prepare), ``n_applies``, and the captured ``tree`` / ``batches`` /
-    ``lists`` / ``plan``.
+    ``lists`` / ``plan``.  All session state lives in the shared
+    :class:`~repro.core.session.SessionCore` (``.core``); this class is
+    the driver-specific shell (stats + result assembly), and the whole
+    session pickles through the core's process-local-state-dropping
+    ``__getstate__``.
     """
 
     def __init__(
         self,
         *,
         driver: BarycentricTreecode,
-        backend: Backend,
-        device: Device,
-        tree: ClusterTree,
-        batches: TargetBatches,
-        moments: ClusterMoments,
-        lists: InteractionLists,
-        plan: ExecutionPlan,
-        positions_nbytes: int,
+        core: SessionCore,
         phases: PhaseTimes,
         wall_seconds: float,
     ) -> None:
         self.driver = driver
-        self.backend = backend
-        self.device = device
-        self.tree = tree
-        self.batches = batches
-        self.moments = moments
-        self.lists = lists
-        self.plan = plan
+        self.core = core
         #: Setup-phase cost charged once at prepare time.
         self.phases = phases
         self.wall_seconds = wall_seconds
-        self.n_applies = 0
-        self._positions_nbytes = int(positions_nbytes)
+
+    # -- session-core delegation ---------------------------------------
+    @property
+    def backend(self) -> Backend:
+        return self.core.backend
+
+    @property
+    def device(self) -> Device:
+        return self.core.device
+
+    @property
+    def tree(self) -> ClusterTree:
+        return self.core.geometry.tree
+
+    @property
+    def batches(self) -> TargetBatches:
+        return self.core.geometry.batches
+
+    @property
+    def moments(self) -> ClusterMoments:
+        return self.core.geometry.moments
+
+    @property
+    def lists(self) -> InteractionLists:
+        return self.core.geometry.lists
+
+    @property
+    def plan(self) -> ExecutionPlan:
+        return self.core.geometry.plan
+
+    @property
+    def n_applies(self) -> int:
+        return self.core.n_applies
 
     @property
     def kernel(self) -> Kernel:
@@ -400,6 +433,21 @@ class PreparedTreecode:
     @property
     def n_targets(self) -> int:
         return self.batches.n_targets
+
+    def geometry_key(self) -> str:
+        """Stable content hash of the prepared geometry (cache key)."""
+        return self.core.geometry_key()
+
+    def memory_stats(self) -> dict:
+        """Resident bytes by category (see ``SessionCore.memory_stats``)."""
+        return self.core.memory_stats()
+
+    def __repr__(self) -> str:
+        return (
+            f"<PreparedTreecode n_sources={self.n_sources} "
+            f"n_targets={self.n_targets} n_applies={self.n_applies} "
+            f"{format_memory_stats(self.memory_stats())}>"
+        )
 
     # ------------------------------------------------------------------
     def apply(
@@ -434,66 +482,29 @@ class PreparedTreecode:
         session backend; the moment kernels and uploads are still
         charged, so the timing model sees a faithful step.
         """
-        params = self.params
-        charges = as_charge_block(charges, self.tree.n_particles)
-        multi = charges.ndim == 2
-        n_rhs = int(charges.shape[1]) if multi else 1
-        backend = get_backend("model") if dry_run else self.backend
+        core = self.core
+        charges, multi, n_rhs = core.charge_block(charges)
+        backend = get_backend("model") if dry_run else core.backend
         numerics = self.plan.has_numerics and backend.needs_numerics
-        device = self.device
         phases = PhaseTimes()
         watch = Stopwatch()
 
         with watch:
-            # -- precompute: HtD charges, moment kernels, DtH moments.
-            if self.n_applies == 0:
-                device.upload(
-                    self._positions_nbytes + charges.nbytes,
-                    label="source data",
-                )
-            else:
-                device.upload(charges.nbytes, label="charges")
-            refresh_moments(
-                self.moments, self.tree, charges, params,
-                device=device, numerics=numerics,
+            # -- precompute: HtD charges, moment kernels, DtH moments;
+            # then the weight refresh + compute phase (backend executes
+            # the plan, DtH potentials) -- all through the session core.
+            core.precompute(charges, phases, numerics=numerics, n_rhs=n_rhs)
+            potential, forces = core.execute_plan(
+                charges, phases,
+                backend=backend, numerics=numerics,
+                compute_forces=compute_forces, multi=multi, n_rhs=n_rhs,
             )
-            moments_bytes = (
-                self.moments.n_clusters
-                * params.n_interpolation_points
-                * FLOAT_BYTES
-                * n_rhs
-            )
-            device.download(moments_bytes, label="modified charges")
-            phases.precompute += device.take_phase()
 
-            # -- refresh the plan's weight buffer in place (host-side
-            # representation; no device time, as at compile).
-            if numerics:
-                self.plan.refresh_weights(self._weight_provider(charges))
-
-            # -- compute: backend executes the plan + DtH potentials.
-            # The width kwarg is only passed on the multi path so
-            # user-registered backends with the single-vector signature
-            # keep working unchanged.
-            extra = {"n_rhs": n_rhs} if multi else {}
-            potential, forces = backend.execute(
-                self.plan,
-                self.kernel,
-                device,
-                dtype=params.dtype,
-                compute_forces=compute_forces,
-                **extra,
-            )
-            device.download(potential.nbytes, label="potentials")
-            if forces is not None:
-                device.download(forces.nbytes, label="forces")
-            phases.compute += device.take_phase()
-
-        self.n_applies += 1
+        core.n_applies += 1
         stats = self.driver._stats(
-            self.tree, self.batches, self.lists, self.moments, device
+            self.tree, self.batches, self.lists, self.moments, core.device
         )
-        stats["n_applies"] = self.n_applies
+        stats["n_applies"] = core.n_applies
         return TreecodeResult(
             potential=potential,
             phases=phases,
@@ -501,16 +512,3 @@ class PreparedTreecode:
             stats=stats,
             forces=forces,
         )
-
-    def _weight_provider(self, charges: np.ndarray):
-        """Map a plan weight-slot key to its refreshed weight rows."""
-        moments = self.moments
-        tree = self.tree
-
-        def provider(key):
-            kind, c = key
-            if kind == "approx":
-                return moments.charges(c)
-            return charges[tree.node_indices(c)]
-
-        return provider

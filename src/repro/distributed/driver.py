@@ -38,12 +38,14 @@ import numpy as np
 from ..config import DEFAULT_PARAMS, TreecodeParams
 from ..core.backends import get_backend
 from ..core.interaction_lists import build_interaction_lists
-from ..core.moments import (
-    precompute_moments,
-    prepare_moment_grids,
-    refresh_moments,
-)
+from ..core.moments import precompute_moments, prepare_moment_grids
 from ..core.plan import PlanBuilder
+from ..core.session import (
+    DistributedWeightSource,
+    GeometryState,
+    SessionCore,
+    format_memory_stats,
+)
 from ..gpu.device import make_device
 from ..kernels.base import Kernel
 from ..mpi.comm import SimComm
@@ -358,7 +360,8 @@ class DistributedBLTC:
         the timing model; structure-only plans, no coordinate gathers).
         """
         params = self.params
-        backend = get_backend("model" if dry_run else params.backend)
+        backend_spec = "model" if dry_run else params.backend
+        backend = get_backend(backend_spec)
         numerics = backend.needs_numerics
         n = particles.n
         if n < self.n_ranks:
@@ -460,18 +463,28 @@ class DistributedBLTC:
                 for r in range(self.n_ranks)
             ]
 
+        cores = [
+            SessionCore(
+                kernel=self.kernel,
+                params=params,
+                backend=backend_spec,
+                device=devices[r],
+                geometry=GeometryState(
+                    plan=plans[r], tree=trees[r], batches=batch_sets[r],
+                    lists=local_lists[r], moments=moment_sets[r],
+                    aux=lets[r],
+                ),
+                weight_source=DistributedWeightSource(),
+                n_charges=trees[r].n_particles,
+                first_upload_nbytes=trees[r].n_particles * 3 * FLOAT_BYTES,
+            )
+            for r in range(self.n_ranks)
+        ]
         return PreparedDistributedBLTC(
             driver=self,
-            backend=backend,
             comm=comm,
-            devices=devices,
             rank_idx=rank_idx,
-            trees=trees,
-            batch_sets=batch_sets,
-            moment_sets=moment_sets,
-            local_lists=local_lists,
-            lets=lets,
-            plans=plans,
+            cores=cores,
             phases=phases,
             split=split,
             wall_seconds=watch.elapsed,
@@ -498,13 +511,13 @@ class DistributedBLTC:
         of the seed implementation, preserved so the blocked reference
         backend reproduces its arithmetic exactly.
 
-        With ``params.shared_sources`` every (local or remote) cluster's
-        rows are stored once per rank plan however many batches list it;
-        share keys carry the owning rank so distinct ranks' clusters
-        never collide -- and double as the weight-refresh keys of the
-        prepared session, which compiles with ``deferred_weights=True``
-        (geometry only; ``charges`` may be None and the LET may hold
-        positions without charge payloads yet).
+        Every (local or remote) cluster's rows are stored once per rank
+        plan however many batches list it; share keys carry the owning
+        rank so distinct ranks' clusters never collide -- and double as
+        the weight-refresh keys of the prepared session, which compiles
+        with ``deferred_weights=True`` (geometry only; ``charges`` may
+        be None and the LET may hold positions without charge payloads
+        yet).
         """
         deferred = bool(deferred_weights) and numerics
         if charges is not None:
@@ -519,7 +532,6 @@ class DistributedBLTC:
         builder = PlanBuilder(
             batches.n_targets,
             numerics=numerics,
-            shared_sources=self.params.shared_sources,
             deferred_weights=deferred,
             batched=self.params.batched,
         )
@@ -654,41 +666,91 @@ class PreparedDistributedBLTC:
         self,
         *,
         driver: DistributedBLTC,
-        backend,
         comm: SimComm,
-        devices,
         rank_idx,
-        trees,
-        batch_sets,
-        moment_sets,
-        local_lists,
-        lets,
-        plans,
+        cores,
         phases,
         split,
         wall_seconds: float,
     ) -> None:
         self.driver = driver
-        self.backend = backend
         self.comm = comm
-        self.devices = devices
         self.rank_idx = rank_idx
-        self.trees = trees
-        self.batch_sets = batch_sets
-        self.moment_sets = moment_sets
-        self.local_lists = local_lists
-        self.lets = lets
-        self.plans = plans
+        #: One shared :class:`~repro.core.session.SessionCore` per rank;
+        #: all per-rank session state (device, geometry, plan, LET)
+        #: lives there, this shell adds the RMA re-ship between the
+        #: phases.
+        self.cores = cores
         #: Per-rank setup-phase cost charged once at prepare time.
         self.phases = phases
         self.split = split
         self.wall_seconds = wall_seconds
-        self.n_applies = 0
         self._n = int(sum(len(idx) for idx in rank_idx))
+
+    # -- session-core delegation ---------------------------------------
+    @property
+    def backend(self):
+        return self.cores[0].backend
+
+    @property
+    def devices(self):
+        return [core.device for core in self.cores]
+
+    @property
+    def trees(self):
+        return [core.geometry.tree for core in self.cores]
+
+    @property
+    def batch_sets(self):
+        return [core.geometry.batches for core in self.cores]
+
+    @property
+    def moment_sets(self):
+        return [core.geometry.moments for core in self.cores]
+
+    @property
+    def local_lists(self):
+        return [core.geometry.lists for core in self.cores]
+
+    @property
+    def lets(self):
+        return [core.geometry.aux for core in self.cores]
+
+    @property
+    def plans(self):
+        return [core.geometry.plan for core in self.cores]
+
+    @property
+    def n_applies(self) -> int:
+        return self.cores[0].n_applies
 
     @property
     def n_ranks(self) -> int:
         return self.driver.n_ranks
+
+    def geometry_key(self) -> str:
+        """Stable content hash over all rank geometries (cache key)."""
+        import hashlib
+
+        h = hashlib.sha256()
+        for core in self.cores:
+            h.update(core.geometry_key().encode())
+        return h.hexdigest()
+
+    def memory_stats(self) -> dict:
+        """Summed per-rank resident bytes (see ``SessionCore.memory_stats``)."""
+        totals: dict = {}
+        for core in self.cores:
+            for k, v in core.memory_stats().items():
+                totals[k] = totals.get(k, 0) + v
+        return totals
+
+    def __repr__(self) -> str:
+        return (
+            f"<PreparedDistributedBLTC n_ranks={self.n_ranks} "
+            f"n_particles={self._n} n_applies={self.n_applies} "
+            f"{format_memory_stats(self.memory_stats())}>"
+        )
 
     # ------------------------------------------------------------------
     def apply(
@@ -722,15 +784,14 @@ class PreparedDistributedBLTC:
         this apply alone.
         """
         driver = self.driver
-        params = driver.params
         charges = as_charge_block(charges, self._n)
         multi = charges.ndim == 2
         n_rhs = int(charges.shape[1]) if multi else 1
-        extra = {"n_rhs": n_rhs} if multi else {}
         backend = get_backend("model") if dry_run else self.backend
+        cores = self.cores
         numerics = (
             backend.needs_numerics
-            and all(p.has_numerics for p in self.plans)
+            and all(core.plan.has_numerics for core in cores)
         )
         comm = self.comm
         n_ranks = self.n_ranks
@@ -739,42 +800,24 @@ class PreparedDistributedBLTC:
             phases = [PhaseTimes() for _ in range(n_ranks)]
             local_qs = [charges[self.rank_idx[r]] for r in range(n_ranks)]
 
-            # -- precompute: charge upload + moment kernels per rank ----
+            # -- precompute: charge upload + moment kernels per rank,
+            # through each rank's session core (the first apply ships
+            # the full local particle data, later ones the charges).
             for r in range(n_ranks):
-                dev = self.devices[r]
-                local_q = local_qs[r]
-                if self.n_applies == 0:
-                    # positions (3 coords) + however many charge columns
-                    # this apply carries; identical bytes to the old
-                    # ``local_q.nbytes * 4`` for a single vector.
-                    pos_nbytes = local_q.shape[0] * 3 * FLOAT_BYTES
-                    dev.upload(
-                        pos_nbytes + local_q.nbytes, label="source data"
-                    )
-                else:
-                    dev.upload(local_q.nbytes, label="charges")
-                refresh_moments(
-                    self.moment_sets[r], self.trees[r], local_q, params,
-                    device=dev, numerics=numerics,
+                cores[r].precompute(
+                    local_qs[r], phases[r], numerics=numerics, n_rhs=n_rhs
                 )
-                mbytes = (
-                    self.moment_sets[r].n_clusters
-                    * params.n_interpolation_points
-                    * FLOAT_BYTES
-                    * n_rhs
-                )
-                dev.download(mbytes, label="modified charges")
-                phases[r].precompute += dev.take_phase()
 
             # -- re-expose the charge-dependent windows -----------------
             for r in range(n_ranks):
+                core = cores[r]
                 handle = comm.rank_handle(r)
                 handle.refresh_window(
-                    "srcq", local_qs[r][self.trees[r].perm]
+                    "srcq", local_qs[r][core.geometry.tree.perm]
                 )
                 handle.refresh_window(
                     "moments",
-                    self.moment_sets[r].packed(len(self.trees[r])),
+                    core.geometry.moments.packed(len(core.geometry.tree)),
                 )
 
             # -- charge re-ship + plan refresh + compute ----------------
@@ -791,9 +834,10 @@ class PreparedDistributedBLTC:
             )
             comm_totals = []
             for r in range(n_ranks):
-                dev = self.devices[r]
+                core = cores[r]
+                dev = core.device
                 handle = comm.rank_handle(r)
-                let = self.lets[r]
+                let = core.geometry.aux
                 comm_before = float(comm.clocks[r])
                 refresh_let_charges(handle, let)
                 comm_delta = float(comm.clocks[r]) - comm_before
@@ -808,22 +852,11 @@ class PreparedDistributedBLTC:
                     dt = max(dt - hidden, 0.0)
                 phases[r].precompute += dt
 
-                if numerics:
-                    self.plans[r].refresh_weights(
-                        self._weight_provider(r, local_qs[r])
-                    )
-                phi_local, f_local = backend.execute(
-                    self.plans[r],
-                    driver.kernel,
-                    dev,
-                    dtype=params.dtype,
-                    compute_forces=compute_forces,
-                    **extra,
+                phi_local, f_local = core.execute_plan(
+                    local_qs[r], phases[r],
+                    backend=backend, numerics=numerics,
+                    compute_forces=compute_forces, multi=multi, n_rhs=n_rhs,
                 )
-                dev.download(phi_local.nbytes, label="potentials")
-                if f_local is not None:
-                    dev.download(f_local.nbytes, label="forces")
-                phases[r].compute += dev.take_phase()
                 potential[self.rank_idx[r]] = phi_local
                 if forces is not None:
                     forces[self.rank_idx[r]] = f_local
@@ -843,7 +876,8 @@ class PreparedDistributedBLTC:
             stats["prepare_split"] = [dict(s) for s in self.split]
             stats["n_applies"] = self.n_applies + 1
 
-        self.n_applies += 1
+        for core in cores:
+            core.n_applies += 1
         return DistributedResult(
             potential=potential,
             rank_phases=phases,
@@ -852,21 +886,3 @@ class PreparedDistributedBLTC:
             stats=stats,
             forces=forces,
         )
-
-    def _weight_provider(self, r: int, local_q: np.ndarray):
-        """Rank ``r``'s weight-slot key -> refreshed weight rows."""
-        moments = self.moment_sets[r]
-        tree = self.trees[r]
-        let = self.lets[r]
-
-        def provider(key):
-            kind, s, c = key
-            if kind == "approx":
-                if s == -1:
-                    return moments.charges(c)
-                return let.approx_data[s][c][1]
-            if s == -1:
-                return local_q[tree.node_indices(c)]
-            return let.direct_data[s][c][1]
-
-        return provider

@@ -45,12 +45,14 @@ import numpy as np
 from ..config import DEFAULT_PARAMS, TreecodeParams
 from ..core.backends import get_backend
 from ..core.mac import mac_geometric
-from ..core.moments import (
-    precompute_moments,
-    prepare_moment_grids,
-    refresh_moments,
-)
+from ..core.moments import precompute_moments, prepare_moment_grids
 from ..core.plan import PlanBuilder
+from ..core.session import (
+    DualTreeWeightSource,
+    GeometryState,
+    SessionCore,
+    format_memory_stats,
+)
 from ..core.treecode import TreecodeResult
 from ..gpu.device import make_device
 from ..interpolation.grid import ChebyshevGrid3D
@@ -58,7 +60,6 @@ from ..kernels.base import Kernel
 from ..perf.machine import GPU_TITAN_V, MachineSpec
 from ..perf.timer import PhaseTimes, Stopwatch
 from ..tree.octree import ClusterTree
-from ..util import as_charge_block
 from ..workloads import ParticleSet
 from ._downward import downward_basis, downward_pass, target_positions
 
@@ -234,7 +235,6 @@ class DualTreeTreecode:
         builder = PlanBuilder(
             g.n_targets + n_ip * len(g.t_grids),
             numerics=numerics,
-            shared_sources=params.shared_sources,
             deferred_weights=deferred and numerics,
             batched=params.batched,
         )
@@ -425,39 +425,90 @@ class DualTreeTreecode:
                 self._downward_basis(g) if backend.needs_numerics else {}
             )
 
+        core = SessionCore(
+            kernel=self.kernel,
+            params=params,
+            backend=params.backend,
+            device=device,
+            geometry=GeometryState(
+                plan=plan, tree=g.s_tree, moments=moments, aux=g
+            ),
+            weight_source=DualTreeWeightSource(),
+            n_charges=sources.n,
+            # The dual-tree scheme consumes modified charges on-device.
+            moments_download=False,
+        )
         return PreparedDualTree(
             driver=self,
-            backend=backend,
-            device=device,
-            geometry=g,
-            moments=moments,
-            plan=plan,
+            core=core,
             basis=basis,
-            n_sources=sources.n,
             phases=phases,
             wall_seconds=watch.elapsed,
         )
 
 
 class PreparedDualTree:
-    """A dual-tree session with fixed geometry (see ``prepare``)."""
+    """A dual-tree session with fixed geometry (see ``prepare``).
+
+    Session state lives in the shared
+    :class:`~repro.core.session.SessionCore` (``.core``); this shell
+    adds the downward interpolation pass after the plan execution.
+    """
 
     def __init__(
-        self, *, driver, backend, device, geometry, moments, plan, basis,
-        n_sources, phases, wall_seconds,
+        self, *, driver, core, basis, phases, wall_seconds,
     ) -> None:
         self.driver = driver
-        self.backend = backend
-        self.device = device
-        self.geometry = geometry
-        self.moments = moments
-        self.plan = plan
+        self.core = core
         self.basis = basis
-        self.n_sources = n_sources
         #: Setup-phase cost charged once at prepare time.
         self.phases = phases
         self.wall_seconds = wall_seconds
-        self.n_applies = 0
+
+    # -- session-core delegation ---------------------------------------
+    @property
+    def backend(self):
+        return self.core.backend
+
+    @property
+    def device(self):
+        return self.core.device
+
+    @property
+    def geometry(self):
+        return self.core.geometry.aux
+
+    @property
+    def moments(self):
+        return self.core.geometry.moments
+
+    @property
+    def plan(self):
+        return self.core.geometry.plan
+
+    @property
+    def n_sources(self) -> int:
+        return self.core.n_charges
+
+    @property
+    def n_applies(self) -> int:
+        return self.core.n_applies
+
+    def geometry_key(self) -> str:
+        """Stable content hash of the prepared geometry (cache key)."""
+        return self.core.geometry_key()
+
+    def memory_stats(self) -> dict:
+        """Resident bytes by category (see ``SessionCore.memory_stats``)."""
+        return self.core.memory_stats()
+
+    def __repr__(self) -> str:
+        g = self.geometry
+        return (
+            f"<PreparedDualTree n_sources={self.n_sources} "
+            f"n_targets={g.n_targets} n_applies={self.n_applies} "
+            f"{format_memory_stats(self.memory_stats())}>"
+        )
 
     def apply(self, charges: np.ndarray) -> TreecodeResult:
         """Evaluate the prepared geometry for one or many charge vectors.
@@ -471,31 +522,20 @@ class PreparedDualTree:
         bitwise equal to a solo apply of ``charges[:, j]``.
         """
         driver = self.driver
-        params = driver.params
+        core = self.core
         g = self.geometry
-        charges = as_charge_block(charges, self.n_sources)
-        multi = charges.ndim == 2
-        extra = {"n_rhs": int(charges.shape[1])} if multi else {}
-        device = self.device
-        numerics = self.plan.has_numerics
+        charges, multi, n_rhs = core.charge_block(charges)
+        device = core.device
+        numerics = core.plan.has_numerics
         phases = PhaseTimes()
         watch = Stopwatch()
 
         with watch:
-            device.upload(charges.nbytes, label="charges")
-            refresh_moments(
-                self.moments, g.s_tree, charges, params,
-                device=device, numerics=numerics,
+            core.precompute(charges, phases, numerics=numerics, n_rhs=n_rhs)
+            out_flat, _ = core.execute_plan(
+                charges, phases, numerics=numerics,
+                multi=multi, n_rhs=n_rhs, download_potentials=False,
             )
-            phases.precompute += device.take_phase()
-
-            if numerics:
-                self.plan.refresh_weights(self._weight_provider(charges))
-            out_flat, _ = self.backend.execute(
-                self.plan, driver.kernel, device, dtype=params.dtype,
-                **extra,
-            )
-            phases.compute += device.take_phase()
             out = out_flat[:g.n_targets].copy()
 
             driver._downward_pass(
@@ -504,24 +544,12 @@ class PreparedDualTree:
             device.download(out.nbytes)
             phases.compute += device.take_phase()
 
-        self.n_applies += 1
+        core.n_applies += 1
         stats = driver._stats(g, self.n_sources, device)
-        stats["n_applies"] = self.n_applies
+        stats["n_applies"] = core.n_applies
         return TreecodeResult(
             potential=out,
             phases=phases,
             wall_seconds=watch.elapsed,
             stats=stats,
         )
-
-    def _weight_provider(self, charges: np.ndarray):
-        moments = self.moments
-        s_tree = self.geometry.s_tree
-
-        def provider(key):
-            what, si = key
-            if what == "moments":
-                return moments.charges(si)
-            return charges[s_tree.node_indices(si)]
-
-        return provider

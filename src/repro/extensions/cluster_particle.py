@@ -50,6 +50,12 @@ from ..core.backends import get_backend
 from ..core.interaction_lists import LocalTreeAdapter, traverse_batch
 from ..core.treecode import TreecodeResult
 from ..core.plan import PlanBuilder
+from ..core.session import (
+    BatchChargeWeightSource,
+    GeometryState,
+    SessionCore,
+    format_memory_stats,
+)
 from ..gpu.device import make_device
 from ..interpolation.grid import ChebyshevGrid3D
 from ..kernels.base import Kernel
@@ -57,7 +63,6 @@ from ..perf.machine import GPU_TITAN_V, MachineSpec
 from ..perf.timer import PhaseTimes, Stopwatch
 from ..tree.batches import TargetBatches
 from ..tree.octree import ClusterTree
-from ..util import as_charge_block
 from ..workloads import ParticleSet
 from ._downward import downward_basis, downward_pass, target_positions
 
@@ -184,7 +189,6 @@ class ClusterParticleTreecode:
         builder = PlanBuilder(
             g.n_targets + grid_rows,
             numerics=numerics,
-            shared_sources=params.shared_sources,
             deferred_weights=deferred and numerics,
             batched=params.batched,
         )
@@ -364,37 +368,85 @@ class ClusterParticleTreecode:
                 self._downward_basis(g) if backend.needs_numerics else {}
             )
 
+        core = SessionCore(
+            kernel=self.kernel,
+            params=params,
+            backend=params.backend,
+            device=device,
+            geometry=GeometryState(
+                plan=plan, tree=g.tree, batches=g.batches,
+                lists=g.lists, aux=g,
+            ),
+            weight_source=BatchChargeWeightSource(),
+            n_charges=sources.n,
+        )
         return PreparedClusterParticle(
             driver=self,
-            backend=backend,
-            device=device,
-            geometry=g,
-            plan=plan,
+            core=core,
             basis=basis,
-            n_sources=sources.n,
             phases=phases,
             wall_seconds=watch.elapsed,
         )
 
 
 class PreparedClusterParticle:
-    """A cluster-particle session with fixed geometry (see ``prepare``)."""
+    """A cluster-particle session with fixed geometry (see ``prepare``).
+
+    Session state lives in the shared
+    :class:`~repro.core.session.SessionCore` (``.core``); this shell
+    adds the downward interpolation pass after the plan execution.
+    """
 
     def __init__(
-        self, *, driver, backend, device, geometry, plan, basis,
-        n_sources, phases, wall_seconds,
+        self, *, driver, core, basis, phases, wall_seconds,
     ) -> None:
         self.driver = driver
-        self.backend = backend
-        self.device = device
-        self.geometry = geometry
-        self.plan = plan
+        self.core = core
         self.basis = basis
-        self.n_sources = n_sources
         #: Setup-phase cost charged once at prepare time.
         self.phases = phases
         self.wall_seconds = wall_seconds
-        self.n_applies = 0
+
+    # -- session-core delegation ---------------------------------------
+    @property
+    def backend(self):
+        return self.core.backend
+
+    @property
+    def device(self):
+        return self.core.device
+
+    @property
+    def geometry(self):
+        return self.core.geometry.aux
+
+    @property
+    def plan(self):
+        return self.core.geometry.plan
+
+    @property
+    def n_sources(self) -> int:
+        return self.core.n_charges
+
+    @property
+    def n_applies(self) -> int:
+        return self.core.n_applies
+
+    def geometry_key(self) -> str:
+        """Stable content hash of the prepared geometry (cache key)."""
+        return self.core.geometry_key()
+
+    def memory_stats(self) -> dict:
+        """Resident bytes by category (see ``SessionCore.memory_stats``)."""
+        return self.core.memory_stats()
+
+    def __repr__(self) -> str:
+        g = self.geometry
+        return (
+            f"<PreparedClusterParticle n_sources={self.n_sources} "
+            f"n_targets={g.n_targets} n_applies={self.n_applies} "
+            f"{format_memory_stats(self.memory_stats())}>"
+        )
 
     def apply(self, charges: np.ndarray) -> TreecodeResult:
         """Evaluate the prepared geometry for one or many charge vectors.
@@ -407,29 +459,20 @@ class PreparedClusterParticle:
         bitwise equal to a solo apply of ``charges[:, j]``.
         """
         driver = self.driver
-        params = driver.params
+        core = self.core
         g = self.geometry
-        charges = as_charge_block(charges, self.n_sources)
-        multi = charges.ndim == 2
-        extra = {"n_rhs": int(charges.shape[1])} if multi else {}
-        device = self.device
+        charges, multi, n_rhs = core.charge_block(charges)
+        device = core.device
         phases = PhaseTimes()
         watch = Stopwatch()
-        numerics = self.plan.has_numerics
+        numerics = core.plan.has_numerics
 
         with watch:
-            device.upload(charges.nbytes, label="charges")
-            phases.precompute += device.take_phase()
-
-            if numerics:
-                self.plan.refresh_weights(
-                    lambda b: charges[g.batches.batch_indices(b)]
-                )
-            out_flat, _ = self.backend.execute(
-                self.plan, driver.kernel, device, dtype=params.dtype,
-                **extra,
+            core.precompute(charges, phases, numerics=numerics, n_rhs=n_rhs)
+            out_flat, _ = core.execute_plan(
+                charges, phases, numerics=numerics,
+                multi=multi, n_rhs=n_rhs, download_potentials=False,
             )
-            phases.compute += device.take_phase()
             out = out_flat[:g.n_targets].copy()
 
             driver._downward_pass(
@@ -438,9 +481,9 @@ class PreparedClusterParticle:
             device.download(out.nbytes)
             phases.compute += device.take_phase()
 
-        self.n_applies += 1
+        core.n_applies += 1
         stats = driver._stats(g, self.n_sources, device)
-        stats["n_applies"] = self.n_applies
+        stats["n_applies"] = core.n_applies
         return TreecodeResult(
             potential=out,
             phases=phases,

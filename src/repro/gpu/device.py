@@ -28,6 +28,20 @@ from ..perf.machine import MachineSpec
 __all__ = ["DeviceCounters", "Device", "GpuDevice", "CpuDevice", "make_device"]
 
 
+# Module-level defaultdict factories (lambdas would make the counters
+# -- and every session holding a device -- unpicklable).
+def _kind_cell() -> list:
+    return [0, 0.0]
+
+
+def _by_kind_dict() -> defaultdict:
+    return defaultdict(_kind_cell)
+
+
+def _busy_dict() -> defaultdict:
+    return defaultdict(float)
+
+
 @dataclass
 class DeviceCounters:
     """Cumulative event counters for one device."""
@@ -38,11 +52,11 @@ class DeviceCounters:
     bytes_d2h: int = 0
     transfers: int = 0
     #: Per-kernel-kind (launches, interactions) breakdown.
-    by_kind: dict = field(default_factory=lambda: defaultdict(lambda: [0, 0.0]))
+    by_kind: dict = field(default_factory=_by_kind_dict)
     #: Per-kernel-kind busy seconds (execution time excluding launch
     #: latency); lets harnesses re-time a run for a different kernel's
     #: cost multiplier without re-running the pipeline.
-    busy_by_kind: dict = field(default_factory=lambda: defaultdict(float))
+    busy_by_kind: dict = field(default_factory=_busy_dict)
 
     def record_launch(
         self, kind: str, n_interactions: float, busy_seconds: float = 0.0

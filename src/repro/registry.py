@@ -24,9 +24,17 @@ __all__ = [
     "unregister_backend_type",
     "backend_names",
     "backend_type",
+    "shared_backend_instance",
+    "clear_shared_instances",
 ]
 
 _BACKEND_TYPES: dict[str, type] = {}
+
+#: Process-wide shared instances for backends with ``share_instance``
+#: (one worker pool per process, reused by every session -- including
+#: sessions restored from a pickle, which re-resolve their backend by
+#: name through this store).
+_SHARED_INSTANCES: dict[str, object] = {}
 
 
 def register_backend_type(name: str, cls: type) -> None:
@@ -46,3 +54,23 @@ def backend_names() -> tuple[str, ...]:
 def backend_type(name: str) -> type:
     """Look up a backend class; raises KeyError for unknown names."""
     return _BACKEND_TYPES[name]
+
+
+def shared_backend_instance(name: str, cls: type) -> object:
+    """The process-wide shared instance of backend ``name``.
+
+    Creates (and caches) one on first use, or when a re-registration
+    changed the class behind the name.  All sessions selecting the same
+    ``share_instance`` backend -- live or unpickled -- resolve to the
+    same object, so e.g. one ``ProcessPoolExecutor`` serves them all.
+    """
+    inst = _SHARED_INSTANCES.get(name)
+    if inst is None or type(inst) is not cls:
+        inst = cls()
+        _SHARED_INSTANCES[name] = inst
+    return inst
+
+
+def clear_shared_instances() -> None:
+    """Drop all cached shared instances (test isolation hook)."""
+    _SHARED_INSTANCES.clear()

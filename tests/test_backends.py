@@ -61,7 +61,7 @@ def _params(**kw):
     return TreecodeParams(**base)
 
 
-def _compile(cube, *, shared_sources=False, numerics=True):
+def _compile(cube, *, numerics=True):
     params = _params()
     tree = ClusterTree(cube.positions, params.max_leaf_size)
     batches = TargetBatches(cube.positions, params.max_batch_size)
@@ -71,7 +71,7 @@ def _compile(cube, *, shared_sources=False, numerics=True):
     lists = build_interaction_lists(batches, tree, params)
     return compile_plan(
         tree, batches, moments, lists, cube.charges, params,
-        numerics=numerics, shared_sources=shared_sources,
+        numerics=numerics,
     )
 
 
@@ -84,12 +84,6 @@ def cube():
 def shared_plan(cube):
     """One compiled plan reused by every backend."""
     return _compile(cube)
-
-
-@pytest.fixture(scope="module")
-def dedup_plan(cube):
-    """The same work compiled with the shared-segment source gather."""
-    return _compile(cube, shared_sources=True)
 
 
 class TestRegistry:
@@ -250,62 +244,47 @@ class TestPlanLevelEquivalence:
 
 
 class TestSharedSourceGather:
-    """De-duplicated source buffers: smaller plans, identical results."""
+    """The single plan layout: de-duplicated source buffers."""
 
-    def test_buffers_strictly_smaller_on_shared_workload(
-        self, shared_plan, dedup_plan
-    ):
-        assert not shared_plan.shared_sources
-        assert dedup_plan.shared_sources
-        # Same logical work (launch metadata is layout-independent)...
-        assert dedup_plan.n_source_rows == shared_plan.n_source_rows
-        assert np.array_equal(dedup_plan.seg_ptr, shared_plan.seg_ptr)
-        assert np.array_equal(dedup_plan.group_ptr, shared_plan.group_ptr)
-        # ... strictly fewer physical rows: clusters shared by many
-        # batches are stored once.
-        assert dedup_plan.source_buffer_rows < shared_plan.source_buffer_rows
-        assert (
-            shared_plan.source_buffer_rows == shared_plan.n_source_rows
-        )
+    def test_buffers_deduplicated_on_shared_workload(self, shared_plan):
+        assert shared_plan.shared_sources
+        # Clusters referenced by many batches are stored once: strictly
+        # fewer physical rows than logical (aliased) rows.
+        assert shared_plan.source_buffer_rows < shared_plan.n_source_rows
 
-    def test_segment_views_identical_across_layouts(
-        self, shared_plan, dedup_plan
-    ):
-        for s in range(0, shared_plan.n_segments, 97):
-            assert np.array_equal(
-                shared_plan.segment_points(s), dedup_plan.segment_points(s)
-            )
-            assert np.array_equal(
-                shared_plan.segment_weights(s), dedup_plan.segment_weights(s)
-            )
+    def test_aliased_segments_share_physical_rows(self, shared_plan):
+        # Every segment's physical range lies inside the de-duplicated
+        # buffer, and at least two segments alias the same rows.
+        ranges = [
+            shared_plan.segment_source_range(s)
+            for s in range(shared_plan.n_segments)
+        ]
+        rows = shared_plan.source_buffer_rows
+        assert all(0 <= lo <= hi <= rows for lo, hi in ranges)
+        assert len(set(ranges)) < len(ranges)
 
-    def test_group_sources_match_across_layouts(self, shared_plan, dedup_plan):
+    def test_segment_views_match_group_sources(self, shared_plan):
         for g in range(0, shared_plan.n_groups, 5):
-            pts_a, wts_a = shared_plan.group_sources(g)
-            pts_b, wts_b = dedup_plan.group_sources(g)
-            assert np.array_equal(pts_a, pts_b)
-            assert np.array_equal(wts_a, wts_b)
+            pts, wts = shared_plan.group_sources(g)
+            parts_p, parts_w = [], []
+            s_lo, s_hi = (
+                int(shared_plan.seg_group_ptr[g]),
+                int(shared_plan.seg_group_ptr[g + 1]),
+            )
+            for s in range(s_lo, s_hi):
+                parts_p.append(shared_plan.segment_points(s))
+                parts_w.append(shared_plan.segment_weights(s))
+            assert np.array_equal(pts, np.concatenate(parts_p))
+            assert np.array_equal(wts, np.concatenate(parts_w))
 
-    @pytest.mark.parametrize("name", ["numpy", "fused", "multiprocessing"])
-    def test_results_bitwise_identical_across_layouts(
-        self, shared_plan, dedup_plan, name
-    ):
-        backend = get_backend(name)
-        dev_a, dev_b = GpuDevice(GPU_TITAN_V), GpuDevice(GPU_TITAN_V)
-        phi_a, f_a = backend.execute(
-            shared_plan, CoulombKernel(), dev_a, compute_forces=True
-        )
-        phi_b, f_b = backend.execute(
-            dedup_plan, CoulombKernel(), dev_b, compute_forces=True
-        )
-        assert np.array_equal(phi_a, phi_b)
-        assert np.array_equal(f_a, f_b)
-        assert dev_a.counters.launches == dev_b.counters.launches
-        assert dev_a.counters.interactions == dev_b.counters.interactions
-        assert dev_a.elapsed() == pytest.approx(dev_b.elapsed())
+    def test_params_shared_sources_deprecated(self):
+        with pytest.warns(DeprecationWarning, match="shared_sources"):
+            _params(shared_sources=True)
+        with pytest.warns(DeprecationWarning, match="shared_sources"):
+            _params(shared_sources=False)
 
     def test_builder_reuse_skips_regather(self):
-        b = PlanBuilder(4, numerics=True, shared_sources=True)
+        b = PlanBuilder(4, numerics=True)
         pts = np.arange(6.0).reshape(2, 3)
         wts = np.array([1.0, 2.0])
         b.add_group(targets=np.zeros((2, 3)), out_index=np.array([0, 1]))
@@ -322,29 +301,29 @@ class TestSharedSourceGather:
         assert np.array_equal(plan.segment_points(0), plan.segment_points(1))
 
     def test_builder_requires_arrays_for_new_key(self):
-        b = PlanBuilder(2, numerics=True, shared_sources=True)
+        b = PlanBuilder(2, numerics=True)
         b.add_group(targets=np.zeros((2, 3)), out_index=np.array([0, 1]))
         with pytest.raises(ValueError, match="points and weights"):
             b.add_segment("direct", share_key=("direct", 0))
 
 
 class TestMultiprocessingBackend:
-    def test_pool_sharded_run_matches_fused(self, cube, dedup_plan):
+    def test_pool_sharded_run_matches_fused(self, cube, shared_plan):
         # Force real worker shards through the shared-memory shipment.
         backend = MultiprocessingBackend(n_workers=2, min_parallel_rows=1)
         try:
             dev = GpuDevice(GPU_TITAN_V)
             phi, f = backend.execute(
-                dedup_plan, YukawaKernel(0.5), dev, compute_forces=True
+                shared_plan, YukawaKernel(0.5), dev, compute_forces=True
             )
             # Pool persistence: a second plan reuses the same workers.
             dev2 = GpuDevice(GPU_TITAN_V)
-            phi2, _ = backend.execute(dedup_plan, YukawaKernel(0.5), dev2)
+            phi2, _ = backend.execute(shared_plan, YukawaKernel(0.5), dev2)
         finally:
             backend.close()
         ref_dev = GpuDevice(GPU_TITAN_V)
         phi_ref, f_ref = get_backend("fused").execute(
-            dedup_plan, YukawaKernel(0.5), ref_dev, compute_forces=True
+            shared_plan, YukawaKernel(0.5), ref_dev, compute_forces=True
         )
         assert np.array_equal(phi, phi_ref)
         assert np.array_equal(f, f_ref)
@@ -420,19 +399,19 @@ class TestMultiprocessingBackend:
         assert state.rate.max() < 2.0 * state.rate.min() * 9.0
         assert state.rate.min() > 0.0
 
-    def test_adaptive_sharded_runs_stay_bitwise_fused(self, dedup_plan):
+    def test_adaptive_sharded_runs_stay_bitwise_fused(self, shared_plan):
         backend = MultiprocessingBackend(n_workers=2, min_parallel_rows=1)
         try:
             dev = GpuDevice(GPU_TITAN_V)
-            phi1, _ = backend.execute(dedup_plan, CoulombKernel(), dev)
+            phi1, _ = backend.execute(shared_plan, CoulombKernel(), dev)
             # Second run re-shards from learned rates; values must not move.
             phi2, _ = backend.execute(
-                dedup_plan, CoulombKernel(), GpuDevice(GPU_TITAN_V)
+                shared_plan, CoulombKernel(), GpuDevice(GPU_TITAN_V)
             )
         finally:
             backend.close()
         phi_ref, _ = get_backend("fused").execute(
-            dedup_plan, CoulombKernel(), GpuDevice(GPU_TITAN_V)
+            shared_plan, CoulombKernel(), GpuDevice(GPU_TITAN_V)
         )
         assert np.array_equal(phi1, phi_ref)
         assert np.array_equal(phi2, phi_ref)
@@ -493,20 +472,20 @@ class TestBatchedLayout:
         )
         assert compiled.batched_layout is not None
 
-    def test_layout_partitions_all_interactions(self, shared_plan, dedup_plan):
+    def test_layout_partitions_all_interactions(self, shared_plan):
         # Buckets + ragged runs must cover every (group, segment) pair
         # exactly once: their interaction counts add up to the plan's.
-        for plan in (shared_plan, dedup_plan):
-            layout = plan.ensure_batched_layout()
-            assert layout.buckets, "BLTC plans must produce approx buckets"
-            seg_sizes = np.diff(plan.seg_ptr)
-            ragged = sum(
-                plan.group_size(int(g)) * int(seg_sizes[s_lo:s_hi].sum())
-                for g, s_lo, s_hi in layout.ragged_runs
-            )
-            assert layout.batched_interactions() + ragged == int(
-                plan.interactions_total()
-            )
+        plan = shared_plan
+        layout = plan.ensure_batched_layout()
+        assert layout.buckets, "BLTC plans must produce approx buckets"
+        seg_sizes = np.diff(plan.seg_ptr)
+        ragged = sum(
+            plan.group_size(int(g)) * int(seg_sizes[s_lo:s_hi].sum())
+            for g, s_lo, s_hi in layout.ragged_runs
+        )
+        assert layout.batched_interactions() + ragged == int(
+            plan.interactions_total()
+        )
 
     def test_bucket_scatter_is_injective(self, shared_plan):
         for bucket in shared_plan.ensure_batched_layout().buckets:
@@ -610,11 +589,8 @@ class TestBatchedBackend:
         )
         return out, f, device
 
-    @pytest.mark.parametrize("layout", ["duplicated", "shared"])
-    def test_matches_fused_within_roundoff(
-        self, shared_plan, dedup_plan, layout
-    ):
-        plan = shared_plan if layout == "duplicated" else dedup_plan
+    def test_matches_fused_within_roundoff(self, shared_plan):
+        plan = shared_plan
         phi_f, f_f, dev_f = self._run("fused", plan)
         phi_b, f_b, dev_b = self._run("batched", plan)
         assert np.allclose(phi_f, phi_b, rtol=1e-9, atol=1e-12)
@@ -700,11 +676,8 @@ class TestNumbaLoops:
     def _loops(self, kernel):
         return build_group_loops(kernel, jit=lambda f: f)
 
-    @pytest.mark.parametrize("layout", ["duplicated", "shared"])
-    def test_loops_match_numpy_backend(
-        self, shared_plan, dedup_plan, layout
-    ):
-        plan = shared_plan if layout == "duplicated" else dedup_plan
+    def test_loops_match_numpy_backend(self, shared_plan):
+        plan = shared_plan
         kernel = YukawaKernel(0.5)
         pot, force = self._loops(kernel)
         phi, f = run_plan_loops(plan, pot, force)
@@ -781,14 +754,14 @@ class TestNumbaBackend:
         assert np.array_equal(f_s, f_p)
         assert dev_s.counters.launches == dev_p.counters.launches
 
-    def test_shared_layout_and_pipeline(self, cube, dedup_plan):
+    def test_shared_layout_and_pipeline(self, cube, shared_plan):
         dev = GpuDevice(GPU_TITAN_V)
         phi, _ = get_backend("numba").execute(
-            dedup_plan, CoulombKernel(), dev
+            shared_plan, CoulombKernel(), dev
         )
         ref_dev = GpuDevice(GPU_TITAN_V)
         phi_ref, _ = get_backend("numpy").execute(
-            dedup_plan, CoulombKernel(), ref_dev
+            shared_plan, CoulombKernel(), ref_dev
         )
         assert np.allclose(phi, phi_ref, rtol=1e-9, atol=1e-12)
         res = BarycentricTreecode(
@@ -848,13 +821,17 @@ class TestPipelineEquivalence:
         ).compute(cube, dry_run=True)
         assert np.all(res.potential == 0.0)
 
-    def test_shared_sources_pipeline_identical(self, cube):
+    def test_shared_sources_flag_deprecated_noop(self, cube):
+        # The retired flag still round-trips through with_() (warning
+        # included) and changes nothing about the results.
         params = _params(degree=5)
         ref = BarycentricTreecode(YukawaKernel(0.5), params).compute(
             cube, compute_forces=True
         )
+        with pytest.warns(DeprecationWarning, match="shared_sources"):
+            dep_params = params.with_(shared_sources=True)
         shared = BarycentricTreecode(
-            YukawaKernel(0.5), params.with_(shared_sources=True)
+            YukawaKernel(0.5), dep_params
         ).compute(cube, compute_forces=True)
         assert np.array_equal(ref.potential, shared.potential)
         assert np.array_equal(ref.forces, shared.forces)
@@ -873,14 +850,14 @@ class TestPipelineEquivalence:
         )
         assert fused.total_seconds == pytest.approx(base.total_seconds)
 
-    def test_distributed_shared_sources_identical(self, cube):
+    def test_distributed_multiprocessing_identical(self, cube):
         params = _params()
         base = DistributedBLTC(
             CoulombKernel(), params, n_ranks=2
         ).compute(cube)
         shared = DistributedBLTC(
             CoulombKernel(),
-            params.with_(shared_sources=True, backend="multiprocessing"),
+            params.with_(backend="multiprocessing"),
             n_ranks=2,
         ).compute(cube)
         assert np.allclose(

@@ -391,7 +391,7 @@ class TestInnerLayers:
                 prep.moments, prep.tree, col, params,
                 device=prep.device, numerics=True,
             )
-            prep.plan.refresh_weights(prep._weight_provider(col))
+            prep.core.refresh_weights(col)
             pl, fl = build_group_loops(kernel, ident)
             solo.append(run_plan_loops(prep.plan, pl, fl, dtype=dtype))
         block = charge_block[:, :2]
@@ -399,7 +399,7 @@ class TestInnerLayers:
             prep.moments, prep.tree, block, params,
             device=prep.device, numerics=True,
         )
-        prep.plan.refresh_weights(prep._weight_provider(block))
+        prep.core.refresh_weights(block)
         pl, fl = build_group_loops(kernel, ident, multi=True)
         out, forces = run_plan_loops(prep.plan, pl, fl, dtype=dtype)
         for j in range(2):

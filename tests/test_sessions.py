@@ -172,8 +172,8 @@ class TestSingleDeviceSession:
             ref = tc.compute(ParticleSet(cube.positions, charges))
             assert np.array_equal(res.potential, ref.potential)
 
-    def test_shared_sources_session(self, cube, new_charges):
-        params = _params(backend="fused", shared_sources=True)
+    def test_yukawa_session_refresh(self, cube, new_charges):
+        params = _params(backend="fused")
         tc = BarycentricTreecode(YukawaKernel(0.5), params)
         prepared = tc.prepare(cube)
         prepared.apply(cube.charges)
@@ -240,10 +240,8 @@ class TestBatchedSession:
             first.potential, tc.compute(cube).potential
         )
 
-    def test_shared_sources_batched_session(self, cube, new_charges):
-        params = _params(
-            backend="batched", batched=True, shared_sources=True
-        )
+    def test_yukawa_batched_session_refresh(self, cube, new_charges):
+        params = _params(backend="batched", batched=True)
         tc = BarycentricTreecode(YukawaKernel(0.5), params)
         prepared = tc.prepare(cube)
         prepared.apply(cube.charges)
@@ -255,11 +253,8 @@ class TestBatchedSession:
 class TestWeightRefresh:
     """The plan-level geometry/weight split."""
 
-    def _plan(self, *, shared=False, deferred=False):
-        b = PlanBuilder(
-            4, numerics=True, shared_sources=shared,
-            deferred_weights=deferred,
-        )
+    def _plan(self, *, deferred=False):
+        b = PlanBuilder(4, numerics=True, deferred_weights=deferred)
         pts_a = np.arange(6.0).reshape(2, 3)
         pts_b = np.arange(6.0, 15.0).reshape(3, 3)
         b.add_group(targets=np.zeros((2, 3)), out_index=np.array([0, 1]))
@@ -269,14 +264,7 @@ class TestWeightRefresh:
             share_key="a",
         )
         b.add_group(targets=np.zeros((2, 3)), out_index=np.array([2, 3]))
-        if shared:
-            b.add_segment("direct", share_key="a")
-        else:
-            b.add_segment(
-                "direct", points=pts_a,
-                weights=None if deferred else np.array([1.0, 2.0]),
-                share_key="a",
-            )
+        b.add_segment("direct", share_key="a")
         b.add_segment(
             "approx", points=pts_b,
             weights=None if deferred else np.array([3.0, 4.0, 5.0]),
@@ -284,9 +272,8 @@ class TestWeightRefresh:
         )
         return b.build()
 
-    @pytest.mark.parametrize("shared", [False, True], ids=["dup", "shared"])
-    def test_refresh_overwrites_every_copy(self, shared):
-        plan = self._plan(shared=shared)
+    def test_refresh_overwrites_every_alias(self):
+        plan = self._plan()
         assert plan.refreshable
         weights = {"a": np.array([10.0, 20.0]), "b": np.array([30.0, 40.0, 50.0])}
         v0 = plan.weights_version
@@ -481,8 +468,8 @@ class TestDistributedSession:
         return rng.uniform(-1.0, 1.0, big.n)
 
     @pytest.mark.parametrize("backend", ["fused", "multiprocessing"])
-    def test_backends_and_shared_sources(self, big, backend):
-        params = _params(backend=backend, shared_sources=True)
+    def test_backend_sessions_match_compute(self, big, backend):
+        params = _params(backend=backend)
         d = DistributedBLTC(YukawaKernel(0.5), params, n_ranks=2)
         ref = d.compute(big)
         res = d.prepare(big).apply(big.charges)
