@@ -1,0 +1,208 @@
+"""Dynamic-geometry ablation: warm-start updates vs rebuild-every-step.
+
+A velocity-Verlet trajectory in the small-drift MD regime (per-step
+displacement well below the leaf box size) is integrated twice over the
+*same* recorded positions:
+
+* **warm** -- one ``prepare()`` up front, then per step
+  ``update_geometry(pos)`` + ``apply(mass, compute_forces=True)``: the
+  incremental re-prepare re-bins only escaped particles, patches only
+  touched interaction lists and plan groups;
+* **cold** -- a fresh ``prepare()`` + ``apply`` every step, repaying
+  the full setup phase for a geometry that barely changed.
+
+Both paths must produce bitwise-identical potentials step for step
+(the warm path's correctness contract), so the comparison is pure
+performance: steps/sec, with the re-binned fraction per step recorded
+alongside.  The acceptance bar is >= 2x steps/sec for the warm path at
+the default ``quick`` scale.
+
+Scales: ``quick`` runs N=6k for 8 steps; ``smoke`` (CI) shrinks both
+but keeps every assertion except the 2x bar (small problems leave too
+little setup work to amortise, so smoke only requires parity and a
+net win).
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from conftest import bench_scale, write_json, write_result
+from repro import (
+    BarycentricTreecode,
+    InverseMultiquadricKernel,
+    ParticleSet,
+    TreecodeParams,
+    random_cube,
+)
+from repro.analysis import format_table
+
+SMOKE = bench_scale() == "smoke"
+
+N = 1_000 if SMOKE else 3_000
+STEPS = 3 if SMOKE else 8
+#: deep-tree regime: small leaves and a tight MAC make the setup phase
+#: (tree build, traversal, moment grids, plan compile) the dominant
+#: per-step cost that the warm path amortises away.
+THETA, DEGREE, LEAF = 0.3, 2, 30
+DT = 0.002
+SOFTENING = 0.05
+#: velocity dispersion; per-step drift ~ DT * VEL_SCALE = 2e-5, far
+#: below the ~0.2 leaf box edge, so only a small fraction of
+#: particles change leaves each step.
+VEL_SCALE = 0.01
+
+
+def _params():
+    return TreecodeParams(
+        theta=THETA, degree=DEGREE, max_leaf_size=LEAF, max_batch_size=LEAF,
+        backend="fused",
+    )
+
+
+def _system():
+    cube = random_cube(N, seed=700)
+    mass = np.full(N, 1.0 / N)
+    rng = np.random.default_rng(701)
+    vel = rng.normal(0.0, VEL_SCALE, size=cube.positions.shape)
+    return cube.positions.copy(), vel, mass
+
+
+@pytest.fixture(scope="module")
+def dynamic_geometry_sweep():
+    kernel = InverseMultiquadricKernel(c=SOFTENING)
+    pos, vel, mass = _system()
+
+    # -- warm path: prepare once, update_geometry every step.  The
+    # trajectory (and each step's potentials) is recorded so the cold
+    # path replays the exact same geometry work.
+    prepared = BarycentricTreecode(kernel, _params()).prepare(
+        ParticleSet(pos, mass)
+    )
+    res = prepared.apply(mass, compute_forces=True)
+    acc = -res.forces
+    # One untimed warm-up update builds the one-time traversal record
+    # that later steps verify against.
+    vel += 0.5 * DT * acc
+    pos = pos + DT * vel
+    prepared.update_geometry(pos)
+    res = prepared.apply(mass, compute_forces=True)
+    vel += 0.5 * DT * (-res.forces)
+    acc = -res.forces
+
+    rows = []
+    trajectory = []
+    warm_potentials = []
+    for step in range(1, STEPS + 1):
+        vel += 0.5 * DT * acc
+        pos = pos + DT * vel
+        t0 = time.perf_counter()
+        upd = prepared.update_geometry(pos)
+        res = prepared.apply(mass, compute_forces=True)
+        warm_seconds = time.perf_counter() - t0
+        acc = -res.forces
+        vel += 0.5 * DT * acc
+        trajectory.append(pos.copy())
+        warm_potentials.append(res.potential.copy())
+        rows.append(
+            {
+                "step": step,
+                "n": N,
+                "warm_seconds": warm_seconds,
+                "rebinned_fraction": upd.rebinned_fraction,
+                "n_rebinned": upd.n_rebinned,
+                "rebuilt": upd.rebuilt,
+                "dirty_batches": upd.n_dirty_batches,
+                "patched_groups": upd.n_patched_groups,
+            }
+        )
+
+    # -- cold path: rebuild the whole session at every recorded step.
+    driver = BarycentricTreecode(kernel, _params())
+    for row, step_pos, warm_phi in zip(rows, trajectory, warm_potentials):
+        t0 = time.perf_counter()
+        cold = driver.prepare(ParticleSet(step_pos, mass))
+        res = cold.apply(mass, compute_forces=True)
+        row["cold_seconds"] = time.perf_counter() - t0
+        # The warm path's whole point is bitwise equality with this.
+        np.testing.assert_array_equal(res.potential, warm_phi)
+
+    warm_total = sum(r["warm_seconds"] for r in rows)
+    cold_total = sum(r["cold_seconds"] for r in rows)
+    for r in rows:
+        r["warm_steps_per_sec"] = STEPS / warm_total
+        r["cold_steps_per_sec"] = STEPS / cold_total
+        r["speedup"] = cold_total / warm_total
+    return rows
+
+
+def test_dynamic_geometry_regenerate(
+    benchmark, dynamic_geometry_sweep, results_dir
+):
+    rows = benchmark.pedantic(
+        lambda: dynamic_geometry_sweep, rounds=1, iterations=1
+    )
+    headers = [
+        "step", "warm (s)", "cold (s)", "re-binned", "frac", "dirty batches",
+        "patched groups", "rebuilt",
+    ]
+    table = [
+        [
+            r["step"], f"{r['warm_seconds']:.3f}", f"{r['cold_seconds']:.3f}",
+            r["n_rebinned"], f"{r['rebinned_fraction']:.4f}",
+            r["dirty_batches"], r["patched_groups"],
+            "yes" if r["rebuilt"] else "no",
+        ]
+        for r in rows
+    ]
+    head = rows[0]
+    text = format_table(
+        headers,
+        table,
+        title=(
+            f"Dynamic geometry ablation -- N={N} velocity-Verlet, "
+            f"{STEPS} timed steps: warm {head['warm_steps_per_sec']:.2f} "
+            f"steps/s vs cold {head['cold_steps_per_sec']:.2f} steps/s "
+            f"({head['speedup']:.2f}x)"
+        ),
+    )
+    write_result(results_dir, "ablation_dynamic_geometry.txt", text)
+    write_json(
+        results_dir,
+        "BENCH_dynamic_geometry.json",
+        [
+            {
+                "step": r["step"],
+                "n": r["n"],
+                "warm_seconds": round(r["warm_seconds"], 6),
+                "cold_seconds": round(r["cold_seconds"], 6),
+                "rebinned_fraction": round(r["rebinned_fraction"], 6),
+                "n_rebinned": r["n_rebinned"],
+                "rebuilt": r["rebuilt"],
+                "warm_steps_per_sec": round(r["warm_steps_per_sec"], 4),
+                "cold_steps_per_sec": round(r["cold_steps_per_sec"], 4),
+                "speedup": round(r["speedup"], 4),
+            }
+            for r in rows
+        ],
+    )
+
+
+def test_warm_path_2x_steps_per_sec(dynamic_geometry_sweep):
+    """Acceptance bar: warm updates at least double the MD step rate."""
+    speedup = dynamic_geometry_sweep[0]["speedup"]
+    floor = 1.0 if SMOKE else 2.0
+    assert speedup >= floor, dynamic_geometry_sweep[0]
+
+
+def test_drift_stays_incremental(dynamic_geometry_sweep):
+    """Small-drift steps must take the incremental path, not rebuild.
+
+    At most one step may fall back: a cluster count hovering exactly at
+    the leaf threshold can legitimately flip the topology.
+    """
+    rebuilds = sum(r["rebuilt"] for r in dynamic_geometry_sweep)
+    assert rebuilds <= 1, dynamic_geometry_sweep
+    for r in dynamic_geometry_sweep:
+        assert r["rebinned_fraction"] <= 0.05, r

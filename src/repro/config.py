@@ -91,6 +91,14 @@ class TreecodeParams:
     #: prepare phase; it changes no results.  Off by default: other
     #: backends never read the layout.
     batched: bool = False
+    #: Dynamic-geometry sessions (``update_geometry``): once the fraction
+    #: of particles that changed leaf membership in one update exceeds
+    #: this threshold, the incremental re-bin/patch path is abandoned and
+    #: the session's geometry is rebuilt from scratch (a fresh tree keeps
+    #: boxes tight and interaction lists short once drift accumulates).
+    #: ``0.0`` rebuilds on any membership change; ``1.0`` never rebuilds
+    #: on drift alone (structural bail-outs still force a rebuild).
+    rebuild_threshold: float = 0.25
 
     def __post_init__(self) -> None:
         if self.shared_sources is not None:
@@ -111,6 +119,11 @@ class TreecodeParams:
         if self.max_batch_size < 1:
             raise ValueError(
                 f"max_batch_size must be >= 1, got {self.max_batch_size}"
+            )
+        if not (0.0 <= self.rebuild_threshold <= 1.0):
+            raise ValueError(
+                "rebuild_threshold must lie in [0, 1], got "
+                f"{self.rebuild_threshold}"
             )
         if self.dtype not in (np.float32, np.float64):
             raise ValueError(

@@ -141,15 +141,26 @@ class _Shipment:
     payload; ``version`` mirrors the plan's ``weights_version`` at the
     last (re)ship, so :meth:`refresh` rewrites only the weight region
     (or re-pickles) when the session refreshed the charges in between.
+    ``geom_version``/``struct_version`` mirror the plan's dynamic-
+    geometry counters: an in-place geometry refresh rewrites only the
+    targets/out_index/src_points regions, a structural patch (changed
+    array shapes) unlinks the block and re-packs wholesale.
     """
 
-    __slots__ = ("shm", "spec", "payload", "version")
+    __slots__ = (
+        "shm", "spec", "payload", "version", "geom_version", "struct_version"
+    )
 
-    def __init__(self, shm, spec, payload, version: int) -> None:
+    def __init__(
+        self, shm, spec, payload, version: int,
+        geom_version: int, struct_version: int,
+    ) -> None:
         self.shm = shm
         self.spec = spec
         self.payload = payload
         self.version = version
+        self.geom_version = geom_version
+        self.struct_version = struct_version
 
     @classmethod
     def pack(cls, plan, *, use_shared_memory: bool) -> "_Shipment":
@@ -158,7 +169,11 @@ class _Shipment:
             shm, spec = _pack_shipment(plan)
         if spec is None:
             payload = _pickle_payload(plan)
-        return cls(shm, spec, payload, plan.weights_version)
+        return cls(
+            shm, spec, payload, plan.weights_version,
+            getattr(plan, "geometry_version", 0),
+            getattr(plan, "structure_version", 0),
+        )
 
     def refresh(self, plan) -> None:
         """Re-ship only the charge-dependent weight buffer."""
@@ -171,6 +186,26 @@ class _Shipment:
         else:
             self.payload = _pickle_payload(plan)
         self.version = plan.weights_version
+
+    def refresh_geometry(self, plan) -> None:
+        """Rewrite the in-place-refreshed geometry regions of the block.
+
+        Only valid when the plan's structure (hence every region's
+        shape) is unchanged -- the caller gates on ``struct_version``
+        first.  The pickle fallback re-ships everything, so it also
+        brings the weight version current.
+        """
+        if self.shm is not None:
+            for fld in ("targets", "out_index", "src_points"):
+                offset, shape, dtype = self.spec["layout"][fld]
+                view = np.ndarray(
+                    shape, dtype=np.dtype(dtype), buffer=self.shm.buf[offset:]
+                )
+                view[...] = getattr(plan, fld)
+        else:
+            self.payload = _pickle_payload(plan)
+            self.version = plan.weights_version
+        self.geom_version = plan.geometry_version
 
     def close(self) -> None:
         """Release the block (idempotent; safe from a GC finalizer)."""
@@ -332,7 +367,23 @@ class MultiprocessingBackend(Backend):
                 # Unlink the block when the plan is collected; the
                 # finalizer holds the shipment, not the plan.
                 weakref.finalize(plan, ship.close)
-            elif ship.version != plan.weights_version:
+                return ship
+            if ship.struct_version != getattr(plan, "structure_version", 0):
+                # A group patch changed the plan arrays' shapes: the
+                # fixed-layout block cannot be rewritten region by
+                # region, so unlink it and re-pack wholesale (no leaked
+                # block; the new shipment gets its own plan finalizer).
+                ship.close()
+                ship = _Shipment.pack(
+                    plan, use_shared_memory=self.use_shared_memory
+                )
+                self._shipments[plan] = ship
+                weakref.finalize(plan, ship.close)
+                return ship
+            if ship.geom_version != getattr(plan, "geometry_version", 0):
+                # In-place geometry refresh: same shapes, new values.
+                ship.refresh_geometry(plan)
+            if ship.version != plan.weights_version:
                 if ship.shm is not None and tuple(
                     ship.spec["layout"]["src_weights"][1]
                 ) != tuple(plan.src_weights.shape):

@@ -37,9 +37,22 @@ __all__ = [
     "TreeAdapter",
     "LocalTreeAdapter",
     "InteractionLists",
+    "TraversalRecord",
     "traverse_batch",
     "build_interaction_lists",
+    "record_traversal",
+    "verify_traversal",
+    "patch_interaction_lists",
 ]
+
+# Traversal decision categories recorded per visited node (see
+# TraversalRecord): they encode exactly which branch of the BLTC case
+# split fired, so a later geometry update can re-check each decision
+# vectorized instead of re-running the whole traversal.
+TRAV_APPROX = 0           # MAC passed (both conditions)
+TRAV_DIRECT_LEAF = 1      # leaf summed directly (either failure mode)
+TRAV_DIRECT_INTERNAL = 2  # geometric passed, size condition failed
+TRAV_RECURSED = 3         # geometric failed on an internal node
 
 
 class TreeAdapter(Protocol):
@@ -139,11 +152,15 @@ def traverse_batch(
     params: TreecodeParams,
     *,
     root: int = 0,
+    record: list | None = None,
 ) -> tuple[list[int], list[int], int]:
     """Traverse one batch against a cluster tree.
 
     Returns ``(approx_ids, direct_ids, mac_evals)``.  The logic follows the
     BLTC algorithm exactly; see the module docstring for the case split.
+    When ``record`` is a list, every visited node appends a
+    ``(node, category)`` pair to it (``TRAV_*`` constants), capturing the
+    full decision trace for later :func:`verify_traversal` checks.
     """
     n_ip = params.n_interpolation_points
     approx: list[int] = []
@@ -159,15 +176,28 @@ def traverse_batch(
         )
         if geometric_ok and (not params.size_check or n_ip < adapter.count(c)):
             approx.append(c)
+            if record is not None:
+                record.append((c, TRAV_APPROX))
         elif not geometric_ok:
             if adapter.is_leaf(c):
                 direct.append(c)
+                if record is not None:
+                    record.append((c, TRAV_DIRECT_LEAF))
             else:
                 stack.extend(adapter.children(c))
+                if record is not None:
+                    record.append((c, TRAV_RECURSED))
         else:
             # Geometric MAC passed but the cluster is too small for the
             # approximation to pay off: compute it directly (line 19-20).
             direct.append(c)
+            if record is not None:
+                record.append((
+                    c,
+                    TRAV_DIRECT_LEAF
+                    if adapter.is_leaf(c)
+                    else TRAV_DIRECT_INTERNAL,
+                ))
     return approx, direct, mac_evals
 
 
@@ -192,3 +222,163 @@ def build_interaction_lists(
         lists.direct.append(np.asarray(direct, dtype=np.intp))
         lists.mac_evals += evals
     return lists
+
+
+# ----------------------------------------------------------------------
+# Dynamic geometry: decision traces, vectorized re-verify, dirty patch
+# ----------------------------------------------------------------------
+@dataclass
+class TraversalRecord:
+    """Per-batch decision trace of one full traversal.
+
+    ``nodes[b]``/``cats[b]`` list every node batch ``b`` visited and
+    which ``TRAV_*`` branch fired there.  A trace row count equals the
+    batch's MAC evaluation count, so ``n_rows`` reproduces
+    ``InteractionLists.mac_evals`` exactly.  After particles drift,
+    :func:`verify_traversal` re-checks every recorded decision against
+    the *new* geometry in a handful of vectorized passes; only batches
+    with at least one invalidated (or numerically borderline) decision
+    pay a scalar re-traversal.
+    """
+
+    nodes: list[np.ndarray]
+    cats: list[np.ndarray]
+
+    @property
+    def n_rows(self) -> int:
+        return int(sum(len(a) for a in self.nodes))
+
+    def nbytes(self) -> int:
+        return int(
+            sum(a.nbytes for a in self.nodes)
+            + sum(a.nbytes for a in self.cats)
+        )
+
+
+def record_traversal(
+    batches: TargetBatches,
+    tree: ClusterTree | TreeAdapter,
+    params: TreecodeParams,
+) -> TraversalRecord:
+    """Re-run the full traversal, capturing the decision trace.
+
+    The produced lists are discarded -- for a prepared session they are
+    by construction identical to the session's stored lists; only the
+    trace is new information.
+    """
+    adapter: TreeAdapter
+    if isinstance(tree, ClusterTree):
+        adapter = LocalTreeAdapter(tree)
+    else:
+        adapter = tree
+    nodes: list[np.ndarray] = []
+    cats: list[np.ndarray] = []
+    for b in range(len(batches)):
+        node = batches.batch(b)
+        rec: list[tuple[int, int]] = []
+        traverse_batch(node.center, node.radius, adapter, params, record=rec)
+        nodes.append(np.array([r[0] for r in rec], dtype=np.intp))
+        cats.append(np.array([r[1] for r in rec], dtype=np.int8))
+    return TraversalRecord(nodes=nodes, cats=cats)
+
+
+def verify_traversal(
+    record: TraversalRecord,
+    batches: TargetBatches,
+    tree: ClusterTree,
+    params: TreecodeParams,
+    *,
+    rel_margin: float = 1e-9,
+) -> np.ndarray:
+    """(n_batches,) bool: which batches' recorded decisions no longer hold.
+
+    Every recorded decision is re-evaluated against the new batch and
+    cluster geometry in one vectorized pass.  The scalar traversal
+    computes its distances through ``np.linalg.norm`` on a 3-vector,
+    which need not agree to the last ulp with the row-wise norm used
+    here, so a decision only counts as *confirmed* when it holds under
+    both ``theta * (1 - rel_margin)`` and ``theta * (1 + rel_margin)``
+    -- any decision within the margin of the MAC boundary marks its
+    batch dirty and the exact scalar traversal re-runs there.  The dirty
+    mask is therefore conservative: a clean batch's lists are bitwise
+    what a cold traversal would produce.
+    """
+    n_batches = len(batches)
+    lengths = np.array([len(a) for a in record.nodes], dtype=np.intp)
+    if int(lengths.sum()) == 0:
+        return np.zeros(n_batches, dtype=bool)
+    flat_nodes = np.concatenate(record.nodes)
+    flat_cats = np.concatenate(record.cats)
+    batch_ids = np.repeat(np.arange(n_batches, dtype=np.intp), lengths)
+
+    centers = np.array([nd.center for nd in tree.nodes])
+    radii = np.array([nd.radius for nd in tree.nodes])
+    counts = tree.node_counts
+    b_centers = batches.centers()
+    b_radii = batches.radii()
+
+    d = np.linalg.norm(
+        b_centers[batch_ids] - centers[flat_nodes], axis=1
+    )
+    rsum = b_radii[batch_ids] + radii[flat_nodes]
+    ratio = np.full(d.shape, np.inf)
+    pos = d > 0.0
+    ratio[pos] = rsum[pos] / d[pos]
+    theta = params.theta
+    n_ip = params.n_interpolation_points
+    if params.size_check:
+        size_ok = n_ip < counts[flat_nodes]
+    else:
+        size_ok = np.ones(d.shape, dtype=bool)
+
+    def valid_under(g: np.ndarray) -> np.ndarray:
+        ok = np.empty(d.shape, dtype=bool)
+        is_approx = flat_cats == TRAV_APPROX
+        is_dleaf = flat_cats == TRAV_DIRECT_LEAF
+        is_dint = flat_cats == TRAV_DIRECT_INTERNAL
+        is_rec = flat_cats == TRAV_RECURSED
+        ok[is_approx] = (g & size_ok)[is_approx]
+        ok[is_dleaf] = ~(g & size_ok)[is_dleaf]
+        ok[is_dint] = (g & ~size_ok)[is_dint]
+        ok[is_rec] = ~g[is_rec]
+        return ok
+
+    confirmed = valid_under(ratio < theta * (1.0 - rel_margin)) & valid_under(
+        ratio < theta * (1.0 + rel_margin)
+    )
+    dirty = np.zeros(n_batches, dtype=bool)
+    np.logical_or.at(dirty, batch_ids[~confirmed], True)
+    return dirty
+
+
+def patch_interaction_lists(
+    lists: InteractionLists,
+    record: TraversalRecord,
+    batches: TargetBatches,
+    tree: ClusterTree,
+    params: TreecodeParams,
+    dirty: np.ndarray,
+) -> int:
+    """Re-traverse the dirty batches; patch ``lists`` and ``record``.
+
+    Returns the number of MAC evaluations spent on the re-traversals.
+    ``lists.mac_evals`` is reset to the trace's total row count, which
+    equals what a cold :func:`build_interaction_lists` at the new
+    geometry would report (clean batches' traversals are
+    decision-identical by the verify guarantee).
+    """
+    adapter = LocalTreeAdapter(tree)
+    redone = 0
+    for b in np.nonzero(dirty)[0]:
+        node = batches.batch(int(b))
+        rec: list[tuple[int, int]] = []
+        approx, direct, evals = traverse_batch(
+            node.center, node.radius, adapter, params, record=rec
+        )
+        lists.approx[b] = np.asarray(approx, dtype=np.intp)
+        lists.direct[b] = np.asarray(direct, dtype=np.intp)
+        record.nodes[b] = np.array([r[0] for r in rec], dtype=np.intp)
+        record.cats[b] = np.array([r[1] for r in rec], dtype=np.int8)
+        redone += evals
+    lists.mac_evals = record.n_rows
+    return redone

@@ -40,6 +40,7 @@ __all__ = [
     "precompute_moments",
     "prepare_moment_grids",
     "refresh_moments",
+    "refresh_moment_geometry",
     "ClusterMoments",
 ]
 
@@ -289,6 +290,61 @@ def prepare_moment_grids(
                     lagrange_basis(pts[:, 2], grid.points_1d[2], grid.weights),
                 )
     return moments
+
+
+def refresh_moment_geometry(
+    moments: ClusterMoments,
+    tree: ClusterTree,
+    params: TreecodeParams,
+    *,
+    numerics: bool = True,
+    dirty: np.ndarray | None = None,
+) -> int:
+    """Update the charge-independent moment state after particles moved.
+
+    Re-qualifies every node under the size condition (counts may have
+    changed), drops state for clusters that no longer qualify, and
+    rebuilds the Chebyshev grid -- plus the cached Lagrange basis, when
+    the session caches one -- for every *dirty* qualifying cluster
+    (``dirty`` is a per-node bool mask; ``None`` refreshes all).  Newly
+    qualifying clusters are always built.  Grids and basis are rebuilt
+    with exactly the calls :func:`prepare_moment_grids` makes, so a
+    refreshed session's next :func:`refresh_moments` produces bitwise
+    what a cold prepare at the new positions would.  Stale ``qhat``
+    entries are left in place -- every apply overwrites them.  Returns
+    the number of clusters rebuilt.
+    """
+    n_ip = params.n_interpolation_points
+    new_ids: set[int] = set()
+    for node in tree.nodes:
+        if params.size_check and not (n_ip < node.count):
+            continue
+        new_ids.add(node.index)
+    for i in moments.node_ids - new_ids:
+        moments.grids.pop(i, None)
+        moments.qhat.pop(i, None)
+        moments.basis.pop(i, None)
+    cache_basis = bool(moments.basis) or not moments.grids
+    added = new_ids - moments.node_ids
+    moments.node_ids = new_ids
+    if not numerics:
+        return 0
+    rebuilt = 0
+    for i in sorted(new_ids):
+        if i not in added and dirty is not None and not dirty[i]:
+            continue
+        node = tree.nodes[i]
+        grid = cluster_grid(node, params.degree)
+        moments.grids[i] = grid
+        if cache_basis:
+            pts = tree.positions[tree.node_indices(node)]
+            moments.basis[i] = (
+                lagrange_basis(pts[:, 0], grid.points_1d[0], grid.weights),
+                lagrange_basis(pts[:, 1], grid.points_1d[1], grid.weights),
+                lagrange_basis(pts[:, 2], grid.points_1d[2], grid.weights),
+            )
+        rebuilt += 1
+    return rebuilt
 
 
 def refresh_moments(

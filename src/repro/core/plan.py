@@ -130,6 +130,39 @@ e.g. near-field clusters), and empty groups fall back to the per-group
 fused per-group arithmetic.  Every ``(group, segment)`` pair lands in
 exactly one bucket entry or ragged run, so the layout is a partition of
 the plan's work; launch accounting never reads it.
+
+Dynamic geometry and the group-patch invariants
+-----------------------------------------------
+``update_geometry`` sessions mutate a plan in place along two tiers,
+both keyed by version counters (``geometry_version`` for float/output
+content, ``structure_version`` for the index arrays) so caching
+backends know exactly how stale their shipped copies are:
+
+* :meth:`ExecutionPlan.refresh_geometry` -- the common drift step.  The
+  *shapes* of all buffers are preserved; ``targets``, ``out_index`` and
+  per-slot ``src_points`` rows are rewritten in place, the dtype cast
+  cache and the batched buckets' gathered stacks are dropped, and each
+  bucket's ``out_slots`` is re-gathered from the new output index.
+  Bumps ``geometry_version`` only.
+* :meth:`ExecutionPlan.patch_groups` -- the structural step, taken when
+  some groups' segment lists or row counts changed.  The caller
+  supplies new ``(out_index, [(kind, share_key), ...])`` descriptions
+  for the dirty groups; clean groups' descriptions are read back from
+  the existing plan through the ``weight_slots`` offset map.  The CSR
+  arrays and buffers are rebuilt by replaying the compile: groups in
+  order, segments in order, physical rows assigned at each key's
+  *first use* -- which is exactly the order ``compile_plan`` assigns
+  them, so the patched physical layout is bitwise what a cold compile
+  over the new lists produces.  The float buffers (``targets``,
+  ``src_points``, ``src_weights``) come back **zeroed**: a patch MUST
+  be followed by :meth:`refresh_geometry` (and the next apply's
+  ``refresh_weights`` fills the weights, as after a deferred compile).
+  ``weight_slots`` is rebuilt, dropped keys disappear, the batched
+  layout is rebuilt eagerly iff one was attached, and both version
+  counters bump.  The plan *object* is preserved through both tiers:
+  per-plan backend caches (SHM shipments, cost models) stay keyed to
+  it and decide from the versions whether to rewrite regions or
+  re-ship.
 """
 
 from __future__ import annotations
@@ -258,6 +291,19 @@ class BatchedBucket:
         else:
             object.__setattr__(self, "weights", gathered)
 
+    def refresh_geometry(self, out_index: np.ndarray) -> None:
+        """Invalidate after an in-place plan geometry rewrite.
+
+        Drops the gathered coordinate stacks (they re-gather from the
+        new buffers on the next execute) and re-derives ``out_slots``
+        from the new output index -- the gather *indices* are structure
+        and stay valid, but the slots they point at may have changed.
+        """
+        flat = self.tgt_index.reshape(-1)
+        rows = flat if self.scatter_pos is None else flat[self.scatter_pos]
+        self.out_slots[...] = out_index[rows]
+        self._stacks.clear()
+
 
 @dataclass(frozen=True, eq=False)
 class BatchedLayout:
@@ -284,6 +330,10 @@ class BatchedLayout:
     def refresh_weights(self, src_weights: np.ndarray) -> None:
         for bucket in self.buckets:
             bucket.refresh_weights(src_weights)
+
+    def refresh_geometry(self, out_index: np.ndarray) -> None:
+        for bucket in self.buckets:
+            bucket.refresh_geometry(out_index)
 
 
 @dataclass(frozen=True, eq=False)
@@ -330,6 +380,12 @@ class ExecutionPlan:
     #: Bumped by :meth:`refresh_weights`; lets caching backends detect
     #: stale shipped copies of ``src_weights``.
     weights_version: int = 0
+    #: Bumped by :meth:`refresh_geometry` (and :meth:`patch_groups`):
+    #: the float geometry buffers / output index changed in place.
+    geometry_version: int = 0
+    #: Bumped by :meth:`patch_groups`: the index arrays (shapes, CSR
+    #: structure, weight slots) changed; shipped copies must re-pack.
+    structure_version: int = 0
     #: Shape-bucketed execution layout, or None until built.  Compiled
     #: eagerly by ``compile_plan(..., batched=True)``; built lazily (and
     #: cached) by :meth:`ensure_batched_layout` otherwise.
@@ -571,6 +627,144 @@ class ExecutionPlan:
         if self.batched_layout is not None:
             self.batched_layout.refresh_weights(w)
         object.__setattr__(self, "weights_version", self.weights_version + 1)
+
+    # -- dynamic geometry -----------------------------------------------
+    def refresh_geometry(
+        self,
+        *,
+        targets: np.ndarray | None = None,
+        out_index: np.ndarray | None = None,
+        src_rows: Sequence[tuple[int, np.ndarray]] = (),
+    ) -> None:
+        """Rewrite geometry buffers in place (same shapes) and invalidate.
+
+        The in-place tier of a dynamic-geometry update (see the module
+        docstring): ``targets`` / ``out_index`` replace the full buffer
+        contents, ``src_rows`` is an iterable of ``(lo, values)`` row
+        blocks written into ``src_points``.  Shapes must match -- a
+        structural change goes through :meth:`patch_groups` first.
+        Drops the dtype cast cache, refreshes the batched buckets'
+        output slots and stacks, and bumps ``geometry_version``.
+        """
+        if not self.has_numerics:
+            raise ValueError("model-only plan has no geometry buffers")
+        if targets is not None:
+            self.targets[...] = targets
+        if out_index is not None:
+            self.out_index[...] = out_index
+        for lo, values in src_rows:
+            self.src_points[lo:lo + len(values)] = values
+        self._cast_cache.clear()
+        if self.batched_layout is not None:
+            self.batched_layout.refresh_geometry(self.out_index)
+        object.__setattr__(self, "geometry_version", self.geometry_version + 1)
+
+    def patch_groups(self, updates: dict, key_rows) -> None:
+        """Rebuild the plan structure with new descriptions for some groups.
+
+        ``updates`` maps a group index to its new description
+        ``(out_index, [(kind_name, share_key), ...])``; every group not
+        in it keeps its current output slots and segment list (read back
+        through the ``weight_slots`` offset map).  ``key_rows(share_key)``
+        returns the physical row count of a stored segment at the *new*
+        geometry -- it is consulted for every key, so segments whose
+        cluster was resized are sized correctly even in clean groups
+        (callers should mark such groups dirty anyway: their stale
+        ``out_index`` and float rows are only repaired by the mandatory
+        :meth:`refresh_geometry` / weight refresh that must follow,
+        which rewrites all of them).  See the module docstring for the
+        replay-order invariant that keeps the patched layout bitwise
+        equal to a cold compile.
+        """
+        if not self.has_numerics:
+            raise ValueError("model-only plan cannot be patched")
+        if self.weight_slots is None:
+            raise ValueError(
+                "plan is not patchable: a stored segment carried no "
+                "share_key, so clean groups cannot be read back"
+            )
+        lo2key = {int(lo): key for key, lo, _hi in self.weight_slots}
+        n_groups = self.n_groups
+        kind_names = list(self.kind_names)
+        kind_index = {k: i for i, k in enumerate(kind_names)}
+        group_out: list[np.ndarray] = []
+        group_segs: list[list[tuple[str, object]]] = []
+        for g in range(n_groups):
+            upd = updates.get(g)
+            if upd is not None:
+                out_idx, segs = upd
+                group_out.append(np.asarray(out_idx, dtype=np.intp))
+                group_segs.append(list(segs))
+                continue
+            t_lo, t_hi = int(self.group_ptr[g]), int(self.group_ptr[g + 1])
+            group_out.append(self.out_index[t_lo:t_hi].copy())
+            group_segs.append([
+                (
+                    self.kind_names[self.seg_kind[s]],
+                    lo2key[int(self.seg_src_lo[s])],
+                )
+                for s in range(
+                    int(self.seg_group_ptr[g]),
+                    int(self.seg_group_ptr[g + 1]),
+                )
+            ])
+        # Replay the compile: first-use physical row assignment in
+        # (group, segment) order reproduces PlanBuilder's layout.
+        seg_kind: list[int] = []
+        seg_sizes: list[int] = []
+        seg_src_lo: list[int] = []
+        segs_per_group: list[int] = []
+        ranges: dict = {}
+        weight_slots: list[tuple] = []
+        phys = 0
+        for segs in group_segs:
+            segs_per_group.append(len(segs))
+            for kind, key in segs:
+                rng = ranges.get(key)
+                if rng is None:
+                    rows = int(key_rows(key))
+                    rng = (phys, phys + rows)
+                    phys += rows
+                    ranges[key] = rng
+                    weight_slots.append((key, rng[0], rng[1]))
+                lo, hi = rng
+                k = kind_index.get(kind)
+                if k is None:
+                    k = len(kind_names)
+                    kind_names.append(kind)
+                    kind_index[kind] = k
+                seg_kind.append(k)
+                seg_sizes.append(hi - lo)
+                seg_src_lo.append(lo)
+        group_ptr = np.zeros(n_groups + 1, dtype=np.intp)
+        np.cumsum([len(o) for o in group_out], out=group_ptr[1:])
+        seg_group_ptr = np.zeros(n_groups + 1, dtype=np.intp)
+        np.cumsum(segs_per_group, out=seg_group_ptr[1:])
+        seg_ptr = np.zeros(len(seg_sizes) + 1, dtype=np.intp)
+        np.cumsum(seg_sizes, out=seg_ptr[1:])
+        width = self.rhs_width
+        set_ = object.__setattr__
+        set_(self, "kind_names", tuple(kind_names))
+        set_(self, "group_ptr", group_ptr)
+        set_(self, "seg_group_ptr", seg_group_ptr)
+        set_(self, "seg_kind", np.asarray(seg_kind, dtype=np.intp))
+        set_(self, "seg_ptr", seg_ptr)
+        set_(self, "out_index", _concat(group_out, (0,), np.intp))
+        set_(self, "targets", np.zeros((int(group_ptr[-1]), 3)))
+        set_(self, "src_points", np.zeros((phys, 3)))
+        set_(
+            self,
+            "src_weights",
+            np.zeros(phys if width is None else (phys, width)),
+        )
+        set_(self, "seg_src_lo", np.asarray(seg_src_lo, dtype=np.intp))
+        set_(self, "weight_slots", tuple(weight_slots))
+        self._cast_cache.clear()
+        if self.batched_layout is not None:
+            set_(self, "batched_layout", None)
+            self.ensure_batched_layout()
+        set_(self, "structure_version", self.structure_version + 1)
+        set_(self, "geometry_version", self.geometry_version + 1)
 
     def group_kind_runs(self, g: int) -> Iterator[tuple[str, int, int]]:
         """Yield ``(kind, seg_lo, seg_hi)`` runs of equal-kind segments.

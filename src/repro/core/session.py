@@ -100,6 +100,13 @@ class GeometryState:
         coordinate buffers determine every geometry-dependent byte of
         an apply), so a service layer can key a prepared-session LRU
         cache on it.  Charge state (``src_weights``) is excluded.
+
+        The raw position arrays are hashed alongside the plan buffers:
+        after ``update_geometry`` a moved particle need not alter any
+        plan byte (an interior particle of an approximated cluster
+        leaves boxes, lists and gathered rows untouched), but the key
+        must still change -- it is the staleness signal session caches
+        rely on.
         """
         h = hashlib.sha256()
         plan = self.plan
@@ -115,6 +122,16 @@ class GeometryState:
             h.update(arr.dtype.str.encode())
             h.update(str(arr.shape).encode())
             h.update(arr.tobytes())
+        for label, arr in (
+            ("tree.positions", getattr(self.tree, "positions", None)),
+            ("batches.positions", getattr(self.batches, "positions", None)),
+            ("aux.target_pos", getattr(self.aux, "target_pos", None)),
+            ("aux.source_pos", getattr(self.aux, "source_pos", None)),
+        ):
+            if arr is None:
+                continue
+            h.update(label.encode())
+            h.update(np.ascontiguousarray(arr).tobytes())
         return h.hexdigest()
 
 
@@ -219,12 +236,21 @@ class SessionCore:
         n_charges: int,
         first_upload_nbytes: int = 0,
         moments_download: bool = True,
+        geometry_updater=None,
     ) -> None:
         self.kernel = kernel
         self.params = params
         self.device = device
         self.geometry = geometry
         self.weight_source = weight_source
+        #: Strategy object behind :meth:`update_geometry` (see
+        #: :mod:`repro.core.dynamic`); None means the driver has no
+        #: update path (the distributed session rebuilds via prepare).
+        self.geometry_updater = geometry_updater
+        #: Bytes of transient working state the last incremental
+        #: geometry update held (re-bin scratch + the cached traversal
+        #: decision record); surfaces in :meth:`memory_stats`.
+        self.update_scratch_bytes = 0
         #: Length of the charge vectors this session accepts.
         self.n_charges = int(n_charges)
         #: Extra bytes the first apply uploads (the monolithic
@@ -367,6 +393,30 @@ class SessionCore:
         phases.compute += device.take_phase()
         return potential, forces
 
+    # -- dynamic geometry -----------------------------------------------
+    def update_geometry(self, new_positions, *, targets=None):
+        """Move the session to new particle positions without a cold
+        re-prepare.
+
+        Delegates to the driver's geometry updater (see
+        :mod:`repro.core.dynamic`): the BLTC session re-bins, patches
+        lists and plan groups incrementally (falling back to a full
+        rebuild past ``params.rebuild_threshold``), the extension
+        sessions rebuild wholesale.  After the call every ``apply()``
+        is bitwise equal to a cold ``prepare()`` at the new positions,
+        and :meth:`geometry_key` reflects the move.  ``targets``
+        overrides the target positions; same-object sessions (targets
+        defaulted to the sources at prepare) move both sets together.
+        """
+        if self.geometry_updater is None:
+            raise NotImplementedError(
+                "this session has no geometry updater; re-prepare the "
+                "driver at the new positions instead"
+            )
+        return self.geometry_updater.update(
+            self, new_positions, targets=targets
+        )
+
     # -- accounting -----------------------------------------------------
     def geometry_key(self) -> str:
         return self.geometry.geometry_key()
@@ -380,7 +430,10 @@ class SessionCore:
         ``shipment_bytes`` whatever the backend holds for this plan
         (the multiprocessing backend's SHM block or pickled payload;
         0 for backends without per-plan caches); ``moment_bytes`` the
-        cached cluster grids, basis matrices and modified charges.
+        cached cluster grids, basis matrices and modified charges;
+        ``update_scratch_bytes`` the incremental-update working state
+        (traversal decision record + re-bin scratch; 0 until the first
+        ``update_geometry``).
         """
         plan = self.plan
         plan_bytes = 0
@@ -404,13 +457,16 @@ class SessionCore:
                 moment_bytes += int(grid.points.nbytes)
             for basis in moments.basis.values():
                 moment_bytes += int(sum(b.nbytes for b in basis))
+        update_bytes = int(getattr(self, "update_scratch_bytes", 0))
         return {
             "plan_bytes": plan_bytes,
             "weight_slot_bytes": weight_bytes,
             "shipment_bytes": shipment_bytes,
             "moment_bytes": moment_bytes,
+            "update_scratch_bytes": update_bytes,
             "total_bytes": (
                 plan_bytes + weight_bytes + shipment_bytes + moment_bytes
+                + update_bytes
             ),
         }
 
@@ -422,5 +478,6 @@ def format_memory_stats(stats: dict) -> str:
         f"plan={stats['plan_bytes']}B "
         f"weights={stats['weight_slot_bytes']}B "
         f"shipments={stats['shipment_bytes']}B "
-        f"moments={stats['moment_bytes']}B"
+        f"moments={stats['moment_bytes']}B "
+        f"update={stats.get('update_scratch_bytes', 0)}B"
     )

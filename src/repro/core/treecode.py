@@ -62,6 +62,7 @@ from ..tree.batches import TargetBatches
 from ..tree.octree import ClusterTree
 from ..workloads import ParticleSet
 from .backends import Backend, get_backend
+from .dynamic import GeometryUpdateResult, TreecodeGeometryUpdater
 from .interaction_lists import InteractionLists, build_interaction_lists
 from .moments import ClusterMoments, prepare_moment_grids
 from .plan import ExecutionPlan, compile_plan
@@ -226,50 +227,9 @@ class BarycentricTreecode:
         watch = Stopwatch()
 
         with watch:
-            # -- setup: tree of source clusters and set of target batches
-            tree = ClusterTree(
-                sources.positions,
-                params.max_leaf_size,
-                aspect_ratio_splitting=params.aspect_ratio_splitting,
-                shrink_to_fit=params.shrink_to_fit,
-            )
-            batches = TargetBatches(
-                target_pos,
-                params.max_batch_size,
-                aspect_ratio_splitting=params.aspect_ratio_splitting,
-                shrink_to_fit=params.shrink_to_fit,
-            )
-            device.host_work(
-                sources.n * (tree.max_level + 1)
-                + target_pos.shape[0] * (batches.max_level + 1)
-            )
-            phases.setup += device.take_phase()
-
-            # -- charge-independent moment state: qualifying clusters,
-            # Chebyshev grids, cached basis matrices (no device time --
-            # the paper's moment kernels are charged per apply()).
-            moments = prepare_moment_grids(
-                tree, params, numerics=backend.needs_numerics,
-                cache_basis=cache_basis,
-            )
-
-            # -- setup: interaction lists + HtD of targets and LET data
-            lists = build_interaction_lists(batches, tree, params)
-            device.host_work(lists.mac_evals * 4)
-            device.upload(
-                target_pos.nbytes + self._let_bytes(tree, lists, params),
-                label="targets + LET",
-            )
-            phases.setup += device.take_phase()
-
-            # -- plan: geometry-only skeleton (host-side representation
-            # of work already charged above; no device time).  The
-            # weight buffer stays zeroed until the first apply().
-            plan = compile_plan(
-                tree, batches, moments, lists, None, params,
-                numerics=backend.needs_numerics,
-                deferred_weights=True,
-                batched=params.batched,
+            geometry = self._build_geometry_state(
+                sources.positions, target_pos, device, phases,
+                numerics=backend.needs_numerics, cache_basis=cache_basis,
             )
 
         core = SessionCore(
@@ -277,19 +237,85 @@ class BarycentricTreecode:
             params=params,
             backend=backend_spec,
             device=device,
-            geometry=GeometryState(
-                plan=plan, tree=tree, batches=batches,
-                lists=lists, moments=moments,
-            ),
+            geometry=geometry,
             weight_source=TreecodeWeightSource(),
-            n_charges=tree.n_particles,
+            n_charges=geometry.tree.n_particles,
             first_upload_nbytes=sources.positions.nbytes,
+            geometry_updater=TreecodeGeometryUpdater(self),
         )
         return PreparedTreecode(
             driver=self,
             core=core,
             phases=phases,
             wall_seconds=watch.elapsed,
+        )
+
+    # ------------------------------------------------------------------
+    def _build_geometry_state(
+        self,
+        source_pos: np.ndarray,
+        target_pos: np.ndarray,
+        device: Device,
+        phases: PhaseTimes,
+        *,
+        numerics: bool,
+        cache_basis: bool,
+    ) -> GeometryState:
+        """Build the full charge-independent geometry on ``device``.
+
+        The body of :meth:`prepare`, factored so the dynamic-geometry
+        updater's full-rebuild fallback charges the same setup work on
+        the *session's* device (accumulating its counters) and produces
+        a state bitwise identical to a cold prepare at the positions.
+        """
+        params = self.params
+        # -- setup: tree of source clusters and set of target batches
+        tree = ClusterTree(
+            source_pos,
+            params.max_leaf_size,
+            aspect_ratio_splitting=params.aspect_ratio_splitting,
+            shrink_to_fit=params.shrink_to_fit,
+        )
+        batches = TargetBatches(
+            target_pos,
+            params.max_batch_size,
+            aspect_ratio_splitting=params.aspect_ratio_splitting,
+            shrink_to_fit=params.shrink_to_fit,
+        )
+        device.host_work(
+            source_pos.shape[0] * (tree.max_level + 1)
+            + target_pos.shape[0] * (batches.max_level + 1)
+        )
+        phases.setup += device.take_phase()
+
+        # -- charge-independent moment state: qualifying clusters,
+        # Chebyshev grids, cached basis matrices (no device time --
+        # the paper's moment kernels are charged per apply()).
+        moments = prepare_moment_grids(
+            tree, params, numerics=numerics, cache_basis=cache_basis,
+        )
+
+        # -- setup: interaction lists + HtD of targets and LET data
+        lists = build_interaction_lists(batches, tree, params)
+        device.host_work(lists.mac_evals * 4)
+        device.upload(
+            target_pos.nbytes + self._let_bytes(tree, lists, params),
+            label="targets + LET",
+        )
+        phases.setup += device.take_phase()
+
+        # -- plan: geometry-only skeleton (host-side representation
+        # of work already charged above; no device time).  The
+        # weight buffer stays zeroed until the first apply().
+        plan = compile_plan(
+            tree, batches, moments, lists, None, params,
+            numerics=numerics,
+            deferred_weights=True,
+            batched=params.batched,
+        )
+        return GeometryState(
+            plan=plan, tree=tree, batches=batches,
+            lists=lists, moments=moments,
         )
 
     # ------------------------------------------------------------------
@@ -441,6 +467,39 @@ class PreparedTreecode:
     def memory_stats(self) -> dict:
         """Resident bytes by category (see ``SessionCore.memory_stats``)."""
         return self.core.memory_stats()
+
+    def update_geometry(
+        self,
+        new_positions: np.ndarray,
+        *,
+        targets: np.ndarray | None = None,
+    ) -> GeometryUpdateResult:
+        """Move the session to new particle positions in place.
+
+        The warm-start path for MD time-stepping: instead of a cold
+        ``prepare()`` per step, the session re-bins only particles that
+        left their leaf box, rebuilds only dirtied moment grids,
+        re-traverses only batches whose recorded MAC decisions no
+        longer hold, and patches only the touched plan groups -- then
+        every subsequent :meth:`apply` is bitwise equal to a cold
+        prepare at the new positions, on every backend and dtype.  When
+        the re-bin cannot preserve the tree topology, or the re-binned
+        fraction exceeds ``params.rebuild_threshold``, the geometry is
+        rebuilt wholesale on the same session (the result says which
+        happened and why).  Sessions prepared with targets defaulted to
+        the sources move both sets together; pass ``targets`` to move a
+        disjoint target set explicitly (omitting it leaves disjoint
+        targets where they are).
+
+        The simulated setup cost of the update accrues to
+        ``self.phases``; :meth:`geometry_key` changes whenever any
+        position actually moved.
+        """
+        result = self.core.update_geometry(new_positions, targets=targets)
+        if result.phases is not None:
+            self.phases += result.phases
+        self.wall_seconds += result.wall_seconds
+        return result
 
     def __repr__(self) -> str:
         return (

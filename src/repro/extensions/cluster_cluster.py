@@ -44,6 +44,7 @@ import numpy as np
 
 from ..config import DEFAULT_PARAMS, TreecodeParams
 from ..core.backends import get_backend
+from ..core.dynamic import GeometryUpdateResult, RebuildGeometryUpdater
 from ..core.mac import mac_geometric
 from ..core.moments import precompute_moments, prepare_moment_grids
 from ..core.plan import PlanBuilder
@@ -282,6 +283,43 @@ class DualTreeTreecode:
     def _downward_basis(self, g: _DTGeometry) -> dict:
         return downward_basis(g.t_tree, g.t_grids, g.target_pos)
 
+    # -- dynamic-geometry hooks (see repro.core.dynamic) ----------------
+    def _session_positions(self, core):
+        """(source, target) position arrays of a prepared session."""
+        g = core.geometry.aux
+        return g.source_pos, g.target_pos
+
+    def _rebuild_geometry_state(self, core, source_pos, target_pos, phases):
+        """Rebuild the full geometry on the session's device.
+
+        Charges the same setup work as :meth:`prepare` (the updater
+        adds the source-position upload) and returns the new state plus
+        the refreshed downward basis for the shell to adopt.
+        """
+        device = core.device
+        numerics = core.geometry.plan.has_numerics
+        g = self._build_trees(source_pos, target_pos)
+        device.host_work(
+            source_pos.shape[0] * (g.s_tree.max_level + 1)
+            + target_pos.shape[0] * (g.t_tree.max_level + 1)
+        )
+        phases.setup += device.take_phase()
+        device.upload(target_pos.nbytes)
+        self._traverse(g)
+        device.host_work(g.mac_evals * 4)
+        phases.setup += device.take_phase()
+        moments = prepare_moment_grids(g.s_tree, self.params,
+                                       numerics=numerics)
+        self._build_groups(g)
+        plan = self._compile_plan(
+            g, moments, None, numerics=numerics, deferred=True
+        )
+        basis = self._downward_basis(g) if numerics else {}
+        state = GeometryState(
+            plan=plan, tree=g.s_tree, moments=moments, aux=g
+        )
+        return state, basis
+
     def _downward_pass(
         self, g, basis, out_flat, out, device, *, numerics: bool = True
     ) -> None:
@@ -437,6 +475,7 @@ class DualTreeTreecode:
             n_charges=sources.n,
             # The dual-tree scheme consumes modified charges on-device.
             moments_download=False,
+            geometry_updater=RebuildGeometryUpdater(self),
         )
         return PreparedDualTree(
             driver=self,
@@ -501,6 +540,28 @@ class PreparedDualTree:
     def memory_stats(self) -> dict:
         """Resident bytes by category (see ``SessionCore.memory_stats``)."""
         return self.core.memory_stats()
+
+    def update_geometry(
+        self,
+        new_positions: np.ndarray,
+        *,
+        targets: np.ndarray | None = None,
+    ) -> GeometryUpdateResult:
+        """Move the session to new particle positions.
+
+        The dual-tree scheme rebuilds its geometry wholesale (see
+        :class:`~repro.core.dynamic.RebuildGeometryUpdater`) -- same
+        bitwise-parity guarantee as the BLTC's incremental path,
+        without the patching machinery.  The refreshed downward basis
+        replaces ``self.basis``.
+        """
+        result = self.core.update_geometry(new_positions, targets=targets)
+        if result.basis is not None:
+            self.basis = result.basis
+        if result.phases is not None:
+            self.phases += result.phases
+        self.wall_seconds += result.wall_seconds
+        return result
 
     def __repr__(self) -> str:
         g = self.geometry

@@ -47,6 +47,7 @@ import numpy as np
 
 from ..config import DEFAULT_PARAMS, TreecodeParams
 from ..core.backends import get_backend
+from ..core.dynamic import GeometryUpdateResult, RebuildGeometryUpdater
 from ..core.interaction_lists import LocalTreeAdapter, traverse_batch
 from ..core.treecode import TreecodeResult
 from ..core.plan import PlanBuilder
@@ -237,6 +238,37 @@ class ClusterParticleTreecode:
     def _downward_basis(self, g: _CPGeometry) -> dict:
         return downward_basis(g.tree, g.grids, g.target_pos)
 
+    # -- dynamic-geometry hooks (see repro.core.dynamic) ----------------
+    def _session_positions(self, core):
+        """(source, target) position arrays of a prepared session."""
+        g = core.geometry.aux
+        return g.batches.positions, g.target_pos
+
+    def _rebuild_geometry_state(self, core, source_pos, target_pos, phases):
+        """Rebuild the full geometry on the session's device.
+
+        Charges the same setup work as :meth:`prepare` (the updater
+        adds the source-position upload) and returns the new state plus
+        the refreshed downward basis for the shell to adopt.
+        """
+        device = core.device
+        numerics = core.geometry.plan.has_numerics
+        g = self._build_geometry(source_pos, target_pos)
+        device.host_work(
+            g.n_targets * (g.tree.max_level + 1)
+            + source_pos.shape[0] * (g.batches.max_level + 1)
+        )
+        phases.setup += device.take_phase()
+        device.upload(target_pos.nbytes)
+        device.host_work(g.mac_evals * 4)
+        phases.setup += device.take_phase()
+        plan = self._compile_plan(g, None, numerics=numerics, deferred=True)
+        basis = self._downward_basis(g) if numerics else {}
+        state = GeometryState(
+            plan=plan, tree=g.tree, batches=g.batches, lists=g.lists, aux=g
+        )
+        return state, basis
+
     def _downward_pass(
         self, g, basis, out_flat, out, device, *, numerics: bool = True
     ) -> None:
@@ -379,6 +411,7 @@ class ClusterParticleTreecode:
             ),
             weight_source=BatchChargeWeightSource(),
             n_charges=sources.n,
+            geometry_updater=RebuildGeometryUpdater(self),
         )
         return PreparedClusterParticle(
             driver=self,
@@ -439,6 +472,28 @@ class PreparedClusterParticle:
     def memory_stats(self) -> dict:
         """Resident bytes by category (see ``SessionCore.memory_stats``)."""
         return self.core.memory_stats()
+
+    def update_geometry(
+        self,
+        new_positions: np.ndarray,
+        *,
+        targets: np.ndarray | None = None,
+    ) -> GeometryUpdateResult:
+        """Move the session to new particle positions.
+
+        The cluster-particle scheme rebuilds its geometry wholesale
+        (see :class:`~repro.core.dynamic.RebuildGeometryUpdater`) --
+        same bitwise-parity guarantee as the BLTC's incremental path,
+        without the patching machinery.  The refreshed downward basis
+        replaces ``self.basis``.
+        """
+        result = self.core.update_geometry(new_positions, targets=targets)
+        if result.basis is not None:
+            self.basis = result.basis
+        if result.phases is not None:
+            self.phases += result.phases
+        self.wall_seconds += result.wall_seconds
+        return result
 
     def __repr__(self) -> str:
         g = self.geometry

@@ -15,7 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from .box import Box
-from .octree import ClusterTree, TreeNode
+from .octree import ClusterTree, RebinResult, TreeNode
 
 __all__ = ["TargetBatches"]
 
@@ -60,6 +60,26 @@ class TargetBatches:
     def perm(self) -> np.ndarray:
         """Permutation of target indices; batch ``b`` owns a slice of it."""
         return self._tree.perm
+
+    @property
+    def positions(self) -> np.ndarray:
+        """(n_targets, 3) target coordinates (the batch tree's array)."""
+        return self._tree.positions
+
+    @property
+    def tree(self) -> ClusterTree:
+        """The underlying batch tree (its leaves are the batches)."""
+        return self._tree
+
+    def rebin(self, new_positions: np.ndarray) -> RebinResult:
+        """Incrementally re-bin the batch tree for moved targets.
+
+        Delegates to :meth:`ClusterTree.rebin`; on success the cached
+        leaf list stays valid because the tree mutates its ``TreeNode``
+        objects in place.  Batch ``b``'s node index in the masks is
+        ``self.batch(b).index``.
+        """
+        return self._tree.rebin(new_positions)
 
     def batch(self, b: int) -> TreeNode:
         """The ``b``-th batch node."""

@@ -24,7 +24,31 @@ import numpy as np
 from ..config import ASPECT_RATIO_LIMIT
 from .box import Box, bounding_box
 
-__all__ = ["TreeNode", "ClusterTree"]
+__all__ = ["TreeNode", "ClusterTree", "RebinResult"]
+
+
+@dataclass
+class RebinResult:
+    """Outcome of :meth:`ClusterTree.rebin`.
+
+    ``ok`` is False when the incremental replay had to bail out (a node's
+    leaf status flipped or its child count changed); the tree is left
+    untouched in that case and the caller must rebuild from scratch.  On
+    success the per-node masks describe what changed relative to the old
+    binning: ``box_changed`` (bounding box moved), ``count_changed``
+    (slice size changed), ``members_dirty`` (the node's particle
+    sequence -- membership or order -- may differ).  ``n_rebinned``
+    counts particles whose leaf assignment changed; ``scratch_bytes`` is
+    the peak size of the working copies the replay allocated.
+    """
+
+    ok: bool
+    reason: str = ""
+    n_rebinned: int = 0
+    box_changed: np.ndarray | None = None
+    count_changed: np.ndarray | None = None
+    members_dirty: np.ndarray | None = None
+    scratch_bytes: int = 0
 
 
 @dataclass
@@ -218,6 +242,179 @@ class ClusterTree:
     def node_points(self, node: TreeNode | int) -> np.ndarray:
         """Coordinates of the particles owned by ``node``."""
         return self.positions[self.node_indices(node)]
+
+    # ------------------------------------------------------------------
+    # Dynamic geometry: leaf membership + incremental re-bin
+    # ------------------------------------------------------------------
+    def leaf_map(self) -> np.ndarray:
+        """(N,) index of the leaf node owning each original particle."""
+        lm = np.empty(self.n_particles, dtype=np.intp)
+        for nd in self.nodes:
+            if nd.is_leaf:
+                lm[self.perm[nd.start:nd.end]] = nd.index
+        return lm
+
+    def escaped_mask(self, new_positions: np.ndarray) -> np.ndarray:
+        """(N,) bool: which particles left their current leaf box.
+
+        The leaf-membership check of a dynamic-geometry update: a
+        particle still inside its leaf's bounding box needs no re-bin
+        (though shrink-to-fit boxes still tighten around it).
+        """
+        new_positions = np.asarray(new_positions, dtype=np.float64)
+        m = len(self.nodes)
+        los = np.zeros((m, 3))
+        his = np.zeros((m, 3))
+        for nd in self.nodes:
+            if nd.is_leaf:
+                los[nd.index] = nd.box.lo
+                his[nd.index] = nd.box.hi
+        lm = self.leaf_map()
+        return np.any(
+            (new_positions < los[lm]) | (new_positions > his[lm]), axis=1
+        )
+
+    def rebin(self, new_positions: np.ndarray) -> RebinResult:
+        """Re-bin the tree in place for moved particles, preserving topology.
+
+        Replays :meth:`_build`'s top-down pass over the *existing* node
+        structure with the new coordinates: every node's box, split
+        dimensions, midpoint and child codes are recomputed exactly as a
+        cold build would, and each splitting node's permutation slice is
+        re-sorted into the cold build's (code, original-index) order --
+        a stable argsort over an ascending-original-index slice yields
+        exactly that order, and rebinning preserves the invariant
+        inductively, so a successful rebin reproduces a cold
+        ``ClusterTree(new_positions, ...)`` bit for bit.  The replay
+        bails out (returning ``ok=False`` and leaving the tree
+        untouched) only when the *shape* of the tree would differ: a
+        node's leaf status flips or the number of its non-empty children
+        changes.  Codes, split dimensions and boxes may change freely --
+        they are recomputed, not compared.
+        """
+        new_positions = np.atleast_2d(
+            np.asarray(new_positions, dtype=np.float64)
+        )
+        if new_positions.shape != self.positions.shape:
+            raise ValueError(
+                "new_positions shape "
+                f"{new_positions.shape} != {self.positions.shape}"
+            )
+        m = len(self.nodes)
+        old_leaf_map = self.leaf_map()
+        # Working copies: nothing below mutates the tree until commit.
+        perm = self.perm.copy()
+        starts = np.fromiter(
+            (nd.start for nd in self.nodes), dtype=np.intp, count=m
+        )
+        ends = np.fromiter(
+            (nd.end for nd in self.nodes), dtype=np.intp, count=m
+        )
+        boxes: list[Box | None] = [None] * m
+        inherited: list[Box | None] = [None] * m
+        box_changed = np.zeros(m, dtype=bool)
+        count_changed = np.zeros(m, dtype=bool)
+        members_dirty = np.zeros(m, dtype=bool)
+        scratch = (
+            perm.nbytes + starts.nbytes + ends.nbytes
+            + old_leaf_map.nbytes + 3 * m
+        )
+
+        def bail(reason: str) -> RebinResult:
+            return RebinResult(
+                ok=False, reason=reason, scratch_bytes=int(scratch)
+            )
+
+        # BFS index order guarantees parents are visited before children,
+        # so starts/ends/inherited boxes assigned at the parent are final
+        # by the time the child is processed.
+        for index, node in enumerate(self.nodes):
+            start, end = int(starts[index]), int(ends[index])
+            count = end - start
+            if self.shrink_to_fit or index == 0:
+                box = bounding_box(new_positions[perm[start:end]])
+            else:
+                box = inherited[index]
+            boxes[index] = box
+            box_changed[index] = not (
+                np.array_equal(box.lo, node.box.lo)
+                and np.array_equal(box.hi, node.box.hi)
+            )
+            is_leaf_new = (
+                count <= self.max_leaf_size or box.extents.max() == 0.0
+            )
+            if is_leaf_new != node.is_leaf:
+                return bail(f"leaf status flipped at node {index}")
+            if is_leaf_new:
+                continue
+            if self.aspect_ratio_splitting:
+                dims = box.split_dimensions(ASPECT_RATIO_LIMIT)
+            else:
+                dims = np.array([0, 1, 2], dtype=np.intp)
+            mid = box.center
+            seg = perm[start:end]
+            pts = new_positions[seg]
+            code = np.zeros(count, dtype=np.intp)
+            for i, d in enumerate(dims):
+                code |= (pts[:, d] > mid[d]).astype(np.intp) << i
+            scratch = max(scratch, perm.nbytes + code.nbytes + pts.nbytes)
+            dc = np.diff(code)
+            in_order = bool(np.all(dc >= 0)) and bool(
+                np.all((dc > 0) | (np.diff(seg) > 0))
+            )
+            if not in_order:
+                order = np.lexsort((seg, code))
+                perm[start:end] = seg[order]
+                code = code[order]
+                members_dirty[index] = True
+            uniq, counts = np.unique(code, return_counts=True)
+            if len(uniq) != len(node.children):
+                return bail(f"child count changed at node {index}")
+            if not self.shrink_to_fit:
+                child_boxes = []
+                for c in uniq:
+                    lo = box.lo.copy()
+                    hi = box.hi.copy()
+                    for i, d in enumerate(dims):
+                        if (int(c) >> i) & 1:
+                            lo[d] = mid[d]
+                        else:
+                            hi[d] = mid[d]
+                    child_boxes.append(Box(lo, hi))
+            offset = start
+            for k, child in enumerate(node.children):
+                cnt = int(counts[k])
+                moved = (
+                    offset != self.nodes[child].start
+                    or cnt != self.nodes[child].count
+                )
+                starts[child] = offset
+                ends[child] = offset + cnt
+                count_changed[child] = cnt != self.nodes[child].count
+                members_dirty[child] = members_dirty[index] or moved
+                if not self.shrink_to_fit:
+                    inherited[child] = child_boxes[k]
+                offset += cnt
+
+        # Commit: mutate the existing TreeNode objects so every external
+        # reference to them (target batches, adapters) stays valid.
+        for index, node in enumerate(self.nodes):
+            node.start = int(starts[index])
+            node.end = int(ends[index])
+            node.box = boxes[index]
+        self.perm = perm
+        self.positions = new_positions
+        self._node_counts = None
+        new_leaf_map = self.leaf_map()
+        n_rebinned = int(np.count_nonzero(new_leaf_map != old_leaf_map))
+        return RebinResult(
+            ok=True,
+            n_rebinned=n_rebinned,
+            box_changed=box_changed,
+            count_changed=count_changed,
+            members_dirty=members_dirty,
+            scratch_bytes=int(scratch),
+        )
 
     # ------------------------------------------------------------------
     # Serialization (the "tree array" communicated over RMA, Sec. 3.1)

@@ -195,3 +195,51 @@ class TestSessionAccounting:
         assert stats["total_bytes"] >= stats["plan_bytes"]
         text = repr(live)
         assert f"plan={stats['plan_bytes']}B" in text
+
+
+class TestDynamicGeometryAcrossPickle:
+    """update_geometry composes with the pickle seam in either order."""
+
+    UPDATABLE = ("treecode", "cluster_particle", "dual_tree")
+
+    @staticmethod
+    def _drift(cube):
+        rng = np.random.default_rng(99)
+        return cube.positions + rng.normal(
+            scale=0.004, size=cube.positions.shape
+        )
+
+    @pytest.mark.parametrize("driver", UPDATABLE)
+    def test_geometry_key_changes_after_update(self, driver, cube):
+        live = _prepare(driver, "fused", cube)
+        key = live.geometry_key()
+        live.update_geometry(self._drift(cube))
+        assert live.geometry_key() != key
+
+    @pytest.mark.parametrize("driver", UPDATABLE)
+    def test_update_then_pickle_and_pickle_then_update(
+        self, driver, cube, new_charges
+    ):
+        # Both orderings must land on the live session's exact state:
+        # same geometry key, bitwise-equal applies.
+        new_pos = self._drift(cube)
+        live = _prepare(driver, "fused", cube)
+        live.apply(cube.charges)
+        pickled_first = pickle.loads(pickle.dumps(live))
+
+        live.update_geometry(new_pos)
+        pickled_first.update_geometry(new_pos)          # pickle -> update
+        updated_first = pickle.loads(pickle.dumps(live))  # update -> pickle
+
+        reference = live.apply(new_charges).potential
+        assert np.array_equal(
+            pickled_first.apply(new_charges).potential, reference
+        )
+        assert np.array_equal(
+            updated_first.apply(new_charges).potential, reference
+        )
+        assert (
+            pickled_first.geometry_key()
+            == updated_first.geometry_key()
+            == live.geometry_key()
+        )
