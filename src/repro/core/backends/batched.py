@@ -5,13 +5,16 @@ small interactions (every approximation segment of a degree-``p`` plan
 carries ``(p+1)^3`` rows).  The fused backend still walks them one group
 at a time -- a Python-loop iteration, a handful of small array calls and
 a tiny GEMV per group.  This backend consumes the plan's
-:class:`~repro.core.plan.BatchedLayout` instead: groups whose equal-kind
-segment runs share one shape are evaluated per *bucket* with stacked
-batched kernels (:meth:`~repro.kernels.base.Kernel.pairwise_batched`),
-one fancy-indexed output scatter per bucket, and no per-group Python
-iteration.  Ragged work (near-field runs with per-cluster row counts,
-sub-minimum buckets) falls back to the fused per-group arithmetic inside
-the same ``execute()``, so the whole plan runs through one backend.
+:class:`~repro.core.plan.BatchedLayout` instead: equal-kind segment runs
+are evaluated per *bucket* with stacked batched kernels
+(:meth:`~repro.kernels.base.Kernel.pairwise_batched`), one fancy-indexed
+output scatter per bucket, and no per-group Python iteration.  The near
+field -- ragged runs with per-cluster row counts -- is bucketed too,
+padded to a common source width with zero-weight repeats of real points
+(see the plan module docstring); on the default regimes over 95% of the
+plan's rows execute inside buckets (``BatchedLayout.coverage``), and
+only sub-minimum slab leftovers fall back to the fused per-group
+arithmetic inside the same ``execute()``.
 
 This is the single-core analogue of the paper's uniform cluster-kernel
 batching: the GPU gets its throughput from launching many identical

@@ -17,9 +17,18 @@ stays bounded (the same role :data:`~repro.kernels.base.DEFAULT_BLOCK_ELEMENTS`
 plays in the blocked direct sum); chunk boundaries depend only on the
 bucket shape, so repeated executions are bitwise identical.
 
-Ragged runs (unequal segment sizes, sub-minimum buckets) are evaluated
-by :func:`eval_ragged_runs` through the same per-group fused arithmetic
-as :mod:`.groupeval`, one kernel accumulation per run.
+Padded (near-field) buckets need no special casing here: their pad
+columns are real repeated coordinates, so ``pairwise_batched``'s
+per-chunk coincidence scan patches any zero-distance pair (self-target
+groups, coincident pads) to a zero kernel value exactly as it does for
+true coincidences, and the zero weight stored for every pad makes the
+non-coincident pads contribute an exact ``0.0`` to the GEMV.  Direct
+kinds therefore run through the same stacked passes as the far field.
+
+The runs the layout could not bucket profitably (pool slabs below the
+minimum entry count) are evaluated by :func:`eval_ragged_runs` through
+the same per-group fused arithmetic as :mod:`.groupeval`, one kernel
+accumulation per run -- a thin remainder, not the near-field path.
 """
 
 from __future__ import annotations

@@ -52,6 +52,13 @@ Execution model
 Device accounting is unchanged: launches are charged in bulk from the
 plan structure before the numerics start, exactly as the fused backend
 charges them, so counters and simulated time stay backend-independent.
+
+The batched layout (including its zero-weight-padded near-field
+buckets) is parent-side state and is **never shipped**: workers consume
+only the flat CSR buffers through ``eval_group_range``, so structural
+plan updates (``patch_groups``) and geometry refreshes keep shards
+coherent purely through the version-gated re-pack above -- the
+bucketing cannot go stale in a worker because no worker ever holds it.
 """
 
 from __future__ import annotations

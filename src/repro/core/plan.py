@@ -98,38 +98,66 @@ Batched (shape-bucketed) execution layout
 -----------------------------------------
 The BLTC's far field is thousands of *identically shaped* small
 interactions: every approximation segment of a degree-``p`` plan carries
-exactly ``(p+1)^3`` source rows.  ``compile_plan(..., batched=True)``
-(or :meth:`ExecutionPlan.ensure_batched_layout`, which any backend may
-call lazily) derives a :class:`BatchedLayout` from the index arrays:
-each group's equal-kind segment runs are classified by the signature
-``(n_segments, rows_per_segment, kind)``, and runs whose segments all
-share one size are collected into :class:`BatchedBucket`\\ s of uniform
-shape.  Per bucket the layout stores
+exactly ``(p+1)^3`` source rows.  The near field is *almost* uniform --
+per-cluster particle counts vary, so its runs are ragged -- but the same
+stacked-GEMM execution applies once the gathered source rows are padded
+to a common width with **zero weights**.  ``compile_plan(...,
+batched=True)`` (or :meth:`ExecutionPlan.ensure_batched_layout`, which
+any backend may call lazily) derives a :class:`BatchedLayout` covering
+both from the index arrays:
+
+* runs whose segments all share one size are classified by the
+  signature ``(n_segments, rows_per_segment, kind)`` and collected into
+  uniform :class:`BatchedBucket`\\ s, exactly as before;
+* every remaining run -- ragged near-field runs, sub-minimum uniform
+  leftovers, repeated same-signature runs of one group -- enters a
+  per-kind *padded pool*.  Pool entries are sorted by ``(m, k)`` and
+  greedily sliced into slabs: an entry joins the open slab while the
+  combined stack waste ``1 - sum(m_i k_i) / (n m_max k_max)`` stays
+  within :data:`BATCHED_MAX_SOURCE_PADDING_WASTE` (mirroring the 25%
+  target-padding rule) and no group repeats inside the slab (the
+  single fancy-indexed scatter must stay injective).  Each slab of at
+  least :data:`BATCHED_MIN_GROUPS` entries becomes a *padded* bucket;
+  smaller slabs fall back to the per-group ``ragged_runs`` list.
+
+Per bucket the layout stores
 
 * ``tgt_index`` -- a ``(G, m_max)`` target-row matrix, padded per entry
   by repeating the entry's first row (padded positions are excluded from
   the output scatter, so the duplicates are never accumulated);
-* ``src_index`` -- a ``(G, k)`` physical source-row gather matrix
-  (``k = n_segments x rows_per_segment``; resolves either source-buffer
-  layout);
+* ``src_index`` -- a ``(G, k)`` physical source-row gather matrix.
+  Padded buckets pad each entry's columns by repeating the entry's
+  *first* physical source row: a real, finite coordinate whose kernel
+  value is either finite (multiplied by weight zero -> contributes
+  exactly ``0.0``) or coincident with a target and patched to zero by
+  the kernels' noise-floor rule -- never a NaN;
+* ``src_valid`` -- the ``(G, k)`` validity mask of those columns (None
+  on uniform buckets, which carry no source padding);
 * ``out_slots`` / ``scatter_pos`` -- the flattened valid positions and
   their output slots, so a whole bucket scatters with one fancy ``+=``;
-* ``weights`` -- the ``(G, k)`` pre-gathered weight matrix.  This is the
-  one charge-dependent bucket array: :meth:`ExecutionPlan.refresh_weights`
-  rewrites it in place right after the flat buffer, so prepared sessions
-  keep working on batched plans.
+* ``weights`` -- the ``(G, k)`` (or ``(G, k, n_rhs)``) pre-gathered
+  weight matrix.  This is the one charge-dependent bucket array:
+  :meth:`ExecutionPlan.refresh_weights` rewrites it in place right
+  after the flat buffer, so prepared sessions keep working on batched
+  plans.  Padded buckets zero-fill the matrix once at allocation (and
+  again on any RHS width change) and rewrite only the valid positions
+  per refresh, so pad columns stay exactly zero forever.
 
 Memory/padding trade-off: buckets re-materialize their gathered rows as
 dense stacks (undoing the shared-source de-duplication for the batched
-portion) and pad targets up to ``m_max``.  When padding would waste more
-than :data:`BATCHED_MAX_PADDING_WASTE` of the target rows the bucket is
-split into equal-``m`` sub-buckets instead; buckets smaller than
-:data:`BATCHED_MIN_GROUPS` entries, ragged runs (unequal segment sizes,
-e.g. near-field clusters), and empty groups fall back to the per-group
-``ragged_runs`` list, which the batched backend evaluates through the
-fused per-group arithmetic.  Every ``(group, segment)`` pair lands in
-exactly one bucket entry or ragged run, so the layout is a partition of
-the plan's work; launch accounting never reads it.
+portion) and pad targets up to ``m_max``.  When target padding alone
+would waste more than :data:`BATCHED_MAX_PADDING_WASTE` of a uniform
+bucket's rows it is split into equal-``m`` sub-buckets instead; the
+padded pool bounds its combined (target + source) stack waste by the
+slab rule above.  :meth:`BatchedLayout.coverage` reports the fraction
+of plan row slots executed inside buckets (the default benchmark
+regimes sit above 0.95), :meth:`BatchedLayout.padding_waste` the
+fraction of stacked cells that is padding, and
+:meth:`BatchedLayout.padding_nbytes` the bytes those pad slots (plus
+masks and scatter maps) occupy -- surfaced per session through
+``memory_stats()``.  Every ``(group, segment)`` pair lands in exactly
+one bucket entry or ragged run, so the layout is a partition of the
+plan's work; launch accounting never reads it.
 
 Dynamic geometry and the group-patch invariants
 -----------------------------------------------
@@ -196,22 +224,33 @@ BATCHED_MAX_PADDING_WASTE = 0.25
 #: per-group path -- a one-entry "batch" only adds gather overhead.
 BATCHED_MIN_GROUPS = 2
 
+#: Maximum fraction of a padded bucket's stacked ``(m_max, k_max)``
+#: cells allowed to be padding (target pads and zero-weight source pads
+#: combined); the greedy slab partition of the ragged pool closes a
+#: bucket rather than exceed it.  Mirrors the 25% target-padding rule.
+BATCHED_MAX_SOURCE_PADDING_WASTE = 0.25
+
 
 @dataclass(frozen=True, eq=False)
 class BatchedBucket:
     """One uniform-shape bucket of the batched execution layout.
 
-    All ``n_entries`` entries share the segment signature
-    ``(n_segments, rows_per_segment, kind)``; each entry is one group's
+    Uniform buckets hold entries sharing the segment signature
+    ``(n_segments, rows_per_segment, kind)``; *padded* buckets (built
+    from the ragged pool, ``src_valid is not None``) hold equal-kind
+    runs of varying segment shapes whose gathered source rows are
+    padded to a common ``k_max`` with zero-weight repeats of each
+    entry's first source row.  Either way each entry is one group's
     equal-kind segment run, padded to ``m_max`` target rows.  The index
-    matrices are geometry; ``weights`` is the single charge-dependent
-    array and is rewritten in place by
+    matrices and the validity mask are geometry; ``weights`` is the
+    single charge-dependent array and is rewritten in place by
     :meth:`ExecutionPlan.refresh_weights`.
     """
 
     #: Segment kind this bucket evaluates ("approx", "direct", ...).
     kind: str
-    #: Segments per entry and rows per segment (the bucket signature).
+    #: Segments per entry and rows per segment (the uniform-bucket
+    #: signature; both 0 on padded buckets, whose entries mix shapes).
     n_segments: int
     rows_per_segment: int
     #: Padded target rows per entry.
@@ -231,15 +270,23 @@ class BatchedBucket:
     scatter_pos: np.ndarray | None
     #: (G, k) pre-gathered float64 weights (charge-dependent).
     weights: np.ndarray
+    #: (G, k) bool mask of the valid source columns, or None when the
+    #: bucket carries no source padding (uniform-signature buckets).
+    #: Pad columns repeat the entry's first source row and hold weight
+    #: exactly 0.0 forever.
+    src_valid: np.ndarray | None = None
     #: dtype-keyed cache of the gathered (targets, sources) stacks.
     _stacks: dict = field(default_factory=dict, repr=False)
+    #: cached flat source rows of the valid positions (padded buckets).
+    _valid_rows: np.ndarray | None = field(default=None, repr=False)
 
     def __getstate__(self):
-        # The stack cache is process-local (rebuilt on demand from the
-        # index matrices); shipping it would duplicate the geometry
-        # buffers in every pickle.
+        # The stack cache and the valid-row gather are process-local
+        # (rebuilt on demand from the index matrices); shipping them
+        # would duplicate the geometry buffers in every pickle.
         state = self.__dict__.copy()
         state["_stacks"] = {}
+        state["_valid_rows"] = None
         return state
 
     @property
@@ -252,10 +299,60 @@ class BatchedBucket:
         return int(self.src_index.shape[1])
 
     @property
+    def is_padded(self) -> bool:
+        """True for ragged-pool buckets carrying zero-weight source pads."""
+        return self.src_valid is not None
+
+    @property
     def padding_waste(self) -> float:
         """Fraction of the padded target rows that is padding."""
         total = self.n_entries * self.m_max
         return 0.0 if total == 0 else 1.0 - self.out_slots.size / total
+
+    def _entry_rows(self) -> np.ndarray:
+        """(G,) valid target rows per entry."""
+        if self.scatter_pos is None:
+            return np.full(self.n_entries, self.m_max, dtype=np.intp)
+        return np.bincount(
+            self.scatter_pos // self.m_max, minlength=self.n_entries
+        ).astype(np.intp)
+
+    def _entry_cols(self) -> np.ndarray:
+        """(G,) valid source columns per entry."""
+        if self.src_valid is None:
+            return np.full(self.n_entries, self.k, dtype=np.intp)
+        return self.src_valid.sum(axis=1).astype(np.intp)
+
+    def stack_cells(self) -> tuple[int, int]:
+        """``(real, total)`` cells of the ``(G, m_max, k)`` GEMM stack.
+
+        ``real`` counts the cells backed by actual plan work
+        (``sum m_i * k_i``); the difference is padding flops.
+        """
+        total = self.n_entries * self.m_max * self.k
+        real = int(np.dot(self._entry_rows(), self._entry_cols()))
+        return real, total
+
+    @property
+    def padding_nbytes(self) -> int:
+        """Bytes held by pad slots and padding bookkeeping.
+
+        Counts the pad entries of ``tgt_index``, ``src_index`` and
+        ``weights`` plus the ``src_valid`` mask and ``scatter_pos`` map
+        -- the memory the dense-stack trade-off costs beyond a
+        perfectly ragged gather.
+        """
+        pad_tgt = self.n_entries * self.m_max - self.out_slots.size
+        nbytes = pad_tgt * self.tgt_index.itemsize
+        if self.scatter_pos is not None:
+            nbytes += self.scatter_pos.nbytes
+        if self.src_valid is not None:
+            rhs = 1 if self.weights.ndim == 2 else int(self.weights.shape[2])
+            pad_src = self.src_valid.size - int(self._entry_cols().sum())
+            nbytes += self.src_valid.nbytes + pad_src * (
+                self.src_index.itemsize + self.weights.itemsize * rhs
+            )
+        return int(nbytes)
 
     def stacks(
         self, targets: np.ndarray, src_points: np.ndarray, dtype
@@ -284,12 +381,30 @@ class BatchedBucket:
         ``(R, n_rhs)``) re-binds the gathered matrix to the new shape
         (``(G, k)`` <-> ``(G, k, n_rhs)``); matching shapes are rewritten
         in place so cached views stay valid between same-width applies.
+
+        Padded buckets rewrite only the valid positions: the pad slots
+        were zero-filled at allocation -- and are zero-filled again
+        whenever a width change re-allocates the matrix -- so their
+        repeated source points contribute exactly ``0.0`` to every
+        stacked GEMM, across any sequence of refreshes.
         """
-        gathered = src_weights[self.src_index]
-        if gathered.shape == self.weights.shape:
-            self.weights[...] = gathered
-        else:
-            object.__setattr__(self, "weights", gathered)
+        if self.src_valid is None:
+            gathered = src_weights[self.src_index]
+            if gathered.shape == self.weights.shape:
+                self.weights[...] = gathered
+            else:
+                object.__setattr__(self, "weights", gathered)
+            return
+        shape = self.src_index.shape + src_weights.shape[1:]
+        if self.weights.shape != shape:
+            object.__setattr__(
+                self, "weights", np.zeros(shape, dtype=np.float64)
+            )
+        rows = self._valid_rows
+        if rows is None:
+            rows = self.src_index[self.src_valid]
+            object.__setattr__(self, "_valid_rows", rows)
+        self.weights[self.src_valid] = src_weights[rows]
 
     def refresh_geometry(self, out_index: np.ndarray) -> None:
         """Invalidate after an in-place plan geometry rewrite.
@@ -318,14 +433,42 @@ class BatchedLayout:
     buckets: tuple[BatchedBucket, ...]
     #: (R, 3) ``[group, seg_lo, seg_hi)`` runs on the per-group path.
     ragged_runs: np.ndarray
+    #: Target-row slots evaluated on the per-group ragged path (each
+    #: merged run counts its group's rows once).
+    ragged_rows: int = 0
 
     @property
     def n_batched_entries(self) -> int:
         return sum(b.n_entries for b in self.buckets)
 
     def batched_interactions(self) -> int:
-        """Kernel evaluations covered by buckets (valid rows x k)."""
-        return int(sum(b.out_slots.size * b.k for b in self.buckets))
+        """Plan kernel evaluations covered by buckets (valid cells only;
+        zero-weight pad columns are flops but not plan interactions)."""
+        return int(sum(b.stack_cells()[0] for b in self.buckets))
+
+    def coverage(self) -> float:
+        """Fraction of the plan's row slots executed inside buckets.
+
+        Row slots count each group's target rows once per equal-kind
+        run, matching how both the bucket entries and the ragged
+        fallback consume them; 1.0 means no ragged work is left.
+        """
+        bucketed = int(sum(b.out_slots.size for b in self.buckets))
+        total = bucketed + int(self.ragged_rows)
+        return 1.0 if total == 0 else bucketed / total
+
+    def padding_waste(self) -> float:
+        """Fraction of the buckets' stacked GEMM cells that is padding."""
+        real = total = 0
+        for b in self.buckets:
+            r, t = b.stack_cells()
+            real += r
+            total += t
+        return 0.0 if total == 0 else 1.0 - real / total
+
+    def padding_nbytes(self) -> int:
+        """Bytes spent on pad slots and padding bookkeeping (all buckets)."""
+        return int(sum(b.padding_nbytes for b in self.buckets))
 
     def refresh_weights(self, src_weights: np.ndarray) -> None:
         for bucket in self.buckets:
@@ -840,13 +983,139 @@ def _build_bucket(plan: ExecutionPlan, sig, entries) -> BatchedBucket:
     )
 
 
+def _build_padded_bucket(
+    plan: ExecutionPlan, kind: str, entries
+) -> BatchedBucket:
+    """Materialize one zero-weight-padded bucket from pool entries.
+
+    ``entries`` are ``(k, m, g, t_lo, s_lo, s_hi)`` tuples (one
+    equal-kind run each, ``k`` the run's total source rows).  Source
+    columns past an entry's ``k`` repeat the entry's first physical
+    source row -- a real coordinate, so the kernel value is finite (or
+    noise-floor patched if coincident with a target) and the zero
+    weight stored for the pad makes its contribution exactly ``0.0``.
+    """
+    n = len(entries)
+    k_sizes = np.array([e[0] for e in entries], dtype=np.intp)
+    m_sizes = np.array([e[1] for e in entries], dtype=np.intp)
+    k_max = int(k_sizes.max())
+    m_max = int(m_sizes.max())
+    tgt_index = np.empty((n, m_max), dtype=np.intp)
+    src_index = np.empty((n, k_max), dtype=np.intp)
+    seg_sizes = np.diff(plan.seg_ptr)
+    seg_src_lo = plan.seg_src_lo
+    for i, (k, m, g, t_lo, s_lo, s_hi) in enumerate(entries):
+        tgt_index[i, :m] = np.arange(t_lo, t_lo + m)
+        tgt_index[i, m:] = t_lo
+        pos = 0
+        for s in range(s_lo, s_hi):
+            lo = int(seg_src_lo[s])
+            size = int(seg_sizes[s])
+            src_index[i, pos:pos + size] = np.arange(lo, lo + size)
+            pos += size
+        src_index[i, pos:] = src_index[i, 0]
+    if int(m_sizes.min()) == m_max:
+        scatter_pos = None
+        flat_rows = tgt_index.reshape(-1)
+    else:
+        valid = np.arange(m_max)[None, :] < m_sizes[:, None]
+        scatter_pos = np.nonzero(valid.reshape(-1))[0]
+        flat_rows = tgt_index.reshape(-1)[scatter_pos]
+    if int(k_sizes.min()) == k_max:
+        # Equal-k slab: no source padding, so skip the mask entirely
+        # and let refreshes take the uniform full-gather path.
+        return BatchedBucket(
+            kind=kind,
+            n_segments=0,
+            rows_per_segment=0,
+            m_max=m_max,
+            groups=np.array([e[2] for e in entries], dtype=np.intp),
+            tgt_index=tgt_index,
+            src_index=src_index,
+            out_slots=np.ascontiguousarray(plan.out_index[flat_rows]),
+            scatter_pos=scatter_pos,
+            weights=plan.src_weights[src_index],
+        )
+    src_valid = np.arange(k_max)[None, :] < k_sizes[:, None]
+    weights = np.zeros(
+        src_index.shape + plan.src_weights.shape[1:], dtype=np.float64
+    )
+    weights[src_valid] = plan.src_weights[src_index[src_valid]]
+    return BatchedBucket(
+        kind=kind,
+        n_segments=0,
+        rows_per_segment=0,
+        m_max=m_max,
+        groups=np.array([e[2] for e in entries], dtype=np.intp),
+        tgt_index=tgt_index,
+        src_index=src_index,
+        out_slots=np.ascontiguousarray(plan.out_index[flat_rows]),
+        scatter_pos=scatter_pos,
+        weights=weights,
+        src_valid=src_valid,
+    )
+
+
+def _partition_padded_pool(entries, max_waste: float, min_groups: int):
+    """Greedy slab partition of one kind's ragged pool.
+
+    ``entries`` are ``(k, m, g, t_lo, s_lo, s_hi)`` tuples; they are
+    sorted by ``(m, k)`` so similarly shaped runs sit adjacent (target
+    counts cluster around the batch-size cap while source counts spread
+    widely, so majoring on ``m`` keeps both paddings small), then
+    sliced into slabs: an entry joins the open slab while the combined
+    stack waste ``1 - sum(m_i k_i) / (n m_max k_max)`` stays within
+    ``max_waste`` and its group is not already in the slab (the bucket
+    scatter must stay injective).  Uniform same-shape runs are the
+    zero-waste special case, so this rule subsumes an equal-``k``
+    split.  Entries stranded by a slab boundary are re-swept until no
+    new slab forms; the rest return as leftovers for the ragged path
+    (always fewer than ``min_groups`` per surviving shape).
+    """
+    slabs: list[list] = []
+    remaining = sorted(entries, key=lambda e: (e[1], e[0], e[2]))
+    while remaining:
+        leftovers: list = []
+        slab: list = []
+        groups: set = set()
+        m_max = k_max = area = 0
+
+        def flush():
+            nonlocal slab, groups, m_max, k_max, area
+            if len(slab) >= min_groups:
+                slabs.append(slab)
+            else:
+                leftovers.extend(slab)
+            slab, groups = [], set()
+            m_max = k_max = area = 0
+
+        for e in remaining:
+            k, m, g = e[0], e[1], e[2]
+            if slab:
+                nm, nk = max(m_max, m), max(k_max, k)
+                n = len(slab) + 1
+                waste = 1.0 - (area + m * k) / (n * nm * nk)
+                if g in groups or waste > max_waste:
+                    flush()
+            slab.append(e)
+            groups.add(g)
+            m_max, k_max = max(m_max, m), max(k_max, k)
+            area += m * k
+        flush()
+        if len(leftovers) == len(remaining):
+            return slabs, leftovers
+        remaining = leftovers
+    return slabs, []
+
+
 def build_batched_layout(
     plan: ExecutionPlan,
     *,
     max_padding_waste: float = BATCHED_MAX_PADDING_WASTE,
     min_bucket_groups: int = BATCHED_MIN_GROUPS,
+    max_source_padding_waste: float = BATCHED_MAX_SOURCE_PADDING_WASTE,
 ) -> BatchedLayout:
-    """Bucket the plan's equal-kind segment runs by shape signature.
+    """Bucket every equal-kind segment run of the plan, padded or not.
 
     Pure geometry: derived entirely from the index arrays, the output
     index and the gathered coordinates (the bucket weight matrices are
@@ -854,16 +1123,20 @@ def build_batched_layout(
     Runs whose segments all share one size are bucketed under
     ``(n_segments, rows_per_segment, kind)``; a bucket whose single
     ``m_max`` padding would waste more than ``max_padding_waste`` of its
-    target rows is split into equal-``m`` sub-buckets, and anything that
-    cannot be batched profitably (ragged runs, sub-minimum buckets,
-    repeated same-signature runs within one group -- which would collide
-    in the bucket's single fancy-indexed scatter) falls back to the
-    ``ragged_runs`` per-group path.
+    target rows is split into equal-``m`` sub-buckets.  Everything else
+    -- ragged runs (unequal segment sizes, the near field), sub-minimum
+    uniform leftovers, and repeated same-signature runs within one group
+    (which would collide in a bucket's single fancy-indexed scatter) --
+    enters a per-kind pool that :func:`_partition_padded_pool` slices
+    into zero-weight-padded buckets under ``max_source_padding_waste``.
+    Only pool slabs below ``min_bucket_groups`` fall back to the
+    per-group ``ragged_runs`` path.
     """
     if not plan.has_numerics:
         raise ValueError("model-only plan has no batched layout")
     seg_sizes = np.diff(plan.seg_ptr)
     by_sig: dict = {}
+    pool: dict[str, list] = {}
     ragged: list[tuple[int, int, int]] = []
     for g in range(plan.n_groups):
         t_lo = int(plan.group_ptr[g])
@@ -871,18 +1144,23 @@ def build_batched_layout(
         for kind, s_lo, s_hi in plan.group_kind_runs(g):
             sizes = seg_sizes[s_lo:s_hi]
             size0 = int(sizes[0])
-            if m == 0 or int(sizes.sum()) == 0:
+            k_total = int(sizes.sum())
+            if m == 0 or k_total == 0:
                 continue  # no targets or no sources: contributes nothing
             if size0 == 0 or not np.all(sizes == size0):
-                ragged.append((g, s_lo, s_hi))
+                pool.setdefault(kind, []).append(
+                    (k_total, m, g, t_lo, s_lo, s_hi)
+                )
                 continue
             sig = (s_hi - s_lo, size0, kind)
             entries = by_sig.setdefault(sig, [])
             if entries and entries[-1][0] == g:
                 # A second same-signature run of this group (interleaved
-                # kinds) would duplicate output slots within one bucket
-                # scatter; keep the bucket injective per group.
-                ragged.append((g, s_lo, s_hi))
+                # kinds) cannot share the first run's bucket scatter;
+                # the pool's per-slab group guard handles it instead.
+                pool.setdefault(kind, []).append(
+                    (k_total, m, g, t_lo, s_lo, s_hi)
+                )
                 continue
             entries.append((g, t_lo, m, s_lo, s_hi))
     buckets = []
@@ -900,9 +1178,21 @@ def build_batched_layout(
             partitions = [entries]
         for part in partitions:
             if len(part) < min_bucket_groups:
-                ragged.extend((g, s_lo, s_hi) for g, _, _, s_lo, s_hi in part)
+                # Too few same-shape runs to stack alone; let the padded
+                # pool absorb them next to similarly sized ragged work.
+                pool.setdefault(sig[2], []).extend(
+                    (sig[0] * sig[1], pm, g, pt_lo, s_lo, s_hi)
+                    for g, pt_lo, pm, s_lo, s_hi in part
+                )
             else:
                 buckets.append(_build_bucket(plan, sig, part))
+    for kind in sorted(pool):
+        slabs, leftovers = _partition_padded_pool(
+            pool[kind], max_source_padding_waste, min_bucket_groups
+        )
+        for slab in slabs:
+            buckets.append(_build_padded_bucket(plan, kind, slab))
+        ragged.extend((e[2], e[4], e[5]) for e in leftovers)
     ragged.sort()
     # Merge segment-adjacent runs of one group: a group none of whose
     # runs bucketed then costs exactly one fused-style accumulation
@@ -917,6 +1207,7 @@ def build_batched_layout(
     return BatchedLayout(
         buckets=tuple(buckets),
         ragged_runs=np.array(merged, dtype=np.intp).reshape(-1, 3),
+        ragged_rows=int(sum(plan.group_size(g) for g, _, _ in merged)),
     )
 
 

@@ -433,7 +433,10 @@ class SessionCore:
         cached cluster grids, basis matrices and modified charges;
         ``update_scratch_bytes`` the incremental-update working state
         (traversal decision record + re-bin scratch; 0 until the first
-        ``update_geometry``).
+        ``update_geometry``); ``batched_pad_bytes`` the padding
+        overhead of the batched layout's zero-weight-padded buckets
+        (pad index/weight slots, validity masks, scatter maps; 0 when
+        no layout is attached).
         """
         plan = self.plan
         plan_bytes = 0
@@ -458,15 +461,20 @@ class SessionCore:
             for basis in moments.basis.values():
                 moment_bytes += int(sum(b.nbytes for b in basis))
         update_bytes = int(getattr(self, "update_scratch_bytes", 0))
+        pad_bytes = (
+            0 if plan.batched_layout is None
+            else int(plan.batched_layout.padding_nbytes())
+        )
         return {
             "plan_bytes": plan_bytes,
             "weight_slot_bytes": weight_bytes,
             "shipment_bytes": shipment_bytes,
             "moment_bytes": moment_bytes,
             "update_scratch_bytes": update_bytes,
+            "batched_pad_bytes": pad_bytes,
             "total_bytes": (
                 plan_bytes + weight_bytes + shipment_bytes + moment_bytes
-                + update_bytes
+                + update_bytes + pad_bytes
             ),
         }
 
@@ -479,5 +487,6 @@ def format_memory_stats(stats: dict) -> str:
         f"weights={stats['weight_slot_bytes']}B "
         f"shipments={stats['shipment_bytes']}B "
         f"moments={stats['moment_bytes']}B "
-        f"update={stats.get('update_scratch_bytes', 0)}B"
+        f"update={stats.get('update_scratch_bytes', 0)}B "
+        f"pad={stats.get('batched_pad_bytes', 0)}B"
     )

@@ -441,12 +441,14 @@ class RadialKernel(Kernel):
         scale = float(t2.max(initial=0.0) + s2.max(initial=0.0))
         noise_floor = 16.0 * np.finfo(r2.dtype).eps * max(scale, 1e-300)
         if r2.ndim >= 3 and float(r2.min(initial=np.inf)) > noise_floor:
-            # Stacked (batched) blocks are predominantly far-field, where
-            # no pair can sit at the coincidence floor: one min-reduce
-            # then replaces the bool materialization + index scan.  The
-            # outcome is identical (nonzero would have found nothing);
-            # the 2-D fused path keeps the single-pass scan, since
-            # near-field groups routinely do contain their own targets.
+            # Far-field stacked (batched) chunks have no pair at the
+            # coincidence floor: one min-reduce then replaces the bool
+            # materialization + index scan with an identical outcome
+            # (nonzero would have found nothing).  Near-field (direct)
+            # stacked chunks -- self-target groups, coincident
+            # zero-weight pad rows -- fail the min test and take the
+            # full scan below, exactly like the 2-D fused path, whose
+            # groups routinely contain their own targets.
             empty = np.empty(0, dtype=np.intp)
             return r2, (empty,) * r2.ndim
         return r2, np.nonzero(r2 <= noise_floor)

@@ -235,6 +235,41 @@ class TestMultiStepStress:
             assert np.array_equal(warm.potential, cold.potential)
         assert seen_incremental and seen_rebuild and seen_noop
 
+    def test_mixed_steps_batched_near_field_buckets(self, cube):
+        # Regression for the full-plan bucketed layout: a trajectory
+        # mixing incremental patches and full rebuilds must keep the
+        # zero-weight-padded near-field buckets coherent -- every warm
+        # apply bitwise equal to a cold prepare, with direct-kind
+        # buckets actually present (the self-target cube is
+        # near-field-heavy at this theta).
+        rng = np.random.default_rng(23)
+        params = _params(backend="batched", batched=True)
+        drv = BarycentricTreecode(CoulombKernel(), params)
+        sess = drv.prepare(cube)
+        sess.apply(cube.charges)
+        pos = cube.positions.copy()
+        seen_incremental = seen_rebuild = False
+        for scale in [0.002, 0.01, 0.2, 0.002, 0.05]:
+            pos = _drift(rng, pos, scale)
+            result = sess.update_geometry(pos)
+            seen_incremental |= not result.rebuilt and not result.noop
+            seen_rebuild |= result.rebuilt
+            layout = sess.plan.batched_layout
+            assert layout is not None
+            assert any(
+                b.kind == "direct" for b in layout.buckets
+            ), "near field must stay bucketed across updates"
+            for b in layout.buckets:
+                if b.src_valid is not None:
+                    assert np.all(b.weights[~b.src_valid] == 0.0)
+            warm = sess.apply(cube.charges)
+            cold = drv.prepare(ParticleSet(pos, cube.charges)).apply(
+                cube.charges
+            )
+            assert np.array_equal(warm.potential, cold.potential)
+            assert np.isfinite(warm.potential).all()
+        assert seen_incremental and seen_rebuild
+
 
 class TestExtensions:
     """Sec. 5 sessions update through the rebuild-based path."""

@@ -201,11 +201,45 @@ class TestWeightStateTransitions:
         prep.apply(charge_block)
         assert all(b.weights.ndim == 3 for b in layout.buckets)
         for b in layout.buckets:
-            np.testing.assert_array_equal(
-                b.weights, prep.plan.src_weights[b.src_index]
-            )
+            expect = prep.plan.src_weights[b.src_index]
+            if b.src_valid is not None:
+                # Padded buckets: pad columns stay exactly zero in
+                # every RHS column across the width change.
+                expect = np.where(b.src_valid[..., None], expect, 0.0)
+            np.testing.assert_array_equal(b.weights, expect)
         prep.apply(np.ascontiguousarray(charge_block[:, 0]))
         assert all(b.weights.ndim == 2 for b in layout.buckets)
+
+    def test_padded_near_field_16_column_block_bitwise(self, cube):
+        # (N, 16) blocks through zero-weight-padded near-field buckets:
+        # per-column bitwise vs solo applies, including a 1 -> 16 -> 1
+        # width toggle that must re-zero the pad rows on every
+        # re-allocation.
+        params = _params(
+            theta=0.6, max_leaf_size=60, max_batch_size=60,
+            backend="batched", batched=True,
+        )
+        prep = BarycentricTreecode(CoulombKernel(), params).prepare(cube)
+        layout = prep.plan.batched_layout
+        padded = [b for b in layout.buckets if b.src_valid is not None]
+        assert padded, "regime must produce padded near-field buckets"
+        rng = np.random.default_rng(77)
+        block = rng.uniform(-1.0, 1.0, (N, 16))
+        solos = [
+            prep.apply(np.ascontiguousarray(block[:, j])).potential
+            for j in range(16)
+        ]
+        blocked = prep.apply(block)
+        for j in range(16):
+            np.testing.assert_array_equal(blocked.potential[:, j], solos[j])
+        for b in padded:
+            assert b.weights.ndim == 3
+            assert np.all(b.weights[~b.src_valid] == 0.0)
+        back = prep.apply(np.ascontiguousarray(block[:, 0]))
+        np.testing.assert_array_equal(back.potential, solos[0])
+        for b in padded:
+            assert b.weights.ndim == 2
+            assert np.all(b.weights[~b.src_valid] == 0.0)
 
     def test_multiproc_shipment_repacked_not_leaked(self, cube, charge_block):
         from repro import MultiprocessingBackend
