@@ -1,0 +1,220 @@
+"""Fault-recovery overhead: what one worker crash costs an apply.
+
+The fault-tolerant execution layer promises that a worker crash in the
+middle of a multiprocessing apply is invisible to the caller except in
+wall-clock: the pool is rebuilt, the SHM shipment re-packed and every
+shard re-run, with bitwise-identical results.  This benchmark measures
+that promise's price on a warm prepared session:
+
+* ``clean`` -- an uninterrupted sharded apply (the baseline);
+* ``crash_recover`` -- the same apply with one injected worker crash
+  (``mp_worker_crash``), so the wall-clock includes one pool teardown,
+  one shipment re-pack and a full shard re-run;
+* ``degraded`` -- the apply after bounded recovery was exhausted and
+  the session fell back to the fused backend (the keep-serving path).
+
+Rows additionally record the health counters so the JSON can assert the
+recovery really happened (exactly one rebuild for ``crash_recover``)
+and stayed bitwise.
+
+Scales: ``quick`` (default) runs N=6k; ``smoke`` (CI) shrinks N but
+keeps every assertion.
+"""
+
+import time
+import warnings
+
+import numpy as np
+import pytest
+
+from conftest import bench_scale, write_json, write_result
+from repro import BarycentricTreecode, CoulombKernel, TreecodeParams, random_cube
+from repro.analysis import format_table
+from repro.core.backends.multiproc import (
+    MultiprocessingBackend,
+    audit_shared_memory,
+)
+from repro.core.resilience import RetryPolicy, configure_faults
+from repro.errors import BackendDegradedWarning
+
+SMOKE = bench_scale() == "smoke"
+
+N = 2_000 if SMOKE else 6_000
+THETA, DEGREE, LEAF = 0.8, 3, 60
+ROUNDS = 2
+
+
+def _session(backend):
+    params = TreecodeParams(
+        theta=THETA, degree=DEGREE, max_leaf_size=LEAF, max_batch_size=LEAF,
+        backend=backend,
+    )
+    return BarycentricTreecode(CoulombKernel(), params).prepare(
+        random_cube(N, seed=920)
+    )
+
+
+def _best_apply(prepared, charges, fault=None):
+    best = float("inf")
+    result = None
+    for _ in range(ROUNDS):
+        configure_faults(fault)
+        t0 = time.perf_counter()
+        result = prepared.apply(charges)
+        best = min(best, time.perf_counter() - t0)
+    configure_faults(None)
+    return best, result
+
+
+@pytest.fixture(scope="module")
+def fault_recovery_sweep():
+    rows = []
+    charges = random_cube(N, seed=921).charges
+    backend = MultiprocessingBackend(
+        n_workers=2, min_parallel_rows=1, retry=RetryPolicy(backoff=0.0)
+    )
+    try:
+        prepared = _session(backend)
+        prepared.apply(charges)  # warm: pool forked, shipment packed
+
+        clean_s, clean = _best_apply(prepared, charges)
+        rebuilds_before = prepared.health_stats()["pool_rebuilds"]
+        crash_s, crashed = _best_apply(
+            prepared, charges, "mp_worker_crash:shard=0:times=1"
+        )
+        health = prepared.health_stats()
+        rows.append(
+            {
+                "scenario": "clean",
+                "n": N,
+                "seconds": clean_s,
+                "overhead_x": 1.0,
+                "bitwise_equal": True,
+                "pool_rebuilds": rebuilds_before,
+            }
+        )
+        rows.append(
+            {
+                "scenario": "crash_recover",
+                "n": N,
+                "seconds": crash_s,
+                "overhead_x": crash_s / clean_s,
+                "bitwise_equal": bool(
+                    np.array_equal(clean.potential, crashed.potential)
+                ),
+                # ROUNDS timed applies, one injected crash each round.
+                "pool_rebuilds": health["pool_rebuilds"] - rebuilds_before,
+            }
+        )
+        assert audit_shared_memory()["orphans"] == []
+    finally:
+        configure_faults(None)
+        backend.close()
+
+    backend2 = MultiprocessingBackend(
+        n_workers=2, min_parallel_rows=1, retry=RetryPolicy(backoff=0.0)
+    )
+    try:
+        prepared = _session(backend2)
+        prepared.apply(charges)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", BackendDegradedWarning)
+            configure_faults("mp_worker_crash:times=99")
+            t0 = time.perf_counter()
+            degraded = prepared.apply(charges)
+            first_degraded_s = time.perf_counter() - t0
+            configure_faults(None)
+            # Sticky fallback: later applies skip the broken pool.
+            sticky_s, sticky = _best_apply(prepared, charges)
+        rows.append(
+            {
+                "scenario": "degraded",
+                "n": N,
+                "seconds": sticky_s,
+                "overhead_x": sticky_s / rows[0]["seconds"],
+                "bitwise_equal": bool(
+                    np.array_equal(degraded.potential, sticky.potential)
+                ),
+                "pool_rebuilds": prepared.health_stats()["pool_rebuilds"],
+            }
+        )
+        rows.append(
+            {
+                "scenario": "degrade_transition",
+                "n": N,
+                "seconds": first_degraded_s,
+                "overhead_x": first_degraded_s / rows[0]["seconds"],
+                "bitwise_equal": True,
+                "pool_rebuilds": prepared.health_stats()["pool_rebuilds"],
+            }
+        )
+        assert prepared.health_stats()["degraded_to"] == "fused"
+    finally:
+        configure_faults(None)
+        backend2.close()
+    return rows
+
+
+def test_fault_recovery_regenerate(benchmark, fault_recovery_sweep, results_dir):
+    rows = benchmark.pedantic(
+        lambda: fault_recovery_sweep, rounds=1, iterations=1
+    )
+    headers = [
+        "scenario", "N", "apply (s)", "overhead", "bitwise", "rebuilds",
+    ]
+    table = [
+        [
+            r["scenario"], r["n"], f"{r['seconds']:.3f}",
+            f"{r['overhead_x']:.2f}x", str(r["bitwise_equal"]),
+            r["pool_rebuilds"],
+        ]
+        for r in rows
+    ]
+    text = format_table(
+        headers,
+        table,
+        title=(
+            "Fault recovery -- warm multiprocessing session, wall-clock of "
+            "one apply (min of 2 rounds; crash_recover injects one worker "
+            "crash per round, degraded serves from the fused fallback)"
+        ),
+    )
+    write_result(results_dir, "fault_recovery.txt", text)
+    write_json(
+        results_dir,
+        "BENCH_fault_recovery.json",
+        [
+            {
+                "scenario": r["scenario"],
+                "n": r["n"],
+                "seconds": round(r["seconds"], 6),
+                "overhead_x": round(r["overhead_x"], 4),
+                "bitwise_equal": r["bitwise_equal"],
+                "pool_rebuilds": r["pool_rebuilds"],
+            }
+            for r in rows
+        ],
+    )
+
+
+def test_crash_recovery_is_bitwise(fault_recovery_sweep):
+    """The recovered apply returns exactly the uninterrupted bits."""
+    row = next(
+        r for r in fault_recovery_sweep if r["scenario"] == "crash_recover"
+    )
+    assert row["bitwise_equal"], row
+    assert row["pool_rebuilds"] == ROUNDS, row
+
+
+def test_recovery_overhead_is_bounded(fault_recovery_sweep):
+    """One crash must not cost more than a few clean applies: the retry
+    re-runs every shard once, plus pool fork + re-pack overhead."""
+    clean = next(
+        r for r in fault_recovery_sweep if r["scenario"] == "clean"
+    )
+    crash = next(
+        r for r in fault_recovery_sweep if r["scenario"] == "crash_recover"
+    )
+    assert crash["seconds"] < 20.0 * max(clean["seconds"], 0.05), (
+        clean, crash,
+    )

@@ -99,6 +99,17 @@ class TreecodeParams:
     #: ``0.0`` rebuilds on any membership change; ``1.0`` never rebuilds
     #: on drift alone (structural bail-outs still force a rebuild).
     rebuild_threshold: float = 0.25
+    #: Failure handling for prepared-session applies.  ``"degrade"``
+    #: (the default) lets the session fall back along the backend
+    #: chain (``"multiprocessing"`` -> ``"fused"`` -> ``"numpy"``;
+    #: ``"numba"``/``"cupy"``/``"batched"`` degrade to ``"fused"``)
+    #: when a backend fails or cannot be resolved in this process --
+    #: one :class:`~repro.errors.BackendDegradedWarning` per
+    #: transition, the event recorded in ``health_stats()``, results
+    #: still correct.  ``"strict"`` restores raise-on-failure: the
+    #: structured error (e.g. :class:`~repro.errors.WorkerCrashError`
+    #: with the original cause chained) propagates to the caller.
+    fallback: str = "degrade"
 
     def __post_init__(self) -> None:
         if self.shared_sources is not None:
@@ -124,6 +135,11 @@ class TreecodeParams:
             raise ValueError(
                 "rebuild_threshold must lie in [0, 1], got "
                 f"{self.rebuild_threshold}"
+            )
+        if self.fallback not in ("degrade", "strict"):
+            raise ValueError(
+                'fallback must be "degrade" or "strict", got '
+                f"{self.fallback!r}"
             )
         if self.dtype not in (np.float32, np.float64):
             raise ValueError(

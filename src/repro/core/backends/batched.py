@@ -36,6 +36,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ...errors import BackendExecutionError
+from ..resilience import get_fault_injector
 from .base import Backend, charge_plan_launches
 from .batcheval import eval_bucket, eval_ragged_runs
 from .groupeval import eval_group_range, plan_arrays
@@ -97,7 +99,18 @@ class BatchedBackend(Backend):
             if forces is not None and f_rows is not None:
                 forces[idx] += f_rows
             return out, forces
-        layout = plan.ensure_batched_layout()
+        try:
+            if get_fault_injector().fire("batched_layout") is not None:
+                raise RuntimeError("injected fault: batched_layout")
+            layout = plan.ensure_batched_layout()
+        except Exception as exc:
+            # A failed (lazy) layout build is recoverable: the fused
+            # arithmetic evaluates the same plan, so surface the
+            # structured error and let the session degrade.
+            raise BackendExecutionError(
+                f"building the batched execution layout failed: {exc}",
+                backend=self.name,
+            ) from exc
         for bucket in layout.buckets:
             eval_bucket(
                 bucket, arrays["targets"], arrays["src_points"],

@@ -59,23 +59,60 @@ only the flat CSR buffers through ``eval_group_range``, so structural
 plan updates (``patch_groups``) and geometry refreshes keep shards
 coherent purely through the version-gated re-pack above -- the
 bucketing cannot go stale in a worker because no worker ever holds it.
+
+Crash recovery / re-pack protocol
+---------------------------------
+A long-running session must survive a dying worker, so shard execution
+runs under a bounded :class:`~repro.core.resilience.RetryPolicy`:
+
+1. A ``BrokenProcessPool`` (a worker crashed mid-shard) or a shard
+   timeout (``RetryPolicy.timeout``; a worker hung) aborts the apply's
+   collection loop before any partial result is accumulated -- shard
+   results only ever merge after *all* futures resolved, so a recovered
+   apply is bitwise-identical to an uninterrupted one by construction.
+2. ``_recover`` tears the broken pool down (``shutdown(wait=False,
+   cancel_futures=True)``), **unlinks the plan's SHM shipment** (a dead
+   worker may have held an attachment; re-packing from the parent's
+   plan buffers is the only state that needs to survive), reclaims any
+   orphaned blocks via :func:`audit_shared_memory`, and counts the
+   rebuild in :meth:`MultiprocessingBackend.health_stats`.
+3. The retry re-packs the shipment lazily, rebuilds the pool on first
+   submit and re-runs *all* shards.  After ``RetryPolicy.max_attempts``
+   total attempts a :class:`~repro.errors.WorkerCrashError` escapes
+   with the original failure chained; the instance marks itself
+   unhealthy so by-name registry lookups hand out a fresh one, and the
+   session core degrades along its fallback chain.
+
+Every SHM block this process creates is tracked in a module-level
+registry; :func:`audit_shared_memory` inventories the live blocks and
+(with ``reclaim=True``) unlinks orphans whose owning shipment died
+without running its finalizer.  An ``atexit`` hook performs a final
+sweep so no ``/dev/shm`` block outlives the interpreter.  Faults are
+injectable deterministically through :mod:`repro.core.resilience`
+(``REPRO_FAULT="mp_worker_crash:shard=2:times=1"``), so all of the
+above is CI-testable without racing ``kill`` against the pool.
 """
 
 from __future__ import annotations
 
+import atexit
 import os
 import pickle
 import threading
 import time
 import weakref
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 
 import numpy as np
 
+from ...errors import ShipmentError, WorkerCrashError
+from ..resilience import RetryPolicy, get_fault_injector
 from .base import Backend, charge_plan_launches
 from .groupeval import eval_group_range, plan_arrays
 
-__all__ = ["MultiprocessingBackend"]
+__all__ = ["MultiprocessingBackend", "audit_shared_memory"]
 
 #: Below this many logical source rows the pool overhead dwarfs the
 #: work; the backend computes inline (same arithmetic, same results).
@@ -99,6 +136,89 @@ class _PlanCost:
 
 
 # ----------------------------------------------------------------------
+# Shared-memory block accounting: every block this process creates is
+# registered here so leaks are auditable (and reclaimable) even when a
+# shipment's finalizer never ran (a crashed apply, a hard interpreter
+# teardown ordering).
+# ----------------------------------------------------------------------
+
+#: SHM block name -> weakref to the owning :class:`_Shipment`.
+_SHM_BLOCKS: dict = {}
+_SHM_BLOCKS_LOCK = threading.Lock()
+
+
+def _register_block(name: str, ship: "_Shipment") -> None:
+    with _SHM_BLOCKS_LOCK:
+        _SHM_BLOCKS[name] = weakref.ref(ship)
+
+
+def _unregister_block(name: str) -> None:
+    with _SHM_BLOCKS_LOCK:
+        _SHM_BLOCKS.pop(name, None)
+
+
+def audit_shared_memory(*, reclaim: bool = False) -> dict:
+    """Inventory the SHM blocks this process created and still owns.
+
+    Returns ``{"live": [{"name", "size"}...], "live_bytes", "orphans",
+    "reclaimed"}``.  A block is *live* while its owning shipment still
+    holds it; it is an *orphan* when the shipment died (or was closed)
+    without the block being unlinked -- which the shipment finalizers
+    normally prevent, so a non-empty ``orphans`` list is itself a
+    finding.  With ``reclaim=True`` orphaned blocks are unlinked on the
+    spot (counted in ``"reclaimed"``); the pool-rebuild path and the
+    interpreter-exit hook both sweep with it so a worker crash can
+    never strand ``/dev/shm`` segments.
+    """
+    with _SHM_BLOCKS_LOCK:
+        items = list(_SHM_BLOCKS.items())
+    live, orphans = [], []
+    for name, ref in items:
+        ship = ref()
+        shm = None if ship is None else ship.shm
+        if shm is not None and shm.name == name:
+            live.append({"name": name, "size": int(shm.size)})
+        else:
+            orphans.append(name)
+    reclaimed = 0
+    if reclaim and orphans:
+        from multiprocessing import shared_memory
+
+        for name in orphans:
+            _unregister_block(name)
+            try:
+                blk = shared_memory.SharedMemory(name=name)
+            except (FileNotFoundError, OSError):
+                continue  # already gone: nothing leaked
+            try:
+                blk.close()
+                blk.unlink()
+                reclaimed += 1
+            except OSError:  # pragma: no cover - raced unlink
+                pass
+    return {
+        "live": live,
+        "live_bytes": sum(b["size"] for b in live),
+        "orphans": orphans,
+        "reclaimed": reclaimed,
+    }
+
+
+def _reclaim_at_exit() -> None:  # pragma: no cover - interpreter exit
+    """Final sweep: unlink every block this process still owns."""
+    with _SHM_BLOCKS_LOCK:
+        items = list(_SHM_BLOCKS.items())
+    for _, ref in items:
+        ship = ref()
+        if ship is not None:
+            ship.close()
+    audit_shared_memory(reclaim=True)
+
+
+atexit.register(_reclaim_at_exit)
+
+
+# ----------------------------------------------------------------------
 # Plan shipping: the flat buffers packed into one shared-memory block.
 # ----------------------------------------------------------------------
 
@@ -110,6 +230,9 @@ def _pack_shipment(plan):
     name, everything a worker needs to rebuild read-only views.  Falls
     back to ``None`` (pickle shipping) when shared memory is unusable.
     """
+    injector = get_fault_injector()
+    if injector.fire("shipment_pack_fatal") is not None:
+        raise OSError("injected fault: shipment_pack_fatal")
     arrays = {
         field: np.ascontiguousarray(arr)
         for field, arr in plan_arrays(plan).items()
@@ -120,8 +243,10 @@ def _pack_shipment(plan):
     try:
         from multiprocessing import shared_memory
 
+        if injector.fire("shipment_pack") is not None:
+            raise OSError("injected fault: shipment_pack")
         shm = shared_memory.SharedMemory(create=True, size=total)
-    except (ImportError, OSError):  # pragma: no cover - no /dev/shm
+    except (ImportError, OSError):
         return None, None
     layout = {}
     offset = 0
@@ -155,7 +280,8 @@ class _Shipment:
     """
 
     __slots__ = (
-        "shm", "spec", "payload", "version", "geom_version", "struct_version"
+        "shm", "spec", "payload", "version", "geom_version",
+        "struct_version", "__weakref__",
     )
 
     def __init__(
@@ -168,6 +294,18 @@ class _Shipment:
         self.version = version
         self.geom_version = geom_version
         self.struct_version = struct_version
+        if shm is not None:
+            _register_block(shm.name, self)
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` already released this shipment's state.
+
+        A closed shipment must never be handed to workers: its SHM
+        block is unlinked and its payload dropped.  The shipment cache
+        re-packs when it finds one (``close()`` -> ``apply()`` safety).
+        """
+        return self.shm is None and self.payload is None
 
     @classmethod
     def pack(cls, plan, *, use_shared_memory: bool) -> "_Shipment":
@@ -218,6 +356,7 @@ class _Shipment:
         """Release the block (idempotent; safe from a GC finalizer)."""
         shm, self.shm = self.shm, None
         if shm is not None:
+            _unregister_block(shm.name)
             try:
                 shm.close()
                 shm.unlink()
@@ -245,7 +384,9 @@ def _attach_shipment(spec):
     return shm, arrays
 
 
-def _worker_run(spec, payload, kernel, dtype, compute_forces, g_lo, g_hi):
+def _worker_run(
+    spec, payload, kernel, dtype, compute_forces, g_lo, g_hi, fault=None
+):
     """Pool entry point: attach (or unpickle) the plan, run one shard.
 
     The shard arithmetic is :func:`.groupeval.eval_group_range` -- the
@@ -254,7 +395,19 @@ def _worker_run(spec, payload, kernel, dtype, compute_forces, g_lo, g_hi):
     unpickle overhead excluded -- it is per-shard-constant, not
     per-group) is appended to the result tuple so the parent's adaptive
     shard sizing learns the measured per-group cost.
+
+    ``fault`` is the parent-decided injection token (deterministic:
+    the parent's injector matched this shard): ``("crash", _)`` kills
+    the process before the shipment is touched -- the real-worker-death
+    path, surfacing parent-side as ``BrokenProcessPool`` -- and
+    ``("hang", seconds)`` sleeps first, exercising the shard timeout.
     """
+    if fault is not None:
+        kind, arg = fault
+        if kind == "crash":
+            os._exit(17)
+        elif kind == "hang":
+            time.sleep(arg)
     if spec is None:
         arrays = pickle.loads(payload)
         t0 = time.perf_counter()
@@ -299,6 +452,11 @@ class MultiprocessingBackend(Backend):
         default).  ``False`` keeps the purely modeled
         interaction-count split.
     shard_ewma_alpha : weight of the newest observation in the EWMA.
+    retry : bounded-recovery policy for worker crashes and hangs (see
+        the module docstring's crash-recovery protocol); defaults to
+        ``RetryPolicy()`` -- 3 total attempts, exponential backoff, no
+        shard timeout.  ``RetryPolicy(timeout=...)`` additionally
+        bounds how long one apply waits on its shard futures.
     """
 
     name = "multiprocessing"
@@ -315,6 +473,7 @@ class MultiprocessingBackend(Backend):
         min_parallel_rows: int = MIN_PARALLEL_ROWS,
         adaptive_shards: bool = True,
         shard_ewma_alpha: float = 0.5,
+        retry: RetryPolicy | None = None,
     ) -> None:
         if n_workers is not None and n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
@@ -327,6 +486,14 @@ class MultiprocessingBackend(Backend):
         self.min_parallel_rows = int(min_parallel_rows)
         self.adaptive_shards = bool(adaptive_shards)
         self.shard_ewma_alpha = float(shard_ewma_alpha)
+        self.retry = retry if retry is not None else RetryPolicy()
+        #: Recovery counters surfaced through :meth:`health_stats`.
+        self._health = {"retries": 0, "pool_rebuilds": 0, "last_error": None}
+        #: Set when bounded recovery was exhausted: the instance keeps
+        #: working (the next apply still tries) but :meth:`is_healthy`
+        #: reports False so by-name registry lookups -- e.g. a session
+        #: restored from a pickle -- get a fresh instance instead.
+        self._poisoned = False
         #: plan -> _PlanCost (modeled per-group cost + learned rates).
         self._cost_state: "weakref.WeakKeyDictionary" = (
             weakref.WeakKeyDictionary()
@@ -361,15 +528,48 @@ class MultiprocessingBackend(Backend):
         for ship in ships:
             ship.close()
 
+    # -- health ---------------------------------------------------------
+    def health_stats(self) -> dict:
+        """Recovery counters: retries, pool rebuilds, last error seen."""
+        return dict(self._health)
+
+    def is_healthy(self) -> bool:
+        """False once bounded recovery was exhausted (pool poisoned).
+
+        :func:`repro.registry.shared_backend_instance` consults this so
+        a session resolving the backend by name -- e.g. one restored
+        from a pickle -- transparently gets a fresh healthy instance
+        instead of the broken shared one.
+        """
+        return not self._poisoned
+
     # -- shipment cache -------------------------------------------------
+    def _pack_checked(self, plan) -> _Shipment:
+        """Pack a fresh shipment; unexpected failures become
+        :class:`~repro.errors.ShipmentError` (the pickle fallback
+        absorbs *expected* SHM unavailability before this point)."""
+        try:
+            return _Shipment.pack(
+                plan, use_shared_memory=self.use_shared_memory
+            )
+        except Exception as exc:
+            raise ShipmentError(
+                f"packing the plan shipment failed: {exc}",
+                backend=self.name,
+            ) from exc
+
     def _get_shipment(self, plan) -> _Shipment:
         """The plan's cached shipment, weight-refreshed if stale."""
         with self._ship_lock:
             ship = self._shipments.get(plan)
+            if ship is not None and ship.closed:
+                # close() -> apply() safety: a shipment released behind
+                # the cache's back (backend close, recovery teardown,
+                # a finalizer) must never reach a worker -- its block
+                # is unlinked.  Drop the stale entry and re-pack.
+                ship = None
             if ship is None:
-                ship = _Shipment.pack(
-                    plan, use_shared_memory=self.use_shared_memory
-                )
+                ship = self._pack_checked(plan)
                 self._shipments[plan] = ship
                 # Unlink the block when the plan is collected; the
                 # finalizer holds the shipment, not the plan.
@@ -381,9 +581,7 @@ class MultiprocessingBackend(Backend):
                 # region, so unlink it and re-pack wholesale (no leaked
                 # block; the new shipment gets its own plan finalizer).
                 ship.close()
-                ship = _Shipment.pack(
-                    plan, use_shared_memory=self.use_shared_memory
-                )
+                ship = self._pack_checked(plan)
                 self._shipments[plan] = ship
                 weakref.finalize(plan, ship.close)
                 return ship
@@ -399,9 +597,7 @@ class MultiprocessingBackend(Backend):
                     # it and re-pack wholesale (no leaked block; the new
                     # shipment gets its own plan finalizer).
                     ship.close()
-                    ship = _Shipment.pack(
-                        plan, use_shared_memory=self.use_shared_memory
-                    )
+                    ship = self._pack_checked(plan)
                     self._shipments[plan] = ship
                     weakref.finalize(plan, ship.close)
                 else:
@@ -559,22 +755,97 @@ class MultiprocessingBackend(Backend):
         return out, forces
 
     def _run_sharded(self, plan, kernel, dtype, compute_forces, shards):
+        """Submit all shards and collect results, recovering from a
+        broken or hung pool under the retry policy.
+
+        Shard results only merge into the output after *every* future
+        resolved, so a recovered apply (pool torn down, shipment
+        unlinked and re-packed, all shards re-run) returns exactly the
+        bits an uninterrupted apply would have.
+        """
+        policy = self.retry
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                return self._submit_shards(
+                    plan, kernel, dtype, compute_forces, shards
+                )
+            except (BrokenProcessPool, FutureTimeoutError, OSError) as exc:
+                self._health["last_error"] = f"{type(exc).__name__}: {exc}"
+                # Tear down + reclaim even when out of attempts: the
+                # escaping error must not leave a broken pool or an SHM
+                # block attached to dead workers behind.
+                self._recover(plan)
+                if attempt >= policy.max_attempts:
+                    self._poisoned = True
+                    raise WorkerCrashError(
+                        f"multiprocessing pool failed {attempt} time(s) "
+                        f"executing the plan (last: {self._health['last_error']}); "
+                        "recovery attempts exhausted",
+                        backend=self.name,
+                        attempts=attempt,
+                    ) from exc
+                self._health["retries"] += 1
+                delay = policy.delay(attempt)
+                if delay > 0.0:
+                    time.sleep(delay)
+
+    def _submit_shards(self, plan, kernel, dtype, compute_forces, shards):
+        injector = get_fault_injector()
+        if injector.fire("mp_pool_broken") is not None:
+            raise BrokenProcessPool("injected fault: mp_pool_broken")
         pool = self._ensure_pool()
         ship = self._get_shipment(plan)
-        futures = [
-            pool.submit(
-                _worker_run,
-                ship.spec, ship.payload, kernel, dtype, compute_forces,
-                g_lo, g_hi,
+        futures = []
+        for i, (g_lo, g_hi) in enumerate(shards):
+            fault = None
+            spec = injector.fire("mp_worker_crash", shard=i)
+            if spec is not None:
+                fault = ("crash", 0.0)
+            else:
+                spec = injector.fire("mp_worker_hang", shard=i)
+                if spec is not None:
+                    fault = ("hang", float(spec.get("seconds", 30.0)))
+            futures.append(
+                pool.submit(
+                    _worker_run,
+                    ship.spec, ship.payload, kernel, dtype, compute_forces,
+                    g_lo, g_hi, fault,
+                )
             )
-            for g_lo, g_hi in shards
-        ]
+        deadline = (
+            None
+            if self.retry.timeout is None
+            else time.monotonic() + self.retry.timeout
+        )
         results = []
         seconds = []
         for f in futures:
-            t_lo, t_hi, phi, f_blk, dt = f.result()
+            remaining = (
+                None
+                if deadline is None
+                else max(deadline - time.monotonic(), 0.0)
+            )
+            t_lo, t_hi, phi, f_blk, dt = f.result(timeout=remaining)
             results.append((t_lo, t_hi, phi, f_blk))
             seconds.append(dt)
         if self.adaptive_shards:
             self._observe_shard_times(plan, shards, seconds)
         return results
+
+    def _recover(self, plan) -> None:
+        """Tear down after a pool failure: discard the pool, unlink the
+        plan's shipment (dead workers may have held attachments) and
+        reclaim any orphaned SHM blocks.  The next attempt re-packs and
+        rebuilds lazily through ``_ensure_pool``/``_get_shipment``."""
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+        with self._ship_lock:
+            ship = self._shipments.pop(plan, None)
+        if ship is not None:
+            ship.close()
+        audit_shared_memory(reclaim=True)
+        self._health["pool_rebuilds"] += 1

@@ -31,7 +31,14 @@ Availability: the module imports everywhere (the loop bodies are plain
 Python, also runnable un-jitted for testing), but the backend class is
 registered only when ``numba`` is importable
 (``importlib.util.find_spec``); constructing it without numba raises a
-clean RuntimeError naming the missing dependency.
+clean :class:`~repro.errors.BackendUnavailableError` (a
+``RuntimeError`` subclass) naming the missing dependency -- the session
+core's fallback chain degrades such sessions to ``"fused"`` instead of
+failing, e.g. a pickled numba session restored on a host without
+numba.  The ``numba_import`` fault site
+(``REPRO_FAULT="numba_import"``) simulates the missing dependency
+deterministically: registration is skipped when the fault is armed at
+import time, and construction always consults the injector.
 """
 
 from __future__ import annotations
@@ -41,11 +48,16 @@ import os
 
 import numpy as np
 
+from ...errors import BackendUnavailableError
+from ..resilience import fault_active, get_fault_injector
 from .base import Backend, charge_plan_launches
 
 __all__ = ["NUMBA_AVAILABLE", "NumbaBackend", "build_group_loops"]
 
-NUMBA_AVAILABLE = importlib.util.find_spec("numba") is not None
+NUMBA_AVAILABLE = (
+    importlib.util.find_spec("numba") is not None
+    and not fault_active("numba_import")
+)
 
 #: Compiled (potential_loop, force_loop) per kernel configuration.
 _LOOP_CACHE: dict = {}
@@ -429,9 +441,10 @@ def build_group_loops(kernel, jit=None, *, parallel=False, multi=False):
     prange_fn = range
     if jitted:
         if not NUMBA_AVAILABLE:  # pragma: no cover - exercised via backend
-            raise RuntimeError(
+            raise BackendUnavailableError(
                 "numba is not installed; the 'numba' backend is unavailable "
-                "(pip install numba, or select backend='fused')"
+                "(pip install numba, or select backend='fused')",
+                backend="numba",
             )
         import numba
 
@@ -475,10 +488,14 @@ class NumbaBackend(Backend):
     needs_numerics = True
 
     def __init__(self, *, parallel: bool | None = None) -> None:
-        if not NUMBA_AVAILABLE:
-            raise RuntimeError(
+        if (
+            not NUMBA_AVAILABLE
+            or get_fault_injector().fire("numba_import") is not None
+        ):
+            raise BackendUnavailableError(
                 "numba is not installed; the 'numba' backend is unavailable "
-                "(pip install numba, or select backend='fused')"
+                "(pip install numba, or select backend='fused')",
+                backend="numba",
             )
         if parallel is None:
             parallel = (os.cpu_count() or 1) > 1

@@ -32,16 +32,39 @@ the first post-unpickle apply re-resolves through the process-wide
 shared store in :mod:`repro.registry` (two restored sessions selecting
 ``"multiprocessing"`` therefore share one pool), and dropped caches
 (plan cast caches, bucket stacks, SHM shipments) repopulate lazily.
+
+Fault tolerance: a backend failure inside an apply -- a worker pool
+whose bounded crash recovery was exhausted
+(:class:`~repro.errors.WorkerCrashError`), a backend that cannot exist
+in this process (:class:`~repro.errors.BackendUnavailableError`, e.g. a
+numba session restored where numba is absent) -- does not have to kill
+the session.  Under ``TreecodeParams(fallback="degrade")`` (the
+default) :meth:`SessionCore.execute_plan` walks the backend's fallback
+chain (:data:`FALLBACK_CHAIN`: ``"multiprocessing"`` -> ``"fused"`` ->
+``"numpy"``; ``"numba"``/``"cupy"``/``"batched"`` -> ``"fused"`` ->
+``"numpy"``), emits exactly one
+:class:`~repro.errors.BackendDegradedWarning` per transition, records
+the event (visible in :meth:`SessionCore.health_stats` and every
+``Prepared*`` repr) and keeps serving correct results through the
+fallback -- sticky, so later applies skip the broken backend.
+``fallback="strict"`` restores raise-on-failure with the original
+cause chained.
 """
 
 from __future__ import annotations
 
 import hashlib
+import warnings
 from dataclasses import dataclass
 from typing import Any
 
 import numpy as np
 
+from ..errors import (
+    BackendDegradedWarning,
+    BackendExecutionError,
+    GeometryUpdateError,
+)
 from ..util import as_charge_block
 from .backends import Backend, get_backend
 from .moments import ClusterMoments, refresh_moments
@@ -54,10 +77,26 @@ __all__ = [
     "DistributedWeightSource",
     "BatchChargeWeightSource",
     "DualTreeWeightSource",
+    "FALLBACK_CHAIN",
     "format_memory_stats",
+    "format_health_stats",
 ]
 
 FLOAT_BYTES = 8
+
+#: Graceful-degradation order per backend name: on failure (or failed
+#: by-name resolution) the session tries these, left to right.  Every
+#: chain ends in ``"numpy"`` -- the dependency-free reference backend
+#: that always exists -- so a degrading session can always keep
+#: serving.  Backends not listed (``"numpy"``, ``"model"``, custom
+#: registrations) have no fallback: their failures always raise.
+FALLBACK_CHAIN: dict = {
+    "multiprocessing": ("fused", "numpy"),
+    "numba": ("fused", "numpy"),
+    "cupy": ("fused", "numpy"),
+    "batched": ("fused", "numpy"),
+    "fused": ("numpy",),
+}
 
 #: The plan fields hashed into a geometry key / counted as plan memory
 #: (everything charge-independent; ``src_weights`` is accounted
@@ -265,17 +304,78 @@ class SessionCore:
         self._backend: Backend | None = (
             backend if isinstance(backend, Backend) else None
         )
+        #: Sticky fallback backend: set once a degraded apply succeeds,
+        #: so later applies skip the broken backend entirely.  Dropped
+        #: on pickling (the restored process re-probes from the top --
+        #: its environment may be healthy).
+        self._degraded: Backend | None = None
+        #: Recorded degradation transitions, each
+        #: ``{"from", "to", "error"}`` (see :meth:`health_stats`).
+        self._fallback_events: list = []
+        self._last_error: str | None = None
 
     # -- backend resolution ---------------------------------------------
     @property
     def backend(self) -> Backend:
         """The resolved backend instance (lazy; re-resolves by name
-        after unpickling, through the process-wide shared store)."""
+        after unpickling, through the process-wide shared store).
+
+        A failed by-name resolution -- the registered name raising
+        :class:`~repro.errors.BackendUnavailableError` (numba session
+        restored without numba), or a name unknown in this process --
+        degrades along :data:`FALLBACK_CHAIN` under
+        ``fallback="degrade"`` instead of raising.
+        """
         b = self._backend
         if b is None:
-            b = get_backend(self._backend_spec)
+            spec = self._backend_spec
+            try:
+                b = get_backend(spec)
+            except (ValueError, BackendExecutionError) as exc:
+                if self._strict:
+                    raise
+                name = spec if isinstance(spec, str) else getattr(
+                    spec, "name", repr(spec)
+                )
+                b = self._resolve_fallback(name, exc)
             self._backend = b
         return b
+
+    @property
+    def _strict(self) -> bool:
+        return getattr(self.params, "fallback", "degrade") == "strict"
+
+    def _resolve_fallback(self, failed_name: str, cause) -> Backend:
+        """First resolvable member of ``failed_name``'s fallback chain;
+        records the transition and warns once.  Re-raises ``cause``
+        when the name has no chain or the whole chain is unresolvable
+        (cannot happen for built-in chains: they end in ``"numpy"``)."""
+        chain = FALLBACK_CHAIN.get(failed_name)
+        if not chain:
+            raise cause
+        for candidate in chain:
+            try:
+                b = get_backend(candidate)
+            except Exception:
+                continue
+            self._record_fallback(failed_name, b.name, cause)
+            self._degraded = b
+            return b
+        raise cause
+
+    def _record_fallback(self, from_name: str, to_name: str, cause) -> None:
+        self._last_error = f"{type(cause).__name__}: {cause}"
+        self._fallback_events.append(
+            {"from": from_name, "to": to_name, "error": self._last_error}
+        )
+        warnings.warn(
+            f"backend {from_name!r} failed "
+            f"({self._last_error}); session degraded to {to_name!r} -- "
+            "results stay correct, performance may differ "
+            '(TreecodeParams(fallback="strict") raises instead)',
+            BackendDegradedWarning,
+            stacklevel=3,
+        )
 
     @property
     def plan(self) -> ExecutionPlan:
@@ -297,6 +397,9 @@ class SessionCore:
             state["_backend_spec"] = spec
         if isinstance(spec, str):
             state["_backend"] = None
+        # A restored session re-probes the configured backend from the
+        # top: the new process may be healthy where this one degraded.
+        state["_degraded"] = None
         return state
 
     # -- the apply cycle ------------------------------------------------
@@ -367,31 +470,95 @@ class SessionCore:
         """Weight refresh + backend execution; closes the compute phase.
 
         ``backend`` overrides the session backend for this call
-        (``dry_run`` applies pass the model backend).  The ``n_rhs``
-        kwarg reaches the backend only on the multi path, so
-        user-registered backends with the single-vector signature keep
-        working unchanged.  ``download_potentials=False`` skips the
-        DtH copies (extension shells download after their downward
-        pass instead); the compute phase closes either way.
+        (``dry_run`` applies pass the model backend); explicit
+        overrides never degrade -- the caller asked for that backend
+        specifically.  The ``n_rhs`` kwarg reaches the backend only on
+        the multi path, so user-registered backends with the
+        single-vector signature keep working unchanged.
+        ``download_potentials=False`` skips the DtH copies (extension
+        shells download after their downward pass instead); the
+        compute phase closes either way.
+
+        Failure handling: a :class:`~repro.errors.BackendExecutionError`
+        from the session backend (worker-pool recovery exhausted, a
+        shipment that cannot be packed, a layout build that failed)
+        triggers the fallback chain under ``fallback="degrade"`` --
+        the apply is retried on the next chain member and the
+        transition becomes sticky for later applies.  Note the failed
+        backend may already have charged launches against the
+        simulated device before dying, so a *degraded* apply's
+        counters/timings can include the aborted attempt; numerical
+        results are unaffected (backends accumulate into fresh output
+        buffers, and the multiprocessing backend merges shard results
+        only after every future resolves).
         """
-        backend = self.backend if backend is None else backend
+        explicit = backend is not None
+        if not explicit:
+            backend = self._degraded or self.backend
         self.refresh_weights(charges, numerics=numerics)
         extra = {"n_rhs": n_rhs} if multi else {}
         device = self.device
-        potential, forces = backend.execute(
-            self.plan,
-            self.kernel,
-            device,
-            dtype=self.params.dtype,
-            compute_forces=compute_forces,
-            **extra,
-        )
+        try:
+            potential, forces = backend.execute(
+                self.plan,
+                self.kernel,
+                device,
+                dtype=self.params.dtype,
+                compute_forces=compute_forces,
+                **extra,
+            )
+        except BackendExecutionError as exc:
+            if explicit or self._strict:
+                raise
+            potential, forces = self._degrade_and_execute(
+                backend, exc,
+                compute_forces=compute_forces, extra=extra,
+            )
         if download_potentials:
             device.download(potential.nbytes, label="potentials")
             if forces is not None:
                 device.download(forces.nbytes, label="forces")
         phases.compute += device.take_phase()
         return potential, forces
+
+    def _degrade_and_execute(
+        self, failed: Backend, cause, *, compute_forces: bool, extra: dict
+    ):
+        """Walk ``failed``'s fallback chain until an execute succeeds.
+
+        The successful fallback becomes sticky (``self._degraded``);
+        one :class:`~repro.errors.BackendDegradedWarning` is emitted
+        per transition.  Chain exhausted (or no chain) re-raises the
+        last structured error.
+        """
+        chain = FALLBACK_CHAIN.get(failed.name)
+        if not chain:
+            raise cause
+        last_exc = cause
+        from_name = failed.name
+        for candidate in chain:
+            try:
+                b = get_backend(candidate)
+            except Exception:
+                continue
+            try:
+                result = b.execute(
+                    self.plan,
+                    self.kernel,
+                    self.device,
+                    dtype=self.params.dtype,
+                    compute_forces=compute_forces,
+                    **extra,
+                )
+            except BackendExecutionError as exc:
+                self._record_fallback(from_name, b.name, last_exc)
+                from_name = b.name
+                last_exc = exc
+                continue
+            self._record_fallback(from_name, b.name, last_exc)
+            self._degraded = b
+            return result
+        raise last_exc
 
     # -- dynamic geometry -----------------------------------------------
     def update_geometry(self, new_positions, *, targets=None):
@@ -413,13 +580,64 @@ class SessionCore:
                 "this session has no geometry updater; re-prepare the "
                 "driver at the new positions instead"
             )
-        return self.geometry_updater.update(
-            self, new_positions, targets=targets
-        )
+        try:
+            return self.geometry_updater.update(
+                self, new_positions, targets=targets
+            )
+        except (ValueError, TypeError, NotImplementedError):
+            # Input-validation errors keep their precise type (callers
+            # and tests match on them); only unexpected mid-update
+            # failures are wrapped -- those may leave the session's
+            # geometry partially patched, which the structured error
+            # makes explicit.
+            raise
+        except Exception as exc:
+            raise GeometryUpdateError(
+                "geometry update failed mid-flight; the session's "
+                "geometry may be partially patched -- re-prepare the "
+                f"driver at the new positions ({type(exc).__name__}: "
+                f"{exc})"
+            ) from exc
 
     # -- accounting -----------------------------------------------------
     def geometry_key(self) -> str:
         return self.geometry.geometry_key()
+
+    def health_stats(self) -> dict:
+        """Fault-tolerance counters of this session (the robustness
+        ledger next to :meth:`memory_stats`).
+
+        ``backend`` is the configured backend name; ``degraded_to``
+        the sticky fallback currently serving applies (None while
+        healthy); ``retries``/``pool_rebuilds`` come from the resolved
+        backend's own :meth:`~repro.core.backends.Backend.health_stats`
+        (worker-crash recovery counters for the multiprocessing
+        backend, zeros for stateless backends); ``fallbacks`` the
+        recorded degradation transitions; ``last_error`` the most
+        recent failure seen by either layer.
+        """
+        spec = self._backend_spec
+        name = spec if isinstance(spec, str) else getattr(
+            spec, "name", repr(spec)
+        )
+        stats = {
+            "backend": name,
+            "degraded_to": (
+                self._degraded.name if self._degraded is not None else None
+            ),
+            "retries": 0,
+            "pool_rebuilds": 0,
+            "fallbacks": list(self._fallback_events),
+            "last_error": self._last_error,
+        }
+        b = self._backend
+        backend_stats = b.health_stats() if b is not None else {}
+        for key in ("retries", "pool_rebuilds"):
+            if key in backend_stats:
+                stats[key] = backend_stats[key]
+        if backend_stats.get("last_error") is not None:
+            stats["last_error"] = backend_stats["last_error"]
+        return stats
 
     def memory_stats(self) -> dict:
         """Resident bytes by category (the session-eviction ledger).
@@ -490,3 +708,21 @@ def format_memory_stats(stats: dict) -> str:
         f"update={stats.get('update_scratch_bytes', 0)}B "
         f"pad={stats.get('batched_pad_bytes', 0)}B"
     )
+
+
+def format_health_stats(stats: dict) -> str:
+    """Compact rendering of :meth:`SessionCore.health_stats` for the
+    ``Prepared*`` reprs: ``health=ok`` while nothing has gone wrong,
+    otherwise the non-trivial counters in one bracket."""
+    parts = []
+    if stats.get("degraded_to"):
+        parts.append(f"degraded_to={stats['degraded_to']}")
+    if stats.get("retries"):
+        parts.append(f"retries={stats['retries']}")
+    if stats.get("pool_rebuilds"):
+        parts.append(f"pool_rebuilds={stats['pool_rebuilds']}")
+    if stats.get("fallbacks"):
+        parts.append(f"fallbacks={len(stats['fallbacks'])}")
+    if not parts:
+        return "health=ok"
+    return "health=[" + " ".join(parts) + "]"

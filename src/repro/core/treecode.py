@@ -70,6 +70,7 @@ from .session import (
     GeometryState,
     SessionCore,
     TreecodeWeightSource,
+    format_health_stats,
     format_memory_stats,
 )
 
@@ -468,6 +469,10 @@ class PreparedTreecode:
         """Resident bytes by category (see ``SessionCore.memory_stats``)."""
         return self.core.memory_stats()
 
+    def health_stats(self) -> dict:
+        """Fault-tolerance counters (see ``SessionCore.health_stats``)."""
+        return self.core.health_stats()
+
     def update_geometry(
         self,
         new_positions: np.ndarray,
@@ -505,7 +510,8 @@ class PreparedTreecode:
         return (
             f"<PreparedTreecode n_sources={self.n_sources} "
             f"n_targets={self.n_targets} n_applies={self.n_applies} "
-            f"{format_memory_stats(self.memory_stats())}>"
+            f"{format_memory_stats(self.memory_stats())} "
+            f"{format_health_stats(self.health_stats())}>"
         )
 
     # ------------------------------------------------------------------
@@ -543,6 +549,12 @@ class PreparedTreecode:
         """
         core = self.core
         charges, multi, n_rhs = core.charge_block(charges)
+        # dry_run passes the model backend as an explicit override
+        # (overrides never degrade); normal applies let the session
+        # resolve so the fallback chain can serve when the configured
+        # backend fails (see SessionCore.execute_plan).  All fallback
+        # backends need numerics, so the flag computed here stays valid
+        # across a degradation.
         backend = get_backend("model") if dry_run else core.backend
         numerics = self.plan.has_numerics and backend.needs_numerics
         phases = PhaseTimes()
@@ -555,7 +567,7 @@ class PreparedTreecode:
             core.precompute(charges, phases, numerics=numerics, n_rhs=n_rhs)
             potential, forces = core.execute_plan(
                 charges, phases,
-                backend=backend, numerics=numerics,
+                backend=backend if dry_run else None, numerics=numerics,
                 compute_forces=compute_forces, multi=multi, n_rhs=n_rhs,
             )
 

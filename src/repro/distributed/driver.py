@@ -44,6 +44,7 @@ from ..core.session import (
     DistributedWeightSource,
     GeometryState,
     SessionCore,
+    format_health_stats,
     format_memory_stats,
 )
 from ..gpu.device import make_device
@@ -745,11 +746,32 @@ class PreparedDistributedBLTC:
                 totals[k] = totals.get(k, 0) + v
         return totals
 
+    def health_stats(self) -> dict:
+        """Aggregated per-rank fault-tolerance counters (see
+        ``SessionCore.health_stats``): numeric counters sum, fallback
+        events concatenate, ``degraded_to``/``last_error`` report the
+        first degraded rank (ranks share one backend instance, so they
+        degrade together in practice)."""
+        per_rank = [core.health_stats() for core in self.cores]
+        stats = dict(per_rank[0])
+        stats["fallbacks"] = [
+            e for s in per_rank for e in s["fallbacks"]
+        ]
+        # Shared pool-backend counters would multiply by n_ranks if
+        # summed; every rank reads the same instance, so take rank 0's.
+        for s in per_rank[1:]:
+            if stats["degraded_to"] is None:
+                stats["degraded_to"] = s["degraded_to"]
+            if stats["last_error"] is None:
+                stats["last_error"] = s["last_error"]
+        return stats
+
     def __repr__(self) -> str:
         return (
             f"<PreparedDistributedBLTC n_ranks={self.n_ranks} "
             f"n_particles={self._n} n_applies={self.n_applies} "
-            f"{format_memory_stats(self.memory_stats())}>"
+            f"{format_memory_stats(self.memory_stats())} "
+            f"{format_health_stats(self.health_stats())}>"
         )
 
     # ------------------------------------------------------------------
@@ -787,6 +809,12 @@ class PreparedDistributedBLTC:
         charges = as_charge_block(charges, self._n)
         multi = charges.ndim == 2
         n_rhs = int(charges.shape[1]) if multi else 1
+        # dry_run forces the model backend as an explicit override on
+        # every rank core (overrides never degrade); normal applies let
+        # each core resolve through its session so the fallback chain
+        # can serve when the configured backend fails.  All fallback
+        # backends need numerics, so the flag stays valid across a
+        # degradation.
         backend = get_backend("model") if dry_run else self.backend
         cores = self.cores
         numerics = (
@@ -854,7 +882,7 @@ class PreparedDistributedBLTC:
 
                 phi_local, f_local = core.execute_plan(
                     local_qs[r], phases[r],
-                    backend=backend, numerics=numerics,
+                    backend=backend if dry_run else None, numerics=numerics,
                     compute_forces=compute_forces, multi=multi, n_rhs=n_rhs,
                 )
                 potential[self.rank_idx[r]] = phi_local

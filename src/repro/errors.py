@@ -1,0 +1,101 @@
+"""Structured exception taxonomy for the execution layer.
+
+The treecode is pitched as a long-running workload (MD trajectories,
+many applies per prepared geometry, eventually a multi-tenant session
+server), so failures in the execution layer must be *classifiable*:
+a caller -- or the session core's own degradation logic -- needs to
+tell "a worker process died" apart from "the backend cannot exist in
+this process" apart from "the user passed a bad array".  Bare
+``RuntimeError``\\ s cannot carry that distinction; these classes can,
+and every one of them chains its original cause (``raise ... from``)
+so nothing about the underlying failure is lost.
+
+Hierarchy
+---------
+* :class:`ReproError` -- common base; subclasses ``RuntimeError`` so
+  pre-existing ``except RuntimeError`` call sites keep working.
+
+  * :class:`BackendExecutionError` -- a backend failed to execute a
+    compiled plan.  Carries the backend's registry ``name`` and the
+    number of ``attempts`` made before giving up.
+
+    * :class:`WorkerCrashError` -- the multiprocessing backend's worker
+      pool broke (a worker crashed or timed out) and bounded recovery
+      (pool rebuild + shipment re-pack under the
+      :class:`~repro.core.resilience.RetryPolicy`) did not restore it.
+    * :class:`BackendUnavailableError` -- the backend cannot run in
+      this process at all (numba not importable, a future ``cupy``
+      without a GPU); raised at construction/resolution time.
+    * :class:`ShipmentError` -- packing or refreshing a plan's
+      shared-memory shipment failed in a way the pickle fallback could
+      not absorb.
+
+  * :class:`GeometryUpdateError` -- an incremental
+    ``update_geometry`` failed midway; the session's geometry may be
+    partially patched and should be re-prepared.
+
+* :class:`BackendDegradedWarning` -- the structured warning the
+  session core emits exactly once per fallback transition when it
+  degrades to the next backend in the chain instead of raising.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "BackendExecutionError",
+    "WorkerCrashError",
+    "BackendUnavailableError",
+    "ShipmentError",
+    "GeometryUpdateError",
+    "BackendDegradedWarning",
+]
+
+
+class ReproError(RuntimeError):
+    """Base class of every structured error this package raises."""
+
+
+class BackendExecutionError(ReproError):
+    """A backend failed to execute a compiled plan.
+
+    ``backend`` is the failing backend's registry name (``None`` when
+    unknown); ``attempts`` the number of execution attempts made before
+    the error escaped (1 when there was no retry loop involved).  The
+    underlying failure is chained as ``__cause__``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        backend: str | None = None,
+        attempts: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.backend = backend
+        self.attempts = attempts
+
+
+class WorkerCrashError(BackendExecutionError):
+    """The worker pool broke and bounded recovery did not restore it."""
+
+
+class BackendUnavailableError(BackendExecutionError):
+    """The backend cannot run in this process (missing dependency)."""
+
+
+class ShipmentError(BackendExecutionError):
+    """Packing/refreshing a plan's shared-memory shipment failed."""
+
+
+class GeometryUpdateError(ReproError):
+    """An incremental ``update_geometry`` failed midway through.
+
+    The session's geometry may be partially patched; callers should
+    re-prepare at the new positions rather than keep applying.
+    """
+
+
+class BackendDegradedWarning(UserWarning):
+    """A session degraded to a fallback backend and keeps serving."""

@@ -55,6 +55,7 @@ from ..core.session import (
     BatchChargeWeightSource,
     GeometryState,
     SessionCore,
+    format_health_stats,
     format_memory_stats,
 )
 from ..gpu.device import make_device
@@ -473,6 +474,10 @@ class PreparedClusterParticle:
         """Resident bytes by category (see ``SessionCore.memory_stats``)."""
         return self.core.memory_stats()
 
+    def health_stats(self) -> dict:
+        """Fault-tolerance counters (see ``SessionCore.health_stats``)."""
+        return self.core.health_stats()
+
     def update_geometry(
         self,
         new_positions: np.ndarray,
@@ -500,7 +505,8 @@ class PreparedClusterParticle:
         return (
             f"<PreparedClusterParticle n_sources={self.n_sources} "
             f"n_targets={g.n_targets} n_applies={self.n_applies} "
-            f"{format_memory_stats(self.memory_stats())}>"
+            f"{format_memory_stats(self.memory_stats())} "
+            f"{format_health_stats(self.health_stats())}>"
         )
 
     def apply(self, charges: np.ndarray) -> TreecodeResult:

@@ -59,15 +59,23 @@ def backend_type(name: str) -> type:
 def shared_backend_instance(name: str, cls: type) -> object:
     """The process-wide shared instance of backend ``name``.
 
-    Creates (and caches) one on first use, or when a re-registration
-    changed the class behind the name.  All sessions selecting the same
-    ``share_instance`` backend -- live or unpickled -- resolve to the
-    same object, so e.g. one ``ProcessPoolExecutor`` serves them all.
+    Creates (and caches) one on first use, when a re-registration
+    changed the class behind the name, or when the cached instance
+    reports itself unhealthy (``is_healthy()`` returning False -- e.g.
+    a multiprocessing backend whose pool recovery was exhausted).  All
+    sessions selecting the same ``share_instance`` backend -- live or
+    unpickled -- resolve to the same object, so e.g. one
+    ``ProcessPoolExecutor`` serves them all; a session restored from a
+    pickle therefore never inherits a broken pool: the unhealthy member
+    is replaced by a fresh instance at resolution time.
     """
     inst = _SHARED_INSTANCES.get(name)
-    if inst is None or type(inst) is not cls:
-        inst = cls()
-        _SHARED_INSTANCES[name] = inst
+    if inst is not None and type(inst) is cls:
+        probe = getattr(inst, "is_healthy", None)
+        if probe is None or probe():
+            return inst
+    inst = cls()
+    _SHARED_INSTANCES[name] = inst
     return inst
 
 
